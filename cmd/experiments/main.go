@@ -1,0 +1,242 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§7) on the synthetic query-log corpus and prints paper-style
+// rows. By default it runs everything at laptop-friendly scales; use
+// -paper to run the evaluation at the paper's dataset sizes (2^13..2^15
+// sequences of length 1024 — slower and memory-hungry), or -only to run a
+// single experiment.
+//
+// Usage:
+//
+//	experiments [-only intro|fig4|fig5|table1|fig12|fig13|fig14|fig15|fig16|
+//	                   fig19|fig20|fig21|fig22|fig23|baselines|energy|basis]
+//	            [-paper] [-seed N] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/benchutil"
+	"repro/internal/burst"
+	"repro/internal/querylog"
+	"repro/internal/spectral"
+)
+
+type config struct {
+	seed     int64
+	seqLen   int
+	sizes    []int // fig. 22/23 dataset sizes
+	budgets  []int
+	pairs    int // fig. 20/21 pairs
+	queries  int // fig. 22/23 query workload size
+	bgSeries int // fig. 19 background series
+}
+
+func defaultConfig(paper bool, seed int64) config {
+	if paper {
+		return config{
+			seed:     seed,
+			seqLen:   1024,
+			sizes:    []int{8192, 16384, 32768},
+			budgets:  []int{8, 16, 32},
+			pairs:    100,
+			queries:  50,
+			bgSeries: 500,
+		}
+	}
+	return config{
+		seed:     seed,
+		seqLen:   1024,
+		sizes:    []int{1024, 2048, 4096},
+		budgets:  []int{8, 16, 32},
+		pairs:    100,
+		queries:  25,
+		bgSeries: 100,
+	}
+}
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (e.g. fig20)")
+	paper := flag.Bool("paper", false, "use the paper's full dataset sizes")
+	seed := flag.Int64("seed", 1, "PRNG seed for the synthetic corpus")
+	out := flag.String("out", "", "write output to a file instead of stdout")
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	cfg := defaultConfig(*paper, *seed)
+	if err := run(w, cfg, strings.ToLower(*only)); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, cfg config, only string) error {
+	want := func(name string) bool { return only == "" || only == name }
+	sep := func() { fmt.Fprintln(w, strings.Repeat("-", 78)) }
+
+	if want("intro") {
+		benchutil.PrintIntro(w, cfg.seed)
+		sep()
+	}
+	if want("fig4") {
+		rows, err := benchutil.RunFig4(cfg.seed)
+		if err != nil {
+			return err
+		}
+		benchutil.PrintFig4(w, rows)
+		sep()
+	}
+	if want("fig5") {
+		rows, err := benchutil.RunFig5(cfg.seed)
+		if err != nil {
+			return err
+		}
+		benchutil.PrintFig5(w, rows)
+		sep()
+	}
+	if want("table1") {
+		benchutil.PrintTable1(w, cfg.budgets)
+		sep()
+	}
+	if want("fig12") {
+		rows, err := benchutil.RunFig12(cfg.seed)
+		if err != nil {
+			return err
+		}
+		benchutil.PrintFig12(w, rows)
+		sep()
+	}
+	if want("fig13") {
+		rows, err := benchutil.RunFig13(cfg.seed)
+		if err != nil {
+			return err
+		}
+		benchutil.PrintFig13(w, rows)
+		sep()
+	}
+	if want("fig14") || want("fig15") || want("fig16") {
+		fmt.Fprintln(w, "Figs. 14-16 — Burst detection & compaction")
+		for _, spec := range []struct {
+			name   string
+			window int
+		}{
+			{querylog.Halloween, burst.LongWindow}, // fig. 14
+			{querylog.Easter, burst.LongWindow},    // fig. 15
+			{querylog.Flowers, burst.LongWindow},   // fig. 16 (left)
+			{querylog.FullMoon, burst.ShortWindow}, // fig. 16 (right)
+		} {
+			rep, err := benchutil.RunBurstFigure(cfg.seed, spec.name, spec.window)
+			if err != nil {
+				return err
+			}
+			rep.Print(w)
+		}
+		sep()
+	}
+	if want("fig19") {
+		rows, err := benchutil.RunFig19(cfg.seed, cfg.bgSeries)
+		if err != nil {
+			return err
+		}
+		benchutil.PrintFig19(w, rows)
+		sep()
+	}
+	if want("baselines") {
+		rows, err := benchutil.RunBaselines(cfg.seed, cfg.bgSeries)
+		if err != nil {
+			return err
+		}
+		benchutil.PrintBaselines(w, rows)
+		sep()
+	}
+
+	needBounds := want("fig20") || want("fig21")
+	needPrune := want("fig22")
+	needIndex := want("fig23")
+	needEnergy := want("energy")
+	needBasis := want("basis")
+	if needBounds || needPrune || needIndex || needEnergy || needBasis {
+		maxSize := cfg.sizes[len(cfg.sizes)-1]
+		n := maxSize
+		if !needPrune && !needIndex {
+			if needEnergy || needBasis {
+				n = cfg.sizes[0]
+			} else {
+				n = 256 // figs. 20/21 only need enough series for random pairs
+			}
+		}
+		fmt.Fprintf(w, "building corpus: %d series x %d days (+%d queries)...\n",
+			n, cfg.seqLen, cfg.queries)
+		corpus, err := benchutil.NewCorpus(n, cfg.queries, cfg.seqLen, cfg.seed)
+		if err != nil {
+			return err
+		}
+		if needBounds {
+			exp, err := benchutil.RunBounds(corpus, cfg.budgets, cfg.pairs)
+			if err != nil {
+				return err
+			}
+			if want("fig20") {
+				exp.PrintLB(w, cfg.budgets)
+				sep()
+			}
+			if want("fig21") {
+				exp.PrintUB(w, cfg.budgets)
+				sep()
+			}
+		}
+		if needPrune {
+			methods := []spectral.Method{spectral.GEMINI, spectral.Wang, spectral.BestMinError}
+			exp, err := benchutil.RunPruning(corpus, cfg.sizes, cfg.budgets, methods)
+			if err != nil {
+				return err
+			}
+			exp.Print(w, cfg.sizes, cfg.budgets, methods)
+			sep()
+		}
+		if needIndex {
+			tmp, err := os.MkdirTemp("", "sqlg-fig23-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			exp, err := benchutil.RunIndex(corpus, cfg.sizes, cfg.budgets, tmp)
+			if err != nil {
+				return err
+			}
+			exp.Print(w)
+			sep()
+		}
+		if needEnergy {
+			size := cfg.sizes[0]
+			rows, err := benchutil.RunEnergySweep(corpus, size, []float64{0.8, 0.9, 0.95, 0.99})
+			if err != nil {
+				return err
+			}
+			benchutil.PrintEnergySweep(w, rows, size)
+			sep()
+		}
+		if needBasis {
+			size := cfg.sizes[0]
+			rows, err := benchutil.RunBasisComparison(corpus, size, cfg.budgets)
+			if err != nil {
+				return err
+			}
+			benchutil.PrintBasisComparison(w, rows, size)
+			sep()
+		}
+	}
+	return nil
+}

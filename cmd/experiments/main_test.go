@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the experiment sweeps fast enough for unit tests.
+func tinyConfig() config {
+	return config{
+		seed:     1,
+		seqLen:   256,
+		sizes:    []int{64, 128},
+		budgets:  []int{8},
+		pairs:    20,
+		queries:  4,
+		bgSeries: 20,
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	cases := map[string]string{
+		"intro":     "cinema",
+		"fig4":      "DFT components",
+		"fig5":      "best 4",
+		"table1":    "BestMinError",
+		"fig12":     "exponential",
+		"fig13":     "threshold",
+		"fig14":     "halloween",
+		"fig19":     "Query-by-burst",
+		"fig20":     "Lower-bound",
+		"fig21":     "Upper-bound",
+		"fig22":     "Fraction of database",
+		"fig23":     "linear scan vs index",
+		"energy":    "variable coefficients",
+		"basis":     "Haar",
+		"baselines": "Kleinberg",
+	}
+	for only, marker := range cases {
+		t.Run(only, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(&sb, tinyConfig(), only); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, marker) {
+				t.Errorf("output of -only %s missing %q:\n%s", only, marker, out)
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	var sb strings.Builder
+	if err := run(&sb, tinyConfig(), ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, marker := range []string{"Fig. 5", "Table 1", "Fig. 13", "Fig. 20", "Fig. 22", "Fig. 23"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("full run missing %q", marker)
+		}
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	d := defaultConfig(false, 7)
+	p := defaultConfig(true, 7)
+	if d.seed != 7 || p.seed != 7 {
+		t.Error("seed not propagated")
+	}
+	if p.sizes[len(p.sizes)-1] != 32768 {
+		t.Errorf("paper sizes: %v", p.sizes)
+	}
+	if d.sizes[len(d.sizes)-1] >= p.sizes[0] {
+		t.Errorf("default sizes should be smaller than paper sizes: %v vs %v", d.sizes, p.sizes)
+	}
+}

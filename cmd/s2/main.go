@@ -1,0 +1,329 @@
+// Command s2 is the reproduction of the paper's S2 ("Similarity Tool", §7.5):
+// an interactive explorer over a query-log database offering the tool's
+// three functions —
+//
+//	similar <query> [k]      similarity search via the compressed VP-tree
+//	periods <query>          automatic important-period discovery
+//	bursts  <query> [short]  burst detection (long- or short-term windows)
+//	qbb     <query> [k]      'query-by-burst' search
+//	sql     <statement>      SQL over the burst-feature table (fig. 18)
+//	show    <query>          demand-curve sparkline + summary
+//	list [prefix]            list known query terms
+//	help / quit
+//
+// The database is generated on startup: the paper's exemplar queries plus a
+// configurable number of background series.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/benchutil"
+	"repro/internal/core"
+	"repro/internal/minisql"
+	"repro/internal/querylog"
+	"repro/internal/series"
+)
+
+func main() {
+	n := flag.Int("n", 200, "background series in the database")
+	days := flag.Int("days", querylog.DefaultLength, "days per series")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	budget := flag.Int("budget", 16, "compression budget c (2c+1 doubles per sequence)")
+	load := flag.String("load", "", "load a dataset (.csv, or a genlog binary) instead of generating one")
+	db := flag.String("db", "", "open a saved engine directory (see -save) instead of building")
+	save := flag.String("save", "", "after building, save the engine state to this directory")
+	flag.Parse()
+
+	fmt.Printf("S2 — query-log similarity tool (paper §7.5 reproduction)\n")
+
+	if *db != "" {
+		fmt.Printf("opening saved engine at %s...\n", *db)
+		engine, err := core.LoadEngine(*db, core.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s2:", err)
+			os.Exit(1)
+		}
+		defer engine.Close()
+		fmt.Printf("ready: %d series indexed. Type 'help'.\n", engine.Len())
+		repl(engine)
+		return
+	}
+
+	var data []*series.Series
+	var err error
+	if *load != "" {
+		fmt.Printf("loading database from %s...\n", *load)
+		if strings.HasSuffix(*load, ".csv") {
+			data, err = querylog.LoadCSVFile(*load, querylog.DefaultStart)
+		} else {
+			data, err = querylog.LoadBinary(*load, querylog.DefaultStart)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s2:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("building database: %d exemplars + %d background series x %d days...\n",
+			len(querylog.ExemplarNames()), *n, *days)
+		g := querylog.NewGenerator(querylog.DefaultStart, *days, *seed)
+		data = append(g.Exemplars(), g.Dataset(*n)...)
+	}
+	engine, err := core.NewEngine(data, core.Config{Budget: *budget})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "s2:", err)
+		os.Exit(1)
+	}
+	defer engine.Close()
+	if *save != "" {
+		if err := engine.Save(*save); err != nil {
+			fmt.Fprintln(os.Stderr, "s2: save:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("engine state saved to %s (reopen with -db %s)\n", *save, *save)
+	}
+	fmt.Printf("ready: %d series indexed. Type 'help'.\n", engine.Len())
+	repl(engine)
+}
+
+// repl runs the interactive loop until EOF or quit.
+func repl(engine *core.Engine) {
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("s2> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if err := dispatch(engine, line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+// dispatch parses one command line. The query term may contain spaces; an
+// optional trailing integer is the k parameter.
+func dispatch(e *core.Engine, line string) error {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	rest := fields[1:]
+	if cmd == "sql" {
+		return runSQL(e, strings.TrimSpace(strings.TrimPrefix(line, "sql")))
+	}
+	if cmd == "simperiod" {
+		return runSimPeriod(e, rest)
+	}
+	k := 5
+	variant := ""
+	if len(rest) > 0 {
+		if v, err := strconv.Atoi(rest[len(rest)-1]); err == nil {
+			k = v
+			rest = rest[:len(rest)-1]
+		} else if rest[len(rest)-1] == "short" || rest[len(rest)-1] == "long" {
+			variant = rest[len(rest)-1]
+			rest = rest[:len(rest)-1]
+		}
+	}
+	name := strings.Join(rest, " ")
+
+	switch cmd {
+	case "help":
+		fmt.Println(`commands:
+  similar <query> [k]       k most similar demand patterns
+  periods <query>           significant periods (99.99% confidence)
+  bursts  <query> [short]   detected bursts (long-term default)
+  qbb     <query> [k]       query-by-burst: similar burst patterns
+  simperiod <query> <days>  similarity restricted to one period band (±5%)
+  common  <query> [k]       periods shared by the query's k nearest neighbours
+  sql     <statement>       e.g. sql SELECT * FROM bursts WHERE startDate < 300 AND endDate > 280
+  show    <query>           demand sparkline and summary
+  approx  <query>           compressed-representation quality (best-k reconstruction)
+  list    [prefix]          known query terms
+  quit`)
+		return nil
+	case "list":
+		names := make([]string, 0, e.Len())
+		for id := 0; id < e.Len(); id++ {
+			nm := e.Name(id)
+			if name == "" || strings.HasPrefix(nm, name) {
+				names = append(names, nm)
+			}
+		}
+		sort.Strings(names)
+		for i, nm := range names {
+			if i >= 40 {
+				fmt.Printf("  ... and %d more\n", len(names)-40)
+				break
+			}
+			fmt.Println(" ", nm)
+		}
+		return nil
+	}
+
+	id, ok := e.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown query %q (try 'list')", name)
+	}
+	switch cmd {
+	case "similar":
+		res, st, err := e.SimilarToID(id, k)
+		if err != nil {
+			return err
+		}
+		for i, r := range res {
+			fmt.Printf("  %2d. %-24s dist=%.2f\n", i+1, r.Name, r.Dist)
+		}
+		fmt.Printf("  (examined %d of %d full sequences)\n", st.FullRetrievals, e.Len())
+	case "periods":
+		det, err := e.PeriodsOf(id)
+		if err != nil {
+			return err
+		}
+		if len(det.Periods) == 0 {
+			fmt.Printf("  no significant periods (threshold %.4f)\n", det.Threshold)
+			return nil
+		}
+		for i, p := range det.Top(5) {
+			fmt.Printf("  P%d = %.2f days (power %.2f)\n", i+1, p.Length, p.Power)
+		}
+	case "bursts":
+		w := core.Long
+		if variant == "short" {
+			w = core.Short
+		}
+		s, err := e.Series(id)
+		if err != nil {
+			return err
+		}
+		det, err := e.Bursts(s.Values, w)
+		if err != nil {
+			return err
+		}
+		if len(det.Bursts) == 0 {
+			fmt.Println("  no bursts")
+			return nil
+		}
+		for _, b := range det.Bursts {
+			fmt.Printf("  [%s .. %s] avg=%.2f\n",
+				s.DateOf(b.Start).Format("2006-01-02"),
+				s.DateOf(b.End).Format("2006-01-02"), b.Avg)
+		}
+	case "common":
+		res, _, err := e.SimilarToID(id, k)
+		if err != nil {
+			return err
+		}
+		ids := []int{id}
+		fmt.Printf("  set: %s", e.Name(id))
+		for _, r := range res {
+			ids = append(ids, r.ID)
+			fmt.Printf(", %s", r.Name)
+		}
+		fmt.Println()
+		det, err := e.PeriodsOfSet(ids)
+		if err != nil {
+			return err
+		}
+		if len(det.Periods) == 0 {
+			fmt.Println("  no shared significant periods")
+			return nil
+		}
+		for i, p := range det.Top(5) {
+			fmt.Printf("  P%d = %.2f days (power %.2f, p-value %.2e)\n", i+1, p.Length, p.Power, p.PValue)
+		}
+	case "qbb":
+		matches, err := e.QueryByBurstOf(id, k, core.Long)
+		if err != nil {
+			return err
+		}
+		if len(matches) == 0 {
+			fmt.Println("  no burst-pattern matches")
+			return nil
+		}
+		for i, m := range matches {
+			fmt.Printf("  %2d. %-24s BSim=%.3f\n", i+1, m.Name, m.Score)
+		}
+	case "show":
+		s, err := e.Series(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s\n", s)
+		fmt.Printf("  |%s|\n", benchutil.Sparkline(s.Values, 96))
+	case "approx":
+		z, err := e.StandardizedValues(id)
+		if err != nil {
+			return err
+		}
+		rec, err := e.Reconstruct(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  original      |%s|\n", benchutil.Sparkline(z, 96))
+		fmt.Printf("  reconstructed |%s|\n", benchutil.Sparkline(rec.Values, 96))
+		fmt.Printf("  E = %.2f using %d coefficients\n", rec.Error, rec.Coefficients)
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+	return nil
+}
+
+// runSimPeriod handles `simperiod <query> <days>`: the §7.5 focused search
+// over a single period band.
+func runSimPeriod(e *core.Engine, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: simperiod <query> <period-days>")
+	}
+	days, err := strconv.ParseFloat(args[len(args)-1], 64)
+	if err != nil || days <= 0 {
+		return fmt.Errorf("bad period %q", args[len(args)-1])
+	}
+	name := strings.Join(args[:len(args)-1], " ")
+	id, ok := e.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown query %q (try 'list')", name)
+	}
+	res, err := e.SimilarByPeriods(id, []float64{days}, 0.05, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  neighbours of %q in the %.1f-day band:\n", name, days)
+	for i, r := range res {
+		fmt.Printf("  %2d. %-24s band-dist=%.3f\n", i+1, r.Name, r.Dist)
+	}
+	return nil
+}
+
+// runSQL executes a statement against the long-window burst-feature table.
+func runSQL(e *core.Engine, stmt string) error {
+	if stmt == "" {
+		return fmt.Errorf("usage: sql SELECT ... FROM bursts ...")
+	}
+	res, err := minisql.Run(e.BurstDB(core.Long), stmt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  plan: %v (scanned %d rows)\n", res.Plan, res.Scanned)
+	for i, r := range res.Records {
+		if i >= 20 {
+			fmt.Printf("  ... and %d more rows\n", len(res.Records)-20)
+			break
+		}
+		fmt.Printf("  %-24s start=%4d end=%4d avg=%.2f\n",
+			e.Name(int(r.SeqID)), r.Start, r.End, r.Avg)
+	}
+	fmt.Printf("  (%d rows)\n", len(res.Records))
+	return nil
+}

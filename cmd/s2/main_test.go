@@ -1,0 +1,87 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/querylog"
+)
+
+func testEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	g := querylog.NewGenerator(querylog.DefaultStart, 256, 1)
+	data := append(g.Exemplars(), g.Dataset(20)...)
+	e, err := core.NewEngine(data, core.Config{Budget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestDispatchCommands(t *testing.T) {
+	e := testEngine(t)
+	good := []string{
+		"help",
+		"list",
+		"list cin",
+		"similar cinema 3",
+		"similar full moon 2",
+		"periods cinema",
+		"periods full moon",
+		"bursts easter",
+		"bursts full moon short",
+		"qbb halloween 3",
+		"show elvis",
+		"sql SELECT * FROM bursts LIMIT 3",
+		"sql SELECT seqid, avgvalue FROM bursts WHERE startdate < 100 ORDER BY avgvalue DESC LIMIT 2",
+	}
+	for _, line := range good {
+		if err := dispatch(e, line); err != nil {
+			t.Errorf("dispatch(%q): %v", line, err)
+		}
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	e := testEngine(t)
+	bad := []string{
+		"similar nosuchquery",
+		"frobnicate cinema",
+		"periods querythatdoesnotexist",
+		"sql",
+		"sql DELETE FROM bursts",
+		"sql SELECT * FROM bursts WHERE bogus < 1",
+	}
+	for _, line := range bad {
+		if err := dispatch(e, line); err == nil {
+			t.Errorf("dispatch(%q) should fail", line)
+		}
+	}
+}
+
+func TestSimPeriodCommand(t *testing.T) {
+	e := testEngine(t)
+	if err := dispatch(e, "simperiod cinema 7"); err != nil {
+		t.Errorf("simperiod: %v", err)
+	}
+	for _, bad := range []string{"simperiod", "simperiod cinema", "simperiod cinema abc",
+		"simperiod nosuch 7", "simperiod cinema -2"} {
+		if err := dispatch(e, bad); err == nil {
+			t.Errorf("dispatch(%q) should fail", bad)
+		}
+	}
+	if err := dispatch(e, "approx cinema"); err != nil {
+		t.Errorf("approx: %v", err)
+	}
+}
+
+func TestCommonCommand(t *testing.T) {
+	e := testEngine(t)
+	if err := dispatch(e, "common cinema 3"); err != nil {
+		t.Errorf("common: %v", err)
+	}
+	if err := dispatch(e, "common nosuchquery"); err == nil {
+		t.Error("expected error for unknown query")
+	}
+}

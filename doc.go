@@ -1,0 +1,13 @@
+// Package repro is the root of the query-log mining reproduction (Vlachos,
+// Meek, Vagena, Gunopulos: "Identifying Similarities, Periodicities and
+// Bursts for Online Search Queries", SIGMOD 2004).
+//
+// The library lives under internal/ (see README.md for the map), the
+// executables under cmd/, and runnable examples under examples/. This root
+// package carries the repository-level test assets:
+//
+//   - bench_test.go       one benchmark per paper table/figure
+//   - ablation_test.go    benchmarks for the DESIGN.md §5 design choices
+//   - integration_test.go cross-module end-to-end pipelines
+//   - examples_test.go    compiles-and-runs checks for every example
+package repro

@@ -1,0 +1,109 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BulkLoad builds a B+tree of the given order from entries already sorted
+// strictly ascending by (key, value) composite — the classic bottom-up
+// index build databases use after a sort, O(n) instead of O(n log n)
+// random inserts. The resulting tree holds exactly the given entries and
+// satisfies every structural invariant (Validate-clean); leaves are packed
+// to capacity with the tail rebalanced so no node underflows.
+func BulkLoad(order int, keys, vals []int64) (*BTree, error) {
+	if order < MinOrder {
+		return nil, errors.New("btree: order must be >= 3")
+	}
+	if len(keys) != len(vals) {
+		return nil, errors.New("btree: keys/vals length mismatch")
+	}
+	for i := 1; i < len(keys); i++ {
+		if cmp(keys[i-1], vals[i-1], keys[i], vals[i]) >= 0 {
+			return nil, fmt.Errorf("btree: entries not strictly ascending at %d", i)
+		}
+	}
+	t := &BTree{order: order, size: len(keys)}
+	if len(keys) == 0 {
+		lf := &leaf{}
+		t.root, t.first = lf, lf
+		return t, nil
+	}
+
+	// Build the leaf level: chunks of maxLeafEntries, with the final two
+	// chunks rebalanced so the last leaf meets the minimum occupancy.
+	maxE, minE := t.maxLeafEntries(), t.minLeafEntries()
+	var leaves []*leaf
+	chunks := chunkSizes(len(keys), maxE, minE)
+	pos := 0
+	for _, sz := range chunks {
+		lf := &leaf{
+			keys: append([]int64(nil), keys[pos:pos+sz]...),
+			vals: append([]int64(nil), vals[pos:pos+sz]...),
+		}
+		pos += sz
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = lf
+		}
+		leaves = append(leaves, lf)
+	}
+	t.first = leaves[0]
+
+	// Build internal levels bottom-up. Each child carries its subtree's
+	// minimum composite, used as the separator to its left sibling.
+	type sub struct {
+		n          node
+		minK, minV int64
+	}
+	level := make([]sub, len(leaves))
+	for i, lf := range leaves {
+		level[i] = sub{n: lf, minK: lf.keys[0], minV: lf.vals[0]}
+	}
+	minC := t.minChildren()
+	for len(level) > 1 {
+		groups := chunkSizes(len(level), order, minC)
+		next := make([]sub, 0, len(groups))
+		pos := 0
+		for _, sz := range groups {
+			in := &inner{}
+			for j := 0; j < sz; j++ {
+				child := level[pos+j]
+				in.children = append(in.children, child.n)
+				if j > 0 {
+					in.sepKeys = append(in.sepKeys, child.minK)
+					in.sepVals = append(in.sepVals, child.minV)
+				}
+			}
+			next = append(next, sub{n: in, minK: level[pos].minK, minV: level[pos].minV})
+			pos += sz
+		}
+		level = next
+	}
+	t.root = level[0].n
+	return t, nil
+}
+
+// chunkSizes splits n items into chunks of at most max, each of at least
+// min (n itself may be below min: a lone root chunk is exempt). The split
+// greedily fills chunks and rebalances the final two so the tail never
+// underflows.
+func chunkSizes(n, max, min int) []int {
+	if n <= max {
+		return []int{n}
+	}
+	var sizes []int
+	remaining := n
+	for remaining > 0 {
+		take := max
+		if remaining < max {
+			take = remaining
+		}
+		// Would the remainder after this chunk underflow? Rebalance.
+		if rest := remaining - take; rest > 0 && rest < min {
+			take = remaining - min
+		}
+		sizes = append(sizes, take)
+		remaining -= take
+	}
+	return sizes
+}

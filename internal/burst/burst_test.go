@@ -1,0 +1,340 @@
+package burst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/querylog"
+)
+
+func TestDetectErrors(t *testing.T) {
+	x := make([]float64, 10)
+	if _, err := Detect(x, Options{Window: 0}); err == nil {
+		t.Error("expected error for window 0")
+	}
+	if _, err := Detect(x, Options{Window: 11}); err == nil {
+		t.Error("expected error for window > len")
+	}
+	if _, err := Detect(x, Options{Window: 3, Cutoff: -1}); err == nil {
+		t.Error("expected error for negative cutoff")
+	}
+}
+
+func TestFlatSeriesNoBursts(t *testing.T) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = 5
+	}
+	d, err := Detect(x, Options{Window: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bursts) != 0 {
+		t.Errorf("flat series produced bursts: %v", d.Bursts)
+	}
+}
+
+func TestSingleObviousBurst(t *testing.T) {
+	x := make([]float64, 200)
+	for i := 100; i < 120; i++ {
+		x[i] = 10
+	}
+	d, err := DetectStandardized(x, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bursts) != 1 {
+		t.Fatalf("got %d bursts, want 1: %v", len(d.Bursts), d.Bursts)
+	}
+	b := d.Bursts[0]
+	// The trailing MA smears the burst rightward; the detected region must
+	// overlap the planted one substantially.
+	if b.Start < 95 || b.Start > 110 || b.End < 115 || b.End > 130 {
+		t.Errorf("burst span [%d,%d], planted [100,119]", b.Start, b.End)
+	}
+	if b.Avg <= 0 {
+		t.Errorf("burst avg %v should be positive (standardized units)", b.Avg)
+	}
+}
+
+func TestMaskMatchesBursts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := 50; i < 60; i++ {
+		x[i] += 8
+	}
+	for i := 200; i < 230; i++ {
+		x[i] += 6
+	}
+	d, err := DetectStandardized(x, 7, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every masked day must be inside some burst and vice versa.
+	inBurst := make([]bool, len(x))
+	for _, b := range d.Bursts {
+		if b.Start > b.End || b.Start < 0 || b.End >= len(x) {
+			t.Fatalf("bad burst %v", b)
+		}
+		for i := b.Start; i <= b.End; i++ {
+			inBurst[i] = true
+		}
+	}
+	for i := range x {
+		if d.Mask[i] != inBurst[i] {
+			t.Fatalf("mask/burst disagreement at %d", i)
+		}
+	}
+}
+
+// Property: bursts are disjoint, ordered, within range, and cover exactly
+// the above-cutoff MA days.
+func TestDetectionInvariantsProperty(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(400)
+		w := 1 + int(wRaw)%30
+		if w > n {
+			w = n
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// Plant a few random bumps.
+		for b := 0; b < rng.Intn(4); b++ {
+			at := rng.Intn(n)
+			ln := 1 + rng.Intn(30)
+			for i := at; i < at+ln && i < n; i++ {
+				x[i] += 5 + rng.Float64()*5
+			}
+		}
+		d, err := DetectStandardized(x, w, 1.5)
+		if err != nil {
+			return false
+		}
+		prevEnd := -1
+		for _, b := range d.Bursts {
+			if b.Start <= prevEnd || b.End < b.Start || b.End >= n {
+				return false
+			}
+			prevEnd = b.End
+		}
+		for i, m := range d.Mask {
+			want := d.MA[i] > d.Cutoff
+			if m != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Fig. 14: halloween bursts in October/November.
+func TestHalloweenBurst(t *testing.T) {
+	s := querylog.New(2).Exemplar(querylog.Halloween)
+	d, err := DetectStandardized(s.Values, LongWindow, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bursts) == 0 {
+		t.Fatal("no bursts for halloween")
+	}
+	for _, b := range d.Bursts {
+		mid := s.DateOf((b.Start + b.End) / 2)
+		if mid.Month() < time.September || mid.Month() > time.December {
+			t.Errorf("halloween burst centered in %v, want Sep-Dec", mid.Month())
+		}
+	}
+}
+
+// Fig. 15: easter bursts recur in each of the three years.
+func TestEasterBurstsAcrossYears(t *testing.T) {
+	s := querylog.New(3).Exemplar(querylog.Easter)
+	d, err := DetectStandardized(s.Values, LongWindow, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	years := map[int]bool{}
+	for _, b := range d.Bursts {
+		years[s.DateOf(b.Start).Year()] = true
+	}
+	for _, y := range []int{2000, 2001, 2002} {
+		if !years[y] {
+			t.Errorf("no easter burst detected in %d; bursts: %v", y, d.Bursts)
+		}
+	}
+}
+
+// Fig. 16: flowers shows (at least) the February and May long-term bursts.
+func TestFlowersTwoBursts(t *testing.T) {
+	s := querylog.New(4).Exemplar(querylog.Flowers)
+	d, err := DetectStandardized(s.Values, LongWindow, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFeb, gotMay := false, false
+	for _, b := range d.Bursts {
+		m := s.DateOf((b.Start + b.End) / 2).Month()
+		if m == time.February || m == time.March {
+			gotFeb = true
+		}
+		if m == time.May {
+			gotMay = true
+		}
+	}
+	if !gotFeb || !gotMay {
+		t.Errorf("flowers bursts: feb=%v may=%v (%v)", gotFeb, gotMay, d.Bursts)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := Burst{Start: 10, End: 20}
+	cases := []struct {
+		b    Burst
+		want int
+	}{
+		{Burst{Start: 10, End: 20}, 11}, // identical
+		{Burst{Start: 15, End: 25}, 6},  // partial
+		{Burst{Start: 21, End: 30}, 0},  // adjacent, no overlap
+		{Burst{Start: 0, End: 9}, 0},    // before
+		{Burst{Start: 12, End: 14}, 3},  // contained
+		{Burst{Start: 0, End: 100}, 11}, // containing
+	}
+	for _, c := range cases {
+		if got := Overlap(a, c.b); got != c.want {
+			t.Errorf("Overlap(%v,%v) = %d, want %d", a, c.b, got, c.want)
+		}
+		if got := Overlap(c.b, a); got != c.want {
+			t.Errorf("Overlap not symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Burst{Start: 0, End: 9}
+	if got := Intersect(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self intersect = %v, want 1", got)
+	}
+	b := Burst{Start: 5, End: 14}
+	want := 0.5 * (5.0/10 + 5.0/10)
+	if got := Intersect(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("intersect = %v, want %v", got, want)
+	}
+	if Intersect(a, Burst{Start: 50, End: 60}) != 0 {
+		t.Error("disjoint intersect should be 0")
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	a := Burst{Avg: 2}
+	if Similarity(a, a) != 1 {
+		t.Error("self similarity should be 1")
+	}
+	b := Burst{Avg: 3}
+	if got := Similarity(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("similarity = %v, want 0.5", got)
+	}
+	if Similarity(a, b) != Similarity(b, a) {
+		t.Error("similarity not symmetric")
+	}
+}
+
+// Property: BSim is symmetric, non-negative, zero for disjoint sets, and
+// maximal for a set against itself among shifted variants.
+func TestBSimProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []Burst {
+			var bs []Burst
+			at := 0
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				at += rng.Intn(50)
+				ln := 1 + rng.Intn(20)
+				bs = append(bs, Burst{Start: at, End: at + ln - 1, Avg: rng.NormFloat64()})
+				at += ln
+			}
+			return bs
+		}
+		x, y := mk(), mk()
+		if math.Abs(BSim(x, y)-BSim(y, x)) > 1e-12 {
+			return false
+		}
+		if BSim(x, y) < 0 {
+			return false
+		}
+		// Disjoint shift: move y beyond x entirely.
+		far := make([]Burst, len(y))
+		for i, b := range y {
+			far[i] = Burst{Start: b.Start + 10000, End: b.End + 10000, Avg: b.Avg}
+		}
+		if BSim(x, far) != 0 {
+			return false
+		}
+		// Self-similarity at least as high as vs the other set.
+		return BSim(x, x) >= BSim(x, y)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBurstLenAndString(t *testing.T) {
+	b := Burst{Start: 3, End: 7, Avg: 1.5}
+	if b.Len() != 5 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if b.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestShortVsLongWindow(t *testing.T) {
+	// Full moon: short window resolves ~monthly bursts; the long (30-day)
+	// window smooths the lunar cycle away almost entirely.
+	s := querylog.New(5).Exemplar(querylog.FullMoon)
+	short, err := DetectStandardized(s.Values, ShortWindow, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := DetectStandardized(s.Values, LongWindow, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short.Bursts) < 20 {
+		t.Errorf("short-window lunar bursts = %d, want ~monthly over 1024 days", len(short.Bursts))
+	}
+	if len(long.Bursts) >= len(short.Bursts) {
+		t.Errorf("long window should smooth lunar bursts: %d vs %d",
+			len(long.Bursts), len(short.Bursts))
+	}
+}
+
+func BenchmarkDetect1024(b *testing.B) {
+	s := querylog.New(6).Exemplar(querylog.Easter)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectStandardized(s.Values, LongWindow, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBSim(b *testing.B) {
+	x := []Burst{{0, 10, 1}, {50, 70, 2}, {300, 310, 0.5}}
+	y := []Burst{{5, 15, 1.2}, {60, 65, 1.8}, {500, 510, 3}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BSim(x, y)
+	}
+}

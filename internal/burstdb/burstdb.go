@@ -1,0 +1,367 @@
+// Package burstdb is the relational-style store for compacted burst
+// features (§6.2–6.3): a heap table of
+//
+//	[sequenceID, startDate, endDate, average burst value]
+//
+// rows with secondary B-tree indexes on startDate and endDate, an executor
+// for the paper's fig. 18 overlap query
+//
+//	SELECT * FROM bursts WHERE start < Q.end AND end > Q.start
+//
+// (index scan or full scan, chosen by a simple selectivity heuristic), and
+// 'query-by-burst' ranking with the BSim measure on top of it.
+package burstdb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/burst"
+)
+
+// Record is one burst-feature row.
+type Record struct {
+	// SeqID identifies the time series the burst belongs to.
+	SeqID int64
+	// Start and End are the burst's first and last day indices (inclusive).
+	Start, End int64
+	// Avg is the average standardized value over the burst.
+	Avg float64
+}
+
+// String implements fmt.Stringer.
+func (r Record) String() string {
+	return fmt.Sprintf("{seq=%d [%d,%d] avg=%.2f}", r.SeqID, r.Start, r.End, r.Avg)
+}
+
+// Plan selects the execution strategy for the overlap query.
+type Plan int
+
+const (
+	// PlanAuto picks between the index plans by estimated selectivity.
+	PlanAuto Plan = iota
+	// PlanIndexStart scans the startDate B-tree for start < Q.end and
+	// filters on end > Q.start.
+	PlanIndexStart
+	// PlanIndexEnd scans the endDate B-tree for end > Q.start and filters
+	// on start < Q.end.
+	PlanIndexEnd
+	// PlanFullScan reads the heap table directly (the baseline).
+	PlanFullScan
+)
+
+// String implements fmt.Stringer.
+func (p Plan) String() string {
+	switch p {
+	case PlanAuto:
+		return "auto"
+	case PlanIndexStart:
+		return "index(start)"
+	case PlanIndexEnd:
+		return "index(end)"
+	case PlanFullScan:
+		return "fullscan"
+	default:
+		return fmt.Sprintf("Plan(%d)", int(p))
+	}
+}
+
+// ScanStats reports the work an overlap query performed.
+type ScanStats struct {
+	// Plan is the plan actually executed (PlanAuto resolves to a concrete one).
+	Plan Plan
+	// RowsScanned counts rows touched (index entries followed or heap rows read).
+	RowsScanned int
+	// RowsMatched counts rows satisfying both predicates.
+	RowsMatched int
+}
+
+// DB is the burst-feature database.
+type DB struct {
+	rows    []Record
+	live    []bool
+	liveCnt int
+	byStart *btree.BTree
+	byEnd   *btree.BTree
+	bySeq   map[int64][]int64
+	minKey  int64
+	maxKey  int64
+}
+
+// New creates an empty burst database.
+func New() *DB {
+	bs, err := btree.New(btree.DefaultOrder)
+	if err != nil {
+		panic(err) // DefaultOrder is valid by construction
+	}
+	be, _ := btree.New(btree.DefaultOrder)
+	return &DB{
+		byStart: bs,
+		byEnd:   be,
+		bySeq:   map[int64][]int64{},
+		minKey:  math.MaxInt64,
+		maxKey:  math.MinInt64,
+	}
+}
+
+// Insert appends a record and returns its row ID.
+func (db *DB) Insert(r Record) int64 {
+	rid := int64(len(db.rows))
+	db.rows = append(db.rows, r)
+	db.live = append(db.live, true)
+	db.liveCnt++
+	db.byStart.Insert(r.Start, rid)
+	db.byEnd.Insert(r.End, rid)
+	db.bySeq[r.SeqID] = append(db.bySeq[r.SeqID], rid)
+	if r.Start < db.minKey {
+		db.minKey = r.Start
+	}
+	if r.End > db.maxKey {
+		db.maxKey = r.End
+	}
+	return rid
+}
+
+// InsertBursts stores every burst of one sequence and returns the row IDs.
+func (db *DB) InsertBursts(seqID int64, bursts []burst.Burst) []int64 {
+	rids := make([]int64, 0, len(bursts))
+	for _, b := range bursts {
+		rids = append(rids, db.Insert(Record{
+			SeqID: seqID,
+			Start: int64(b.Start),
+			End:   int64(b.End),
+			Avg:   b.Avg,
+		}))
+	}
+	return rids
+}
+
+// Delete removes row rid and reports whether it was live.
+func (db *DB) Delete(rid int64) bool {
+	if rid < 0 || rid >= int64(len(db.rows)) || !db.live[rid] {
+		return false
+	}
+	r := db.rows[rid]
+	db.live[rid] = false
+	db.liveCnt--
+	db.byStart.Delete(r.Start, rid)
+	db.byEnd.Delete(r.End, rid)
+	rids := db.bySeq[r.SeqID]
+	for i, id := range rids {
+		if id == rid {
+			db.bySeq[r.SeqID] = append(rids[:i], rids[i+1:]...)
+			break
+		}
+	}
+	if len(db.bySeq[r.SeqID]) == 0 {
+		delete(db.bySeq, r.SeqID)
+	}
+	return true
+}
+
+// Get returns row rid.
+func (db *DB) Get(rid int64) (Record, bool) {
+	if rid < 0 || rid >= int64(len(db.rows)) || !db.live[rid] {
+		return Record{}, false
+	}
+	return db.rows[rid], true
+}
+
+// Len returns the number of live rows.
+func (db *DB) Len() int { return db.liveCnt }
+
+// Sequences returns the number of distinct sequences with stored bursts.
+func (db *DB) Sequences() int { return len(db.bySeq) }
+
+// BurstsOf returns the burst set of one sequence in time order.
+func (db *DB) BurstsOf(seqID int64) []burst.Burst {
+	rids := db.bySeq[seqID]
+	out := make([]burst.Burst, 0, len(rids))
+	for _, rid := range rids {
+		r := db.rows[rid]
+		out = append(out, burst.Burst{Start: int(r.Start), End: int(r.End), Avg: r.Avg})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// ErrBadRange is returned when qStart > qEnd.
+var ErrBadRange = errors.New("burstdb: query start after query end")
+
+// Overlapping executes the fig. 18 query: all rows whose [Start,End] span
+// overlaps the query span [qStart, qEnd], i.e. Start ≤ qEnd AND End ≥ qStart
+// (the paper's strict "<"/">" applies to exclusive end dates; spans here are
+// inclusive on both sides).
+func (db *DB) Overlapping(qStart, qEnd int64, plan Plan) ([]Record, ScanStats, error) {
+	if qStart > qEnd {
+		return nil, ScanStats{}, ErrBadRange
+	}
+	if plan == PlanAuto {
+		plan = db.pickPlan(qStart, qEnd)
+	}
+	var st ScanStats
+	st.Plan = plan
+	var out []Record
+	emit := func(rid int64) {
+		r := db.rows[rid]
+		out = append(out, r)
+		st.RowsMatched++
+	}
+	switch plan {
+	case PlanIndexStart:
+		// start ≤ qEnd via index, filter end ≥ qStart.
+		db.byStart.AscendRange(math.MinInt64, qEnd, func(_, rid int64) bool {
+			st.RowsScanned++
+			if db.rows[rid].End >= qStart {
+				emit(rid)
+			}
+			return true
+		})
+	case PlanIndexEnd:
+		// end ≥ qStart via index, filter start ≤ qEnd.
+		db.byEnd.AscendRange(qStart, math.MaxInt64, func(_, rid int64) bool {
+			st.RowsScanned++
+			if db.rows[rid].Start <= qEnd {
+				emit(rid)
+			}
+			return true
+		})
+	case PlanFullScan:
+		for rid, r := range db.rows {
+			if !db.live[rid] {
+				continue
+			}
+			st.RowsScanned++
+			if r.Start <= qEnd && r.End >= qStart {
+				emit(int64(rid))
+			}
+		}
+	default:
+		return nil, st, fmt.Errorf("burstdb: unknown plan %v", plan)
+	}
+	// Full-tuple ordering so every plan returns an identical row sequence
+	// even when several bursts of one sequence share a start date.
+	sort.Slice(out, func(a, b int) bool {
+		ra, rb := out[a], out[b]
+		switch {
+		case ra.SeqID != rb.SeqID:
+			return ra.SeqID < rb.SeqID
+		case ra.Start != rb.Start:
+			return ra.Start < rb.Start
+		case ra.End != rb.End:
+			return ra.End < rb.End
+		default:
+			return ra.Avg < rb.Avg
+		}
+	})
+	return out, st, nil
+}
+
+// pickPlan estimates, assuming roughly uniform burst placement over the key
+// span, which index touches fewer rows: start ≤ qEnd scans the left fraction
+// of the start index, end ≥ qStart the right fraction of the end index.
+func (db *DB) pickPlan(qStart, qEnd int64) Plan {
+	if db.liveCnt == 0 || db.maxKey <= db.minKey {
+		return PlanIndexStart
+	}
+	span := float64(db.maxKey - db.minKey)
+	leftFrac := float64(qEnd-db.minKey) / span
+	rightFrac := float64(db.maxKey-qStart) / span
+	if leftFrac <= rightFrac {
+		return PlanIndexStart
+	}
+	return PlanIndexEnd
+}
+
+// KeySpan returns the smallest startDate and largest endDate over all rows
+// ever inserted (used by planners for selectivity estimates). ok is false
+// while the table is empty.
+func (db *DB) KeySpan() (min, max int64, ok bool) {
+	if db.liveCnt == 0 {
+		return 0, 0, false
+	}
+	return db.minKey, db.maxKey, true
+}
+
+// ScanStart visits live rows with startDate in [lo, hi] via the startDate
+// B-tree, in startDate order, until fn returns false.
+func (db *DB) ScanStart(lo, hi int64, fn func(rid int64, r Record) bool) {
+	db.byStart.AscendRange(lo, hi, func(_, rid int64) bool {
+		return fn(rid, db.rows[rid])
+	})
+}
+
+// ScanEnd visits live rows with endDate in [lo, hi] via the endDate B-tree,
+// in endDate order, until fn returns false.
+func (db *DB) ScanEnd(lo, hi int64, fn func(rid int64, r Record) bool) {
+	db.byEnd.AscendRange(lo, hi, func(_, rid int64) bool {
+		return fn(rid, db.rows[rid])
+	})
+}
+
+// ScanAll visits every live row in heap order until fn returns false.
+func (db *DB) ScanAll(fn func(rid int64, r Record) bool) {
+	for rid, r := range db.rows {
+		if !db.live[rid] {
+			continue
+		}
+		if !fn(int64(rid), r) {
+			return
+		}
+	}
+}
+
+// Match is one query-by-burst result.
+type Match struct {
+	// SeqID is the matched sequence.
+	SeqID int64
+	// Score is the BSim similarity to the query's burst set.
+	Score float64
+}
+
+// QueryByBurst finds the k sequences whose burst patterns are most similar
+// to the query burst set (§6.3): candidate rows are located with the overlap
+// index query for each query burst, then candidates are ranked by BSim.
+// exclude (optional, may be -1) drops one sequence ID from the results —
+// typically the query itself when it is already in the database.
+func (db *DB) QueryByBurst(query []burst.Burst, k int, exclude int64, plan Plan) ([]Match, ScanStats, error) {
+	var agg ScanStats
+	if k < 1 {
+		return nil, agg, errors.New("burstdb: k must be >= 1")
+	}
+	candidates := map[int64]bool{}
+	for _, qb := range query {
+		rows, st, err := db.Overlapping(int64(qb.Start), int64(qb.End), plan)
+		if err != nil {
+			return nil, agg, err
+		}
+		agg.Plan = st.Plan
+		agg.RowsScanned += st.RowsScanned
+		agg.RowsMatched += st.RowsMatched
+		for _, r := range rows {
+			if r.SeqID != exclude {
+				candidates[r.SeqID] = true
+			}
+		}
+	}
+	matches := make([]Match, 0, len(candidates))
+	for seqID := range candidates {
+		score := burst.BSim(query, db.BurstsOf(seqID))
+		if score > 0 {
+			matches = append(matches, Match{SeqID: seqID, Score: score})
+		}
+	}
+	sort.Slice(matches, func(a, b int) bool {
+		if matches[a].Score != matches[b].Score {
+			return matches[a].Score > matches[b].Score
+		}
+		return matches[a].SeqID < matches[b].SeqID
+	})
+	if k < len(matches) {
+		matches = matches[:k]
+	}
+	return matches, agg, nil
+}

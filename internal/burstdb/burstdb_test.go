@@ -1,0 +1,295 @@
+package burstdb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/burst"
+	"repro/internal/querylog"
+)
+
+func TestInsertGetDelete(t *testing.T) {
+	db := New()
+	r := Record{SeqID: 7, Start: 10, End: 20, Avg: 1.5}
+	rid := db.Insert(r)
+	if db.Len() != 1 || db.Sequences() != 1 {
+		t.Fatalf("Len/Sequences = %d/%d", db.Len(), db.Sequences())
+	}
+	got, ok := db.Get(rid)
+	if !ok || got != r {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if !db.Delete(rid) {
+		t.Fatal("Delete failed")
+	}
+	if db.Delete(rid) {
+		t.Fatal("double Delete should fail")
+	}
+	if _, ok := db.Get(rid); ok {
+		t.Fatal("Get after delete should fail")
+	}
+	if db.Len() != 0 || db.Sequences() != 0 {
+		t.Fatalf("Len/Sequences after delete = %d/%d", db.Len(), db.Sequences())
+	}
+	if _, ok := db.Get(-1); ok {
+		t.Fatal("Get(-1) should fail")
+	}
+}
+
+func TestBurstsOfOrdering(t *testing.T) {
+	db := New()
+	db.InsertBursts(3, []burst.Burst{
+		{Start: 50, End: 60, Avg: 2},
+		{Start: 10, End: 20, Avg: 1},
+	})
+	bs := db.BurstsOf(3)
+	if len(bs) != 2 || bs[0].Start != 10 || bs[1].Start != 50 {
+		t.Errorf("BurstsOf = %v", bs)
+	}
+	if got := db.BurstsOf(99); len(got) != 0 {
+		t.Errorf("BurstsOf(unknown) = %v", got)
+	}
+}
+
+func TestOverlappingBasic(t *testing.T) {
+	db := New()
+	db.Insert(Record{SeqID: 1, Start: 0, End: 10})
+	db.Insert(Record{SeqID: 2, Start: 5, End: 15})
+	db.Insert(Record{SeqID: 3, Start: 20, End: 30})
+	db.Insert(Record{SeqID: 4, Start: 11, End: 12})
+
+	for _, plan := range []Plan{PlanIndexStart, PlanIndexEnd, PlanFullScan, PlanAuto} {
+		rows, st, err := db.Overlapping(8, 11, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("plan %v: %d rows, want 3 (%v)", plan, len(rows), rows)
+		}
+		ids := []int64{rows[0].SeqID, rows[1].SeqID, rows[2].SeqID}
+		if ids[0] != 1 || ids[1] != 2 || ids[2] != 4 {
+			t.Errorf("plan %v: ids %v", plan, ids)
+		}
+		if st.RowsMatched != 3 || st.RowsScanned < 3 {
+			t.Errorf("plan %v: stats %+v", plan, st)
+		}
+	}
+	if _, _, err := db.Overlapping(10, 5, PlanAuto); err != ErrBadRange {
+		t.Error("expected ErrBadRange")
+	}
+	if _, _, err := db.Overlapping(0, 1, Plan(99)); err == nil {
+		t.Error("expected unknown-plan error")
+	}
+}
+
+// Property: all plans return identical result sets on random data, and the
+// index plans never scan more rows than the full scan touches.
+func TestPlanEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := New()
+		n := 30 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			s := int64(rng.Intn(1000))
+			db.Insert(Record{
+				SeqID: int64(rng.Intn(40)),
+				Start: s,
+				End:   s + int64(rng.Intn(60)),
+				Avg:   rng.NormFloat64(),
+			})
+		}
+		for trial := 0; trial < 8; trial++ {
+			qs := int64(rng.Intn(1000))
+			qe := qs + int64(rng.Intn(100))
+			var ref []Record
+			for _, plan := range []Plan{PlanFullScan, PlanIndexStart, PlanIndexEnd, PlanAuto} {
+				rows, st, err := db.Overlapping(qs, qe, plan)
+				if err != nil {
+					return false
+				}
+				if plan == PlanFullScan {
+					ref = rows
+					continue
+				}
+				if len(rows) != len(ref) {
+					t.Logf("plan %v: %d rows vs fullscan %d", plan, len(rows), len(ref))
+					return false
+				}
+				for i := range rows {
+					if rows[i] != ref[i] {
+						return false
+					}
+				}
+				if st.RowsScanned > n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAutoPlanPicksCheaperSide(t *testing.T) {
+	db := New()
+	// Rows clustered early in the timeline.
+	for i := int64(0); i < 100; i++ {
+		db.Insert(Record{SeqID: i, Start: i, End: i + 5})
+	}
+	db.Insert(Record{SeqID: 1000, Start: 900, End: 910})
+	// A query near the end of the span: the end-index right fraction is
+	// tiny, the start-index left fraction is almost everything.
+	_, st, err := db.Overlapping(895, 905, PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Plan != PlanIndexEnd {
+		t.Errorf("plan = %v, want index(end)", st.Plan)
+	}
+	// And a query near the beginning should pick the start index.
+	_, st, err = db.Overlapping(0, 3, PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Plan != PlanIndexStart {
+		t.Errorf("plan = %v, want index(start)", st.Plan)
+	}
+}
+
+func TestDeleteRemovesFromIndexes(t *testing.T) {
+	db := New()
+	rid := db.Insert(Record{SeqID: 1, Start: 5, End: 9})
+	db.Insert(Record{SeqID: 2, Start: 50, End: 60})
+	db.Delete(rid)
+	for _, plan := range []Plan{PlanIndexStart, PlanIndexEnd, PlanFullScan} {
+		rows, _, err := db.Overlapping(0, 20, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 0 {
+			t.Errorf("plan %v returned deleted row: %v", plan, rows)
+		}
+	}
+}
+
+func TestQueryByBurst(t *testing.T) {
+	db := New()
+	// Seq 1: burst at [100,120]; seq 2: burst at [105,125]; seq 3 far away.
+	db.InsertBursts(1, []burst.Burst{{Start: 100, End: 120, Avg: 2.0}})
+	db.InsertBursts(2, []burst.Burst{{Start: 105, End: 125, Avg: 1.9}})
+	db.InsertBursts(3, []burst.Burst{{Start: 500, End: 520, Avg: 2.0}})
+
+	q := []burst.Burst{{Start: 100, End: 120, Avg: 2.0}}
+	matches, st, err := db.QueryByBurst(q, 10, -1, PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %v", matches)
+	}
+	if matches[0].SeqID != 1 || matches[1].SeqID != 2 {
+		t.Errorf("ranking wrong: %v", matches)
+	}
+	if matches[0].Score <= matches[1].Score {
+		t.Errorf("scores not descending: %v", matches)
+	}
+	if st.RowsScanned == 0 {
+		t.Error("stats not collected")
+	}
+
+	// Excluding the top match drops it.
+	matches, _, err = db.QueryByBurst(q, 10, 1, PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].SeqID != 2 {
+		t.Errorf("exclude failed: %v", matches)
+	}
+
+	// k truncation.
+	matches, _, err = db.QueryByBurst(q, 1, -1, PlanAuto)
+	if err != nil || len(matches) != 1 {
+		t.Errorf("k=1: %v %v", matches, err)
+	}
+	if _, _, err := db.QueryByBurst(q, 0, -1, PlanAuto); err == nil {
+		t.Error("expected error for k=0")
+	}
+}
+
+// End-to-end on the generated archetypes: seasonal queries with bursts in
+// the same part of the year should retrieve each other, not distant ones.
+func TestQueryByBurstOnQueryLogs(t *testing.T) {
+	g := querylog.New(9)
+	db := New()
+	names := []string{querylog.Halloween, querylog.Christmas, querylog.Easter,
+		querylog.Thanksgiving, querylog.Flowers, querylog.ValentinesDay}
+	byID := map[int64]string{}
+	var halloweenBursts []burst.Burst
+	for i, name := range names {
+		s := g.Exemplar(name)
+		d, err := burst.DetectStandardized(s.Values, burst.LongWindow, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Bursts) == 0 {
+			t.Fatalf("%s: no bursts", name)
+		}
+		db.InsertBursts(int64(i), d.Bursts)
+		byID[int64(i)] = name
+		if name == querylog.Halloween {
+			halloweenBursts = d.Bursts
+		}
+	}
+	matches, _, err := db.QueryByBurst(halloweenBursts, 3, 0, PlanAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no query-by-burst matches for halloween")
+	}
+	// Halloween (late Oct–Nov) should match thanksgiving/christmas-season
+	// queries, never valentines or easter.
+	top := byID[matches[0].SeqID]
+	if top == querylog.ValentinesDay || top == querylog.Flowers {
+		t.Errorf("halloween top match = %s", top)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if (Record{SeqID: 1, Start: 2, End: 3, Avg: 0.5}).String() == "" {
+		t.Error("Record String empty")
+	}
+	for _, p := range []Plan{PlanAuto, PlanIndexStart, PlanIndexEnd, PlanFullScan, Plan(42)} {
+		if p.String() == "" {
+			t.Error("Plan String empty")
+		}
+	}
+}
+
+func BenchmarkOverlappingIndexVsScan(b *testing.B) {
+	db := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		s := int64(rng.Intn(100000))
+		db.Insert(Record{SeqID: int64(i), Start: s, End: s + int64(rng.Intn(40))})
+	}
+	b.Run("index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Overlapping(50, 300, PlanAuto); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fullscan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Overlapping(50, 300, PlanFullScan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

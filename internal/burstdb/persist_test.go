@@ -1,0 +1,112 @@
+package burstdb
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := New()
+	for i := 0; i < 300; i++ {
+		s := int64(rng.Intn(1000))
+		db.Insert(Record{
+			SeqID: int64(rng.Intn(50)),
+			Start: s,
+			End:   s + int64(rng.Intn(40)),
+			Avg:   rng.NormFloat64(),
+		})
+	}
+	// Delete some rows: the dump must contain only live ones.
+	for rid := int64(0); rid < 300; rid += 7 {
+		db.Delete(rid)
+	}
+	path := filepath.Join(t.TempDir(), "bursts.bin")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != db.Len() {
+		t.Fatalf("Len %d vs %d", loaded.Len(), db.Len())
+	}
+	if loaded.Sequences() != db.Sequences() {
+		t.Fatalf("Sequences %d vs %d", loaded.Sequences(), db.Sequences())
+	}
+	// Overlap queries agree on all plans.
+	for trial := 0; trial < 10; trial++ {
+		qs := int64(rng.Intn(1000))
+		qe := qs + int64(rng.Intn(80))
+		want, _, err := db.Overlapping(qs, qe, PlanFullScan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := loaded.Overlapping(qs, qe, PlanAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d rows", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d row %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bin")
+	if err := New().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 0 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("expected error for garbage")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	// Truncation and trailing junk.
+	db := New()
+	db.Insert(Record{SeqID: 1, Start: 2, End: 3, Avg: 0.5})
+	good := filepath.Join(dir, "good.bin")
+	if err := db.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "trunc.bin"), data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(dir, "trunc.bin")); err == nil {
+		t.Error("expected error for truncated dump")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.bin"), append(data, 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(dir, "junk.bin")); err == nil {
+		t.Error("expected error for trailing junk")
+	}
+}

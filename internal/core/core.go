@@ -1,0 +1,722 @@
+// Package core is the public face of the query-mining system: an Engine
+// that owns a collection of query-demand time series and exposes the three
+// capabilities of the paper's S2 tool (§7.5):
+//
+//   - similarity search over compressed spectral features via the VP-tree
+//     index (with a linear-scan baseline),
+//   - automatic discovery of important periods,
+//   - burst detection and 'query-by-burst' via the relational burst store.
+//
+// Construction standardizes every series (the paper z-scores all data),
+// computes spectra, compresses them with the configured method/budget,
+// builds the VP-tree on exact distances, and extracts short- and long-term
+// burst features into indexed burst databases.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/burst"
+	"repro/internal/burstdb"
+	"repro/internal/dtw"
+	"repro/internal/mvptree"
+	"repro/internal/periods"
+	"repro/internal/seqstore"
+	"repro/internal/series"
+	"repro/internal/spectral"
+	"repro/internal/stats"
+	"repro/internal/vptree"
+)
+
+// Config tunes the engine. The zero value selects the paper defaults.
+type Config struct {
+	// Method is the compressed representation (default BestMinError).
+	Method spectral.Method
+	// Budget is the per-sequence memory budget c of "2c+1 doubles"
+	// (default 16).
+	Budget int
+	// StorePath, when non-empty, keeps the uncompressed sequences in a disk
+	// file at that path instead of in memory.
+	StorePath string
+	// FeaturesPath, when non-empty, spills the compressed features to disk
+	// and makes searches read them back per access (fig. 23's disk index).
+	FeaturesPath string
+	// BurstCutoff is the moving-average std multiplier (default 1.5).
+	BurstCutoff float64
+	// BurstMinPeak filters which detected bursts become stored features: a
+	// burst qualifies only if its moving average peaks at least this many
+	// standard deviations above the series mean (z-units; default 0.5).
+	// The x·std(MA) cutoff of §6.1 is relative to each series' own MA
+	// spread, so nearly-flat periodic series otherwise contribute swarms of
+	// micro-bursts that drown query-by-burst rankings (BSim sums over burst
+	// pairs). Set negative to store everything.
+	BurstMinPeak float64
+	// PeriodConfidence is the false-alarm probability for period detection
+	// (default 1e-4, i.e. 99.99 % confidence).
+	PeriodConfidence float64
+	// LeafSize, Seed and PaperBounds are forwarded to the index.
+	LeafSize    int
+	Seed        int64
+	PaperBounds bool
+	// Index selects the metric-index implementation (default the paper's
+	// binary VP-tree; IndexMVPTree uses the multi-vantage-point variant).
+	Index IndexKind
+	// DynamicIndex builds the VP-tree in dynamic mode so Engine.Add can
+	// ingest new series after construction (a live search service appends
+	// query terms continuously). Costs the retained spectra and is
+	// incompatible with IndexMVPTree and FeaturesPath.
+	DynamicIndex bool
+}
+
+// IndexKind selects the metric index implementation.
+type IndexKind int
+
+const (
+	// IndexVPTree is the paper's binary vantage-point tree (§4).
+	IndexVPTree IndexKind = iota
+	// IndexMVPTree is the multi-vantage-point variant (cited extension [3]).
+	// It keeps its compressed features in memory; FeaturesPath is rejected.
+	IndexMVPTree
+)
+
+// String implements fmt.Stringer.
+func (k IndexKind) String() string {
+	if k == IndexMVPTree {
+		return "mvptree"
+	}
+	return "vptree"
+}
+
+func (c *Config) fill() {
+	if c.Method == 0 {
+		c.Method = spectral.BestMinError
+	}
+	if c.Budget == 0 {
+		c.Budget = 16
+	}
+	if c.BurstCutoff == 0 {
+		c.BurstCutoff = burst.DefaultCutoff
+	}
+	if c.BurstMinPeak == 0 {
+		c.BurstMinPeak = 0.5
+	}
+	if c.PeriodConfidence == 0 {
+		c.PeriodConfidence = periods.DefaultConfidence
+	}
+}
+
+// BurstWindow selects the short- or long-term burst database.
+type BurstWindow int
+
+const (
+	// Short is the 7-day moving-average window.
+	Short BurstWindow = iota
+	// Long is the 30-day moving-average window.
+	Long
+)
+
+// String implements fmt.Stringer.
+func (w BurstWindow) String() string {
+	if w == Short {
+		return "short(7d)"
+	}
+	return "long(30d)"
+}
+
+// Neighbor is one similarity-search result.
+type Neighbor struct {
+	// ID is the sequence ID within the engine.
+	ID int
+	// Name is the query term.
+	Name string
+	// Dist is the exact Euclidean distance between standardized series.
+	Dist float64
+}
+
+// Engine is the assembled system.
+type Engine struct {
+	cfg      Config
+	names    []string
+	byName   map[string]int
+	raw      []*series.Series // original (unstandardized) series
+	store    seqstore.Store   // standardized values
+	tree     *vptree.Tree
+	mvp      *mvptree.Tree // non-nil when Config.Index == IndexMVPTree
+	features vptree.FeatureSource
+	diskFeat *vptree.DiskFeatures
+	burstsS  *burstdb.DB // short-window burst features
+	burstsL  *burstdb.DB // long-window burst features
+}
+
+// NewEngine builds an engine over the given series. All series must share
+// one length. The engine keeps references to the originals and stores
+// standardized copies internally.
+func NewEngine(data []*series.Series, cfg Config) (*Engine, error) {
+	if len(data) == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	cfg.fill()
+	n := data[0].Len()
+	e := &Engine{
+		cfg:     cfg,
+		byName:  make(map[string]int, len(data)),
+		raw:     data,
+		burstsS: burstdb.New(),
+		burstsL: burstdb.New(),
+	}
+
+	var store seqstore.Store
+	var err error
+	if cfg.StorePath != "" {
+		store, err = seqstore.Create(cfg.StorePath, n)
+	} else {
+		store, err = seqstore.NewMemory(n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.store = store
+
+	zValues := make([][]float64, len(data))
+	ids := make([]int, len(data))
+	for i, s := range data {
+		if s.Len() != n {
+			return nil, fmt.Errorf("core: series %q has length %d, want %d", s.Name, s.Len(), n)
+		}
+		z := s.Standardized()
+		id, err := store.Append(z.Values)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+		zValues[i] = z.Values
+		e.names = append(e.names, s.Name)
+		if _, dup := e.byName[s.Name]; !dup {
+			e.byName[s.Name] = id
+		}
+	}
+	// Spectra in parallel (the dominant build cost at scale).
+	specs, err := spectral.FromValuesBatch(zValues)
+	if err != nil {
+		return nil, err
+	}
+	// Burst features (short- and long-term) on the standardized series.
+	for i := range data {
+		for _, w := range []BurstWindow{Short, Long} {
+			det, err := burst.Detect(zValues[i], burst.Options{
+				Window: e.windowDays(w), Cutoff: cfg.BurstCutoff,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: bursts for %q: %w", data[i].Name, err)
+			}
+			e.burstDB(w).InsertBursts(int64(ids[i]), e.filterBursts(det))
+		}
+	}
+
+	switch cfg.Index {
+	case IndexMVPTree:
+		if cfg.FeaturesPath != "" {
+			return nil, errors.New("core: IndexMVPTree keeps features in memory; FeaturesPath is not supported")
+		}
+		if cfg.DynamicIndex {
+			return nil, errors.New("core: DynamicIndex requires the VP-tree index")
+		}
+		e.mvp, err = mvptree.Build(specs, ids, mvptree.Options{
+			Method:      cfg.Method,
+			Budget:      cfg.Budget,
+			LeafSize:    cfg.LeafSize,
+			Seed:        cfg.Seed,
+			PaperBounds: cfg.PaperBounds,
+		})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		if cfg.DynamicIndex && cfg.FeaturesPath != "" {
+			return nil, errors.New("core: DynamicIndex is incompatible with FeaturesPath")
+		}
+		e.tree, err = vptree.Build(specs, ids, vptree.Options{
+			Method:      cfg.Method,
+			Budget:      cfg.Budget,
+			LeafSize:    cfg.LeafSize,
+			Seed:        cfg.Seed,
+			PaperBounds: cfg.PaperBounds,
+			Dynamic:     cfg.DynamicIndex,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.features = e.tree.Features()
+		if cfg.FeaturesPath != "" {
+			e.diskFeat, err = vptree.WriteFeatures(cfg.FeaturesPath, e.tree.Features())
+			if err != nil {
+				return nil, err
+			}
+			e.features = e.diskFeat
+		}
+	}
+	return e, nil
+}
+
+// Add ingests one new series into a DynamicIndex engine: the standardized
+// values go to the store, the spectrum into the VP-tree, and the burst
+// features into both burst databases. The new sequence ID is returned.
+func (e *Engine) Add(s *series.Series) (int, error) {
+	if !e.cfg.DynamicIndex {
+		return 0, errors.New("core: engine built without DynamicIndex")
+	}
+	if s.Len() != e.SeqLen() {
+		return 0, spectral.ErrMismatch
+	}
+	z := s.Standardized()
+	id, err := e.store.Append(z.Values)
+	if err != nil {
+		return 0, err
+	}
+	h, err := spectral.FromValues(z.Values)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.tree.Insert(h, id); err != nil {
+		return 0, err
+	}
+	// The feature table may have been reallocated by the insert.
+	e.features = e.tree.Features()
+	e.raw = append(e.raw, s)
+	e.names = append(e.names, s.Name)
+	if _, dup := e.byName[s.Name]; !dup {
+		e.byName[s.Name] = id
+	}
+	for _, w := range []BurstWindow{Short, Long} {
+		det, err := burst.Detect(z.Values, burst.Options{
+			Window: e.windowDays(w), Cutoff: e.cfg.BurstCutoff,
+		})
+		if err != nil {
+			return 0, err
+		}
+		e.burstDB(w).InsertBursts(int64(id), e.filterBursts(det))
+	}
+	return id, nil
+}
+
+// searchIndex runs a kNN query on whichever index the engine was built with.
+func (e *Engine) searchIndex(z []float64, k int) ([]vptree.Result, vptree.Stats, error) {
+	if e.mvp != nil {
+		res, st, err := e.mvp.Search(z, k, e.store)
+		if err != nil {
+			return nil, vptree.Stats{}, err
+		}
+		out := make([]vptree.Result, len(res))
+		for i, r := range res {
+			out[i] = vptree.Result{ID: r.ID, Dist: r.Dist}
+		}
+		return out, vptree.Stats{
+			BoundsComputed: st.BoundsComputed,
+			NodesVisited:   st.NodesVisited,
+			Candidates:     st.Candidates,
+			FullRetrievals: st.FullRetrievals,
+		}, nil
+	}
+	return e.tree.Search(z, k, e.features, e.store)
+}
+
+// Close releases any disk resources.
+func (e *Engine) Close() error {
+	var first error
+	if err := e.store.Close(); err != nil {
+		first = err
+	}
+	if e.diskFeat != nil {
+		if err := e.diskFeat.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (e *Engine) windowDays(w BurstWindow) int {
+	if w == Short {
+		return burst.ShortWindow
+	}
+	return burst.LongWindow
+}
+
+func (e *Engine) burstDB(w BurstWindow) *burstdb.DB {
+	if w == Short {
+		return e.burstsS
+	}
+	return e.burstsL
+}
+
+// Len returns the number of indexed series.
+func (e *Engine) Len() int { return len(e.names) }
+
+// SeqLen returns the series length.
+func (e *Engine) SeqLen() int { return e.store.SeqLen() }
+
+// Name returns the query term of sequence id.
+func (e *Engine) Name(id int) string {
+	if id < 0 || id >= len(e.names) {
+		return ""
+	}
+	return e.names[id]
+}
+
+// Lookup returns the sequence ID for a query term.
+func (e *Engine) Lookup(name string) (int, bool) {
+	id, ok := e.byName[name]
+	return id, ok
+}
+
+// Series returns the original (unstandardized) series of sequence id.
+func (e *Engine) Series(id int) (*series.Series, error) {
+	if id < 0 || id >= len(e.raw) {
+		return nil, fmt.Errorf("core: no series %d", id)
+	}
+	return e.raw[id], nil
+}
+
+// StandardizedValues returns the stored z-scored values of sequence id.
+func (e *Engine) StandardizedValues(id int) ([]float64, error) {
+	return e.store.Get(id)
+}
+
+// Store exposes the sequence store (for experiment instrumentation).
+func (e *Engine) Store() seqstore.Store { return e.store }
+
+// Tree exposes the VP-tree (for experiment instrumentation).
+func (e *Engine) Tree() *vptree.Tree { return e.tree }
+
+// Features exposes the active feature source (memory or disk).
+func (e *Engine) Features() vptree.FeatureSource { return e.features }
+
+// ---------------------------------------------------------------------------
+// Similarity search
+
+// standardizeQuery z-scores arbitrary query values.
+func (e *Engine) standardizeQuery(values []float64) ([]float64, error) {
+	if len(values) != e.SeqLen() {
+		return nil, spectral.ErrMismatch
+	}
+	s := &series.Series{Values: values}
+	return s.Standardized().Values, nil
+}
+
+// SimilarQueries returns the k series whose standardized demand curves are
+// closest (Euclidean) to the given raw demand curve, using the index.
+func (e *Engine) SimilarQueries(values []float64, k int) ([]Neighbor, vptree.Stats, error) {
+	z, err := e.standardizeQuery(values)
+	if err != nil {
+		return nil, vptree.Stats{}, err
+	}
+	res, st, err := e.searchIndex(z, k)
+	if err != nil {
+		return nil, st, err
+	}
+	return e.toNeighbors(res), st, nil
+}
+
+// SimilarToID returns the k nearest neighbours of an indexed series,
+// excluding the series itself.
+func (e *Engine) SimilarToID(id, k int) ([]Neighbor, vptree.Stats, error) {
+	z, err := e.store.Get(id)
+	if err != nil {
+		return nil, vptree.Stats{}, err
+	}
+	res, st, err := e.searchIndex(z, k+1)
+	if err != nil {
+		return nil, st, err
+	}
+	out := make([]vptree.Result, 0, k)
+	for _, r := range res {
+		if r.ID != id {
+			out = append(out, r)
+		}
+		if len(out) == k {
+			break
+		}
+	}
+	return e.toNeighbors(out), st, nil
+}
+
+func (e *Engine) toNeighbors(res []vptree.Result) []Neighbor {
+	out := make([]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = Neighbor{ID: r.ID, Name: e.Name(r.ID), Dist: r.Dist}
+	}
+	return out
+}
+
+// LinearScan is the exact full-scan baseline with early abandoning (§7.4).
+// It returns the k nearest neighbours of the raw query values.
+func (e *Engine) LinearScan(values []float64, k int) ([]Neighbor, error) {
+	if k < 1 {
+		return nil, errors.New("core: k must be >= 1")
+	}
+	z, err := e.standardizeQuery(values)
+	if err != nil {
+		return nil, err
+	}
+	return e.linearScanStandardized(z, k)
+}
+
+func (e *Engine) linearScanStandardized(z []float64, k int) ([]Neighbor, error) {
+	best := make([]Neighbor, 0, k+1)
+	buf := make([]float64, e.SeqLen())
+	for id := 0; id < e.store.Len(); id++ {
+		if err := e.store.GetInto(id, buf); err != nil {
+			return nil, err
+		}
+		bound := math.Inf(1)
+		if len(best) == k {
+			bound = best[len(best)-1].Dist
+		}
+		d, abandoned, err := series.EuclideanEarlyAbandon(z, buf, bound)
+		if err != nil {
+			return nil, err
+		}
+		if abandoned {
+			continue
+		}
+		best = insertNeighbor(best, Neighbor{ID: id, Name: e.Name(id), Dist: d}, k)
+	}
+	return best, nil
+}
+
+func insertNeighbor(best []Neighbor, n Neighbor, k int) []Neighbor {
+	pos := len(best)
+	for pos > 0 && best[pos-1].Dist > n.Dist {
+		pos--
+	}
+	best = append(best, Neighbor{})
+	copy(best[pos+1:], best[pos:])
+	best[pos] = n
+	if len(best) > k {
+		best = best[:k]
+	}
+	return best
+}
+
+// Reconstruction is the compressed-representation quality view the S2 tool
+// offers ("the user can examine at any time the quality of the time-series
+// approximation, based on the best-k coefficients", §7.5).
+type Reconstruction struct {
+	// Values is the series rebuilt from its stored compressed coefficients
+	// (standardized scale).
+	Values []float64
+	// Error is the Euclidean reconstruction error E (fig. 5's annotation).
+	Error float64
+	// Coefficients is the number of stored spectral coefficients.
+	Coefficients int
+}
+
+// Reconstruct rebuilds sequence id from its compressed representation.
+func (e *Engine) Reconstruct(id int) (*Reconstruction, error) {
+	z, err := e.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	h, err := spectral.FromValues(z)
+	if err != nil {
+		return nil, err
+	}
+	c, err := spectral.Compress(h, e.cfg.Method, e.cfg.Budget)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := c.Reconstruct()
+	if err != nil {
+		return nil, err
+	}
+	errE, err := c.ReconstructionError(z)
+	if err != nil {
+		return nil, err
+	}
+	return &Reconstruction{Values: rec, Error: errE, Coefficients: len(c.Positions)}, nil
+}
+
+// SimilarDTW returns the k series closest to sequence id under Dynamic Time
+// Warping with a Sakoe–Chiba band of radius `band` days — the §8 extension
+// ("a similar approach could prove useful ... for expensive distance
+// measures like dynamic time warping"). Candidates are filtered with the
+// linear-cost LB_Keogh bound before the quadratic DP runs, mirroring the
+// paper's filter-and-refine structure.
+func (e *Engine) SimilarDTW(id, band, k int) ([]Neighbor, error) {
+	if k < 1 {
+		return nil, errors.New("core: k must be >= 1")
+	}
+	z, err := e.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	collection := make([][]float64, 0, e.store.Len()-1)
+	ids := make([]int, 0, e.store.Len()-1)
+	for other := 0; other < e.store.Len(); other++ {
+		if other == id {
+			continue
+		}
+		v, err := e.store.Get(other)
+		if err != nil {
+			return nil, err
+		}
+		collection = append(collection, v)
+		ids = append(ids, other)
+	}
+	res, _, err := dtw.SearchK(collection, z, band, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = Neighbor{ID: ids[r.Index], Name: e.Name(ids[r.Index]), Dist: r.Dist}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Periods
+
+// Periods runs the §5 period detector on arbitrary raw values at the
+// engine's configured confidence.
+func (e *Engine) Periods(values []float64) (*periods.Detection, error) {
+	return periods.Detect(values, e.cfg.PeriodConfidence)
+}
+
+// PeriodsOf runs the period detector on an indexed series.
+func (e *Engine) PeriodsOf(id int) (*periods.Detection, error) {
+	s, err := e.Series(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Periods(s.Values)
+}
+
+// PeriodsOfSet finds the periods shared by a set of indexed series — the §5
+// use case of summarizing "the important periods for a set of sequences
+// (e.g., for the knn results)". Pass e.g. the IDs returned by SimilarToID.
+func (e *Engine) PeriodsOfSet(ids []int) (*periods.Detection, error) {
+	set := make([][]float64, 0, len(ids))
+	for _, id := range ids {
+		s, err := e.Series(id)
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, s.Values)
+	}
+	return periods.DetectSet(set, e.cfg.PeriodConfidence)
+}
+
+// SimilarByPeriods is the §7.5 focused search: the k series closest to
+// sequence id when the distance is restricted to the spectral bins within
+// ±relTol of the given periods (in days). It scans the database's spectra
+// directly — the masked distance has no stored compressed representation to
+// index.
+func (e *Engine) SimilarByPeriods(id int, periodDays []float64, relTol float64, k int) ([]Neighbor, error) {
+	if k < 1 {
+		return nil, errors.New("core: k must be >= 1")
+	}
+	if relTol <= 0 {
+		relTol = 0.05
+	}
+	z, err := e.store.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	hq, err := spectral.FromValues(z)
+	if err != nil {
+		return nil, err
+	}
+	bins := hq.BinsForPeriods(periodDays, relTol)
+	if len(bins) == 0 {
+		return nil, fmt.Errorf("core: no spectral bins within ±%.0f%% of periods %v", 100*relTol, periodDays)
+	}
+	best := make([]Neighbor, 0, k+1)
+	buf := make([]float64, e.SeqLen())
+	for other := 0; other < e.store.Len(); other++ {
+		if other == id {
+			continue
+		}
+		if err := e.store.GetInto(other, buf); err != nil {
+			return nil, err
+		}
+		ho, err := spectral.FromValues(buf)
+		if err != nil {
+			return nil, err
+		}
+		d, err := spectral.MaskedDistance(hq, ho, bins)
+		if err != nil {
+			return nil, err
+		}
+		best = insertNeighbor(best, Neighbor{ID: other, Name: e.Name(other), Dist: d}, k)
+	}
+	return best, nil
+}
+
+// ---------------------------------------------------------------------------
+// Bursts
+
+// Bursts runs the §6.1 burst detector on arbitrary raw values with the
+// engine's cutoff and the chosen window.
+func (e *Engine) Bursts(values []float64, w BurstWindow) (*burst.Detection, error) {
+	return burst.DetectStandardized(values, e.windowDays(w), e.cfg.BurstCutoff)
+}
+
+// BurstsOf returns the stored burst features of an indexed series.
+func (e *Engine) BurstsOf(id int, w BurstWindow) []burst.Burst {
+	return e.burstDB(w).BurstsOf(int64(id))
+}
+
+// BurstMatch is one query-by-burst result.
+type BurstMatch struct {
+	// ID and Name identify the matched series.
+	ID   int
+	Name string
+	// Score is the BSim similarity to the query's burst pattern.
+	Score float64
+}
+
+// QueryByBurst detects bursts in the given raw values and returns the k
+// indexed series with the most similar burst patterns (§6.3).
+func (e *Engine) QueryByBurst(values []float64, k int, w BurstWindow) ([]BurstMatch, error) {
+	det, err := e.Bursts(values, w)
+	if err != nil {
+		return nil, err
+	}
+	return e.queryBursts(e.filterBursts(det), k, -1, w)
+}
+
+// QueryByBurstOf runs query-by-burst for an indexed series, excluding itself.
+func (e *Engine) QueryByBurstOf(id, k int, w BurstWindow) ([]BurstMatch, error) {
+	return e.queryBursts(e.BurstsOf(id, w), k, int64(id), w)
+}
+
+// filterBursts applies the BurstMinPeak intensity floor: the burst's moving
+// average must reach BurstMinPeak z-units somewhere in its span.
+func (e *Engine) filterBursts(det *burst.Detection) []burst.Burst {
+	out := det.Bursts[:0:0]
+	for _, b := range det.Bursts {
+		peak := stats.Max(det.MA[b.Start : b.End+1])
+		if peak >= e.cfg.BurstMinPeak {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (e *Engine) queryBursts(q []burst.Burst, k int, exclude int64, w BurstWindow) ([]BurstMatch, error) {
+	matches, _, err := e.burstDB(w).QueryByBurst(q, k, exclude, burstdb.PlanAuto)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BurstMatch, len(matches))
+	for i, m := range matches {
+		out[i] = BurstMatch{ID: int(m.SeqID), Name: e.Name(int(m.SeqID)), Score: m.Score}
+	}
+	return out, nil
+}
+
+// BurstDB exposes the underlying burst database for a window (for
+// experiment instrumentation).
+func (e *Engine) BurstDB(w BurstWindow) *burstdb.DB { return e.burstDB(w) }

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/burstdb"
+	"repro/internal/seqstore"
+	"repro/internal/series"
+	"repro/internal/vptree"
+)
+
+// Engine persistence: Save writes everything a fresh process needs to
+// answer queries — the raw and standardized sequences, term names, the
+// built VP-tree with its compressed features, and both burst databases —
+// so LoadEngine skips standardization, FFTs, compression, tree construction
+// and burst extraction entirely. This is the S2 tool's deployment model:
+// build once, then start instantly from the stored features.
+//
+// Directory layout:
+//
+//	meta.txt         version + start date + series length
+//	names.txt        one query term per line (sequence-ID order)
+//	raw.bin          original values        (seqstore format)
+//	z.bin            standardized values    (seqstore format)
+//	tree.bin         VP-tree + features     (vptree format)
+//	burst_short.bin  7-day burst features   (burstdb format)
+//	burst_long.bin   30-day burst features  (burstdb format)
+
+const engineMetaVersion = 1
+
+// ErrNotSavable is returned when the engine configuration cannot be
+// persisted (only VP-tree engines can; the MVP-tree has no serializer).
+var ErrNotSavable = errors.New("core: only VP-tree engines support Save")
+
+// Save writes the engine state into dir (created if missing).
+func (e *Engine) Save(dir string) error {
+	if e.tree == nil {
+		return ErrNotSavable
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	// meta + names.
+	start := time.Time{}
+	if len(e.raw) > 0 {
+		start = e.raw[0].Start
+	}
+	meta := fmt.Sprintf("version %d\nstart %s\nseqlen %d\ncount %d\n",
+		engineMetaVersion, start.Format(time.RFC3339), e.SeqLen(), e.Len())
+	if err := os.WriteFile(filepath.Join(dir, "meta.txt"), []byte(meta), 0o644); err != nil {
+		return err
+	}
+	var names strings.Builder
+	for _, n := range e.names {
+		names.WriteString(n)
+		names.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, "names.txt"), []byte(names.String()), 0o644); err != nil {
+		return err
+	}
+
+	// Raw and standardized sequences.
+	raw, err := seqstore.Create(filepath.Join(dir, "raw.bin"), e.SeqLen())
+	if err != nil {
+		return err
+	}
+	defer raw.Close()
+	for _, s := range e.raw {
+		if _, err := raw.Append(s.Values); err != nil {
+			return err
+		}
+	}
+	if err := raw.Sync(); err != nil {
+		return err
+	}
+	z, err := seqstore.Create(filepath.Join(dir, "z.bin"), e.SeqLen())
+	if err != nil {
+		return err
+	}
+	defer z.Close()
+	buf := make([]float64, e.SeqLen())
+	for id := 0; id < e.store.Len(); id++ {
+		if err := e.store.GetInto(id, buf); err != nil {
+			return err
+		}
+		if _, err := z.Append(buf); err != nil {
+			return err
+		}
+	}
+	if err := z.Sync(); err != nil {
+		return err
+	}
+
+	// Index and burst databases.
+	if err := e.tree.Save(filepath.Join(dir, "tree.bin")); err != nil {
+		return err
+	}
+	if err := e.burstsS.Save(filepath.Join(dir, "burst_short.bin")); err != nil {
+		return err
+	}
+	return e.burstsL.Save(filepath.Join(dir, "burst_long.bin"))
+}
+
+// LoadEngine reopens an engine saved with Save. cfg supplies the query-time
+// knobs (PeriodConfidence, BurstCutoff, ...); index-construction fields are
+// ignored — the stored tree is used as-is. The standardized sequences stay
+// on disk (random access per refinement, as in the paper's setup).
+func LoadEngine(dir string, cfg Config) (*Engine, error) {
+	cfg.fill()
+
+	metaBytes, err := os.ReadFile(filepath.Join(dir, "meta.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("core: load meta: %w", err)
+	}
+	var version, seqLen, count int
+	var startStr string
+	for _, line := range strings.Split(string(metaBytes), "\n") {
+		var s string
+		switch {
+		case strings.HasPrefix(line, "version "):
+			fmt.Sscanf(line, "version %d", &version)
+		case strings.HasPrefix(line, "start "):
+			s = strings.TrimPrefix(line, "start ")
+			startStr = strings.TrimSpace(s)
+		case strings.HasPrefix(line, "seqlen "):
+			fmt.Sscanf(line, "seqlen %d", &seqLen)
+		case strings.HasPrefix(line, "count "):
+			fmt.Sscanf(line, "count %d", &count)
+		}
+	}
+	if version != engineMetaVersion {
+		return nil, fmt.Errorf("core: unsupported engine version %d", version)
+	}
+	start, err := time.Parse(time.RFC3339, startStr)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad start date %q: %w", startStr, err)
+	}
+
+	nameBytes, err := os.ReadFile(filepath.Join(dir, "names.txt"))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	sc := bufio.NewScanner(strings.NewReader(string(nameBytes)))
+	for sc.Scan() {
+		names = append(names, sc.Text())
+	}
+	if len(names) != count {
+		return nil, fmt.Errorf("core: %d names for %d sequences", len(names), count)
+	}
+
+	raw, err := seqstore.Open(filepath.Join(dir, "raw.bin"))
+	if err != nil {
+		return nil, err
+	}
+	defer raw.Close()
+	z, err := seqstore.Open(filepath.Join(dir, "z.bin"))
+	if err != nil {
+		return nil, err
+	}
+	if raw.Len() != count || z.Len() != count || raw.SeqLen() != seqLen || z.SeqLen() != seqLen {
+		z.Close()
+		return nil, errors.New("core: sequence stores do not match meta")
+	}
+
+	e := &Engine{
+		cfg:    cfg,
+		byName: make(map[string]int, count),
+		store:  z,
+		names:  names,
+	}
+	for id, name := range names {
+		values, err := raw.Get(id)
+		if err != nil {
+			z.Close()
+			return nil, err
+		}
+		e.raw = append(e.raw, &series.Series{ID: id, Name: name, Start: start, Values: values})
+		if _, dup := e.byName[name]; !dup {
+			e.byName[name] = id
+		}
+	}
+
+	if e.tree, err = vptree.Load(filepath.Join(dir, "tree.bin")); err != nil {
+		z.Close()
+		return nil, err
+	}
+	e.features = e.tree.Features()
+	if e.burstsS, err = burstdb.Load(filepath.Join(dir, "burst_short.bin")); err != nil {
+		z.Close()
+		return nil, err
+	}
+	if e.burstsL, err = burstdb.Load(filepath.Join(dir, "burst_long.bin")); err != nil {
+		z.Close()
+		return nil, err
+	}
+	return e, nil
+}

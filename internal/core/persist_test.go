@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/querylog"
+)
+
+func TestEngineSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := querylog.NewGenerator(querylog.DefaultStart, 256, 30)
+	data := append(g.Exemplars(), g.Dataset(40)...)
+	orig, err := NewEngine(data, Config{Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orig.Close()
+	if err := orig.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadEngine(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+
+	if loaded.Len() != orig.Len() || loaded.SeqLen() != orig.SeqLen() {
+		t.Fatalf("Len/SeqLen %d/%d vs %d/%d",
+			loaded.Len(), loaded.SeqLen(), orig.Len(), orig.SeqLen())
+	}
+	// Name table and raw series survive.
+	id, ok := loaded.Lookup(querylog.Cinema)
+	if !ok {
+		t.Fatal("cinema lost")
+	}
+	so, _ := orig.Series(id)
+	sl, err := loaded.Series(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sl.Start.Equal(so.Start) {
+		t.Errorf("start date %v vs %v", sl.Start, so.Start)
+	}
+	for i := range so.Values {
+		if so.Values[i] != sl.Values[i] {
+			t.Fatalf("raw value %d differs", i)
+		}
+	}
+	// Searches agree exactly.
+	for _, q := range g.Queries(3) {
+		a, _, err := orig.SimilarQueries(q.Values, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := loaded.SimilarQueries(q.Values, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || math.Abs(a[i].Dist-b[i].Dist) > 1e-12 {
+				t.Errorf("rank %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+	// Burst features and query-by-burst survive.
+	hid, _ := loaded.Lookup(querylog.Halloween)
+	bo := orig.BurstsOf(hid, Long)
+	bl := loaded.BurstsOf(hid, Long)
+	if len(bo) != len(bl) {
+		t.Fatalf("burst features %d vs %d", len(bl), len(bo))
+	}
+	mo, err := orig.QueryByBurstOf(hid, 3, Long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := loaded.QueryByBurstOf(hid, 3, Long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mo) != len(ml) {
+		t.Fatalf("qbb results %d vs %d", len(ml), len(mo))
+	}
+	for i := range mo {
+		if mo[i].ID != ml[i].ID || math.Abs(mo[i].Score-ml[i].Score) > 1e-12 {
+			t.Errorf("qbb rank %d: %+v vs %+v", i, ml[i], mo[i])
+		}
+	}
+	// Periods work on the loaded engine too.
+	det, err := loaded.PeriodsOf(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.HasPeriodNear(7, 0.3) {
+		t.Errorf("weekly period lost: %v", det.Top(3))
+	}
+}
+
+func TestEngineSaveErrors(t *testing.T) {
+	g := querylog.NewGenerator(querylog.DefaultStart, 64, 31)
+	mvp, err := NewEngine(g.Dataset(10), Config{Budget: 4, Index: IndexMVPTree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mvp.Close()
+	if err := mvp.Save(t.TempDir()); err != ErrNotSavable {
+		t.Errorf("mvp Save: %v", err)
+	}
+}
+
+func TestLoadEngineErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadEngine(dir, Config{}); err == nil {
+		t.Error("expected error for empty dir")
+	}
+	// Corrupt meta.
+	if err := os.WriteFile(filepath.Join(dir, "meta.txt"), []byte("version 99\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEngine(dir, Config{}); err == nil {
+		t.Error("expected version error")
+	}
+	// Valid save with one file removed.
+	g := querylog.NewGenerator(querylog.DefaultStart, 64, 32)
+	e, err := NewEngine(g.Dataset(8), Config{Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	good := t.TempDir()
+	if err := e.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(good, "tree.bin")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEngine(good, Config{}); err == nil {
+		t.Error("expected error for missing tree file")
+	}
+}

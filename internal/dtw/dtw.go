@@ -1,0 +1,289 @@
+// Package dtw implements the paper's §8 extension: Dynamic Time Warping
+// with linear-cost lower and upper bounds, so that the same
+// filter-and-refine search pattern used for Euclidean distance (bound →
+// prune → exact) applies to an expensive elastic measure.
+//
+//   - DTW is the classic dynamic program under a Sakoe–Chiba band of radius
+//     r (r = 0 degenerates to Euclidean distance; computed on squared costs
+//     with a square root at the end so the two scales agree).
+//   - LBKeogh [Keogh, VLDB'02 — the paper's citation [9]] lower-bounds DTW
+//     in O(n) using the band envelope of the query.
+//   - Euclidean distance upper-bounds DTW (the diagonal is a legal warping
+//     path), giving the linear-cost upper bound the paper asks for.
+//
+// Search composes them: candidates are ranked by LBKeogh, pruned against
+// the best-so-far exact DTW, and refined with an early-abandoning DP.
+package dtw
+
+import (
+	"errors"
+	"math"
+	"slices"
+
+	"repro/internal/series"
+)
+
+// ErrLength is returned when inputs have mismatched or empty lengths.
+var ErrLength = errors.New("dtw: sequences must be non-empty and equal length")
+
+// ErrBand is returned for a negative band radius.
+var ErrBand = errors.New("dtw: band radius must be >= 0")
+
+// Distance returns the Dynamic Time Warping distance between a and b under
+// a Sakoe–Chiba band of radius r (|i−j| ≤ r). Cell costs are squared
+// differences; the result is the square root of the optimal path cost, so
+// Distance(a, b, 0) equals the Euclidean distance.
+func Distance(a, b []float64, r int) (float64, error) {
+	d, _, err := distance(a, b, r, math.Inf(1))
+	return d, err
+}
+
+// DistanceEarlyAbandon is Distance but gives up once every entry of the
+// current DP row exceeds bound², returning (+Inf, true, nil).
+func DistanceEarlyAbandon(a, b []float64, r int, bound float64) (float64, bool, error) {
+	return distance(a, b, r, bound)
+}
+
+func distance(a, b []float64, r int, bound float64) (float64, bool, error) {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return 0, false, ErrLength
+	}
+	if r < 0 {
+		return 0, false, ErrBand
+	}
+	if r >= n {
+		r = n - 1
+	}
+	limit := math.Inf(1)
+	if !math.IsInf(bound, 1) {
+		limit = bound * bound
+	}
+
+	inf := math.Inf(1)
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+	for j := range prev {
+		prev[j] = inf
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := i-r, i+r
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		for j := range cur {
+			cur[j] = inf
+		}
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			d := a[i] - b[j]
+			cost := d * d
+			// Predecessors outside the band hold +Inf (rows are reset),
+			// so the three-way min needs no extra band checks.
+			best := inf
+			if i == 0 && j == 0 {
+				best = 0
+			} else {
+				if j > 0 && cur[j-1] < best {
+					best = cur[j-1]
+				}
+				if prev[j] < best {
+					best = prev[j]
+				}
+				if j > 0 && prev[j-1] < best {
+					best = prev[j-1]
+				}
+			}
+			cur[j] = best + cost
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > limit {
+			return math.Inf(1), true, nil
+		}
+		prev, cur = cur, prev
+	}
+	return math.Sqrt(prev[n-1]), false, nil
+}
+
+// Envelope holds the running min/max of a sequence over the band window —
+// the U and L curves of LB_Keogh.
+type Envelope struct {
+	Upper, Lower []float64
+	// R is the band radius the envelope was built for.
+	R int
+}
+
+// NewEnvelope computes the band envelope of q:
+// Upper[i] = max(q[i−r .. i+r]), Lower[i] = min(q[i−r .. i+r]).
+func NewEnvelope(q []float64, r int) (*Envelope, error) {
+	n := len(q)
+	if n == 0 {
+		return nil, ErrLength
+	}
+	if r < 0 {
+		return nil, ErrBand
+	}
+	e := &Envelope{Upper: make([]float64, n), Lower: make([]float64, n), R: r}
+	// O(n·r) sliding window; r is small relative to n in practice. A deque
+	// would make it O(n) but profiling shows envelope construction is not
+	// on the search hot path (built once per query).
+	for i := 0; i < n; i++ {
+		lo, hi := i-r, i+r
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		u, l := q[lo], q[lo]
+		for j := lo + 1; j <= hi; j++ {
+			if q[j] > u {
+				u = q[j]
+			}
+			if q[j] < l {
+				l = q[j]
+			}
+		}
+		e.Upper[i], e.Lower[i] = u, l
+	}
+	return e, nil
+}
+
+// LBKeogh returns the LB_Keogh lower bound on DTW(q, x, r) where e is the
+// envelope of q at radius r: points of x outside [L, U] contribute their
+// squared excursion.
+func LBKeogh(e *Envelope, x []float64) (float64, error) {
+	if len(x) != len(e.Upper) {
+		return 0, ErrLength
+	}
+	sum := 0.0
+	for i, v := range x {
+		switch {
+		case v > e.Upper[i]:
+			d := v - e.Upper[i]
+			sum += d * d
+		case v < e.Lower[i]:
+			d := e.Lower[i] - v
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum), nil
+}
+
+// UpperBound returns the Euclidean distance, a linear-cost upper bound on
+// DTW (the diagonal is always a legal warping path).
+func UpperBound(a, b []float64) (float64, error) {
+	return series.Euclidean(a, b)
+}
+
+// Result is one DTW nearest neighbour.
+type Result struct {
+	// Index is the candidate's position in the searched collection.
+	Index int
+	// Dist is the exact DTW distance.
+	Dist float64
+}
+
+// Stats reports the filter-and-refine work of one Search.
+type Stats struct {
+	// LBComputed counts LB_Keogh evaluations (always = collection size).
+	LBComputed int
+	// FullDTW counts candidates whose exact DTW was computed (not pruned
+	// by the bound cascade).
+	FullDTW int
+	// Abandoned counts DTW computations cut short by early abandoning.
+	Abandoned int
+}
+
+// Search returns the 1NN of query under DTW with band radius r, over the
+// candidate collection, using the LB_Keogh → early-abandon-DTW cascade. It
+// mirrors the paper's filter-and-refine structure (§8).
+func Search(collection [][]float64, query []float64, r int) (Result, Stats, error) {
+	res, st, err := SearchK(collection, query, r, 1)
+	if err != nil {
+		return Result{}, st, err
+	}
+	return res[0], st, nil
+}
+
+// SearchK returns the k nearest neighbours of query under banded DTW,
+// sorted by increasing distance, with the same bound cascade as Search.
+func SearchK(collection [][]float64, query []float64, r, k int) ([]Result, Stats, error) {
+	var st Stats
+	if len(collection) == 0 {
+		return nil, st, errors.New("dtw: empty collection")
+	}
+	if k < 1 {
+		return nil, st, errors.New("dtw: k must be >= 1")
+	}
+	env, err := NewEnvelope(query, r)
+	if err != nil {
+		return nil, st, err
+	}
+	cands := make([]lbCand, 0, len(collection))
+	for i, x := range collection {
+		lb, err := LBKeogh(env, x)
+		if err != nil {
+			return nil, st, err
+		}
+		st.LBComputed++
+		cands = append(cands, lbCand{idx: i, lb: lb})
+	}
+	// Increasing-LB order: tightest candidates first.
+	slices.SortFunc(cands, func(a, b lbCand) int {
+		switch {
+		case a.lb < b.lb:
+			return -1
+		case a.lb > b.lb:
+			return 1
+		default:
+			return 0
+		}
+	})
+	var best []Result
+	worst := math.Inf(1)
+	for _, c := range cands {
+		if len(best) >= k && c.lb >= worst {
+			break // every later candidate is bounded even further away
+		}
+		st.FullDTW++
+		bound := math.Inf(1)
+		if len(best) >= k {
+			bound = worst
+		}
+		d, abandoned, err := DistanceEarlyAbandon(collection[c.idx], query, r, bound)
+		if err != nil {
+			return nil, st, err
+		}
+		if abandoned {
+			st.Abandoned++
+			continue
+		}
+		// Insert in sorted order, keep k best.
+		pos := len(best)
+		for pos > 0 && best[pos-1].Dist > d {
+			pos--
+		}
+		best = append(best, Result{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = Result{Index: c.idx, Dist: d}
+		if len(best) > k {
+			best = best[:k]
+		}
+		if len(best) >= k {
+			worst = best[len(best)-1].Dist
+		}
+	}
+	return best, st, nil
+}
+
+// lbCand pairs a candidate index with its LB_Keogh value.
+type lbCand struct {
+	idx int
+	lb  float64
+}

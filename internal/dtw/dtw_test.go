@@ -1,0 +1,361 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/querylog"
+	"repro/internal/series"
+)
+
+// naiveDTW is the O(n²)-memory reference implementation.
+func naiveDTW(a, b []float64, r int) float64 {
+	n := len(a)
+	if r >= n {
+		r = n - 1
+	}
+	inf := math.Inf(1)
+	dp := make([][]float64, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, n+1)
+		for j := range dp[i] {
+			dp[i][j] = inf
+		}
+	}
+	dp[0][0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if abs(i-j) > r {
+				continue
+			}
+			d := a[i-1] - b[j-1]
+			m := dp[i-1][j-1]
+			if dp[i-1][j] < m {
+				m = dp[i-1][j]
+			}
+			if dp[i][j-1] < m {
+				m = dp[i][j-1]
+			}
+			dp[i][j] = m + d*d
+		}
+	}
+	return math.Sqrt(dp[n][n])
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func randSeq(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestDistanceErrors(t *testing.T) {
+	if _, err := Distance(nil, nil, 1); err != ErrLength {
+		t.Error("expected ErrLength for empty")
+	}
+	if _, err := Distance([]float64{1}, []float64{1, 2}, 1); err != ErrLength {
+		t.Error("expected ErrLength for mismatch")
+	}
+	if _, err := Distance([]float64{1}, []float64{2}, -1); err != ErrBand {
+		t.Error("expected ErrBand")
+	}
+	if _, err := NewEnvelope(nil, 1); err != ErrLength {
+		t.Error("expected ErrLength from NewEnvelope")
+	}
+	if _, err := NewEnvelope([]float64{1}, -2); err != ErrBand {
+		t.Error("expected ErrBand from NewEnvelope")
+	}
+	e, _ := NewEnvelope([]float64{1, 2}, 1)
+	if _, err := LBKeogh(e, []float64{1}); err != ErrLength {
+		t.Error("expected ErrLength from LBKeogh")
+	}
+}
+
+func TestDistanceMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 16, 40} {
+		for _, r := range []int{0, 1, 3, n} {
+			a, b := randSeq(rng, n), randSeq(rng, n)
+			got, err := Distance(a, b, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveDTW(a, b, r)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("n=%d r=%d: %v vs naive %v", n, r, got, want)
+			}
+		}
+	}
+}
+
+func TestBandZeroIsEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randSeq(rng, 64), randSeq(rng, 64)
+	d, err := Distance(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := series.Euclidean(a, b)
+	if math.Abs(d-e) > 1e-9 {
+		t.Errorf("DTW(r=0) = %v, Euclidean = %v", d, e)
+	}
+}
+
+func TestIdentityAndSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b := randSeq(rng, 50), randSeq(rng, 50)
+	if d, _ := Distance(a, a, 5); d != 0 {
+		t.Errorf("DTW(a,a) = %v", d)
+	}
+	dab, _ := Distance(a, b, 5)
+	dba, _ := Distance(b, a, 5)
+	if math.Abs(dab-dba) > 1e-9 {
+		t.Errorf("DTW not symmetric: %v vs %v", dab, dba)
+	}
+}
+
+func TestWarpingHelpsShiftedSignal(t *testing.T) {
+	// A signal vs its 2-day shift: DTW with r>=2 should be far below
+	// Euclidean.
+	n := 128
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = math.Sin(2 * math.Pi * float64(i) / 16)
+		b[i] = math.Sin(2 * math.Pi * float64(i+2) / 16)
+	}
+	eu, _ := series.Euclidean(a, b)
+	d, err := Distance(a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > eu/3 {
+		t.Errorf("DTW %v should be far below Euclidean %v for a shifted signal", d, eu)
+	}
+}
+
+// Property: LBKeogh ≤ DTW ≤ Euclidean, and DTW shrinks (weakly) as the
+// band widens.
+func TestBoundSandwichProperty(t *testing.T) {
+	f := func(seed int64, nRaw, rRaw uint8) bool {
+		n := 4 + int(nRaw)%60
+		r := int(rRaw) % 10
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSeq(rng, n), randSeq(rng, n)
+		env, err := NewEnvelope(a, r)
+		if err != nil {
+			return false
+		}
+		lb, err := LBKeogh(env, b)
+		if err != nil {
+			return false
+		}
+		d, err := Distance(a, b, r)
+		if err != nil {
+			return false
+		}
+		ub, err := UpperBound(a, b)
+		if err != nil {
+			return false
+		}
+		if lb > d+1e-9 || d > ub+1e-9 {
+			t.Logf("n=%d r=%d: lb=%v d=%v ub=%v", n, r, lb, d, ub)
+			return false
+		}
+		wider, err := Distance(a, b, r+3)
+		if err != nil {
+			return false
+		}
+		return wider <= d+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEarlyAbandonConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := randSeq(rng, 64), randSeq(rng, 64)
+	exact, _ := Distance(a, b, 5)
+	d, abandoned, err := DistanceEarlyAbandon(a, b, 5, exact+1)
+	if err != nil || abandoned || math.Abs(d-exact) > 1e-9 {
+		t.Errorf("loose bound: d=%v abandoned=%v err=%v want %v", d, abandoned, err, exact)
+	}
+	d, abandoned, err = DistanceEarlyAbandon(a, b, 5, exact/2)
+	if err != nil || !abandoned || !math.IsInf(d, 1) {
+		t.Errorf("tight bound: d=%v abandoned=%v err=%v", d, abandoned, err)
+	}
+}
+
+func TestEnvelopeContainsQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := randSeq(rng, 100)
+	e, err := NewEnvelope(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range q {
+		if v > e.Upper[i] || v < e.Lower[i] {
+			t.Fatalf("envelope excludes q[%d]", i)
+		}
+	}
+	// LBKeogh of the query against its own envelope is 0.
+	lb, _ := LBKeogh(e, q)
+	if lb != 0 {
+		t.Errorf("self LBKeogh = %v", lb)
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	g := querylog.NewGenerator(querylog.DefaultStart, 128, 6)
+	data := querylog.StandardizeAll(g.Dataset(60))
+	queries := querylog.StandardizeAll(g.Queries(5))
+	coll := make([][]float64, len(data))
+	for i, s := range data {
+		coll[i] = s.Values
+	}
+	for _, q := range queries {
+		res, st, err := Search(coll, q.Values, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force.
+		bestD, bestI := math.Inf(1), -1
+		for i, x := range coll {
+			d, err := Distance(x, q.Values, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d < bestD {
+				bestD, bestI = d, i
+			}
+		}
+		if math.Abs(res.Dist-bestD) > 1e-9 {
+			t.Errorf("search 1NN dist %v (idx %d), brute %v (idx %d)",
+				res.Dist, res.Index, bestD, bestI)
+		}
+		if st.FullDTW > st.LBComputed {
+			t.Errorf("stats inconsistent: %+v", st)
+		}
+		if st.FullDTW == len(coll) {
+			t.Logf("warning: LB pruned nothing for %q", q.Name)
+		}
+	}
+}
+
+func TestSearchEmptyCollection(t *testing.T) {
+	if _, _, err := Search(nil, []float64{1}, 1); err == nil {
+		t.Error("expected error for empty collection")
+	}
+}
+
+func BenchmarkDTW1024Band5pct(b *testing.B) {
+	g := querylog.New(7)
+	x := g.Exemplar(querylog.Cinema).Standardized().Values
+	y := g.Exemplar(querylog.Nordstrom).Standardized().Values
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Distance(x, y, 51); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLBKeogh1024(b *testing.B) {
+	g := querylog.New(8)
+	x := g.Exemplar(querylog.Cinema).Standardized().Values
+	y := g.Exemplar(querylog.Nordstrom).Standardized().Values
+	env, err := NewEnvelope(x, 51)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LBKeogh(env, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchCascade(b *testing.B) {
+	g := querylog.NewGenerator(querylog.DefaultStart, 256, 9)
+	data := querylog.StandardizeAll(g.Dataset(200))
+	q := querylog.StandardizeAll(g.Queries(1))[0]
+	coll := make([][]float64, len(data))
+	for i, s := range data {
+		coll[i] = s.Values
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Search(coll, q.Values, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSearchKMatchesBruteForce(t *testing.T) {
+	g := querylog.NewGenerator(querylog.DefaultStart, 96, 10)
+	data := querylog.StandardizeAll(g.Dataset(50))
+	q := querylog.StandardizeAll(g.Queries(1))[0]
+	coll := make([][]float64, len(data))
+	for i, s := range data {
+		coll[i] = s.Values
+	}
+	for _, k := range []int{1, 3, 7, 60} {
+		got, _, err := SearchK(coll, q.Values, 5, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force.
+		var all []knnPair
+		for i, x := range coll {
+			d, err := Distance(x, q.Values, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, knnPair{i, d})
+		}
+		sortPairs(all)
+		want := k
+		if want > len(all) {
+			want = len(all)
+		}
+		if len(got) != want {
+			t.Fatalf("k=%d: %d results, want %d", k, len(got), want)
+		}
+		for i := 0; i < want; i++ {
+			if math.Abs(got[i].Dist-all[i].d) > 1e-9 {
+				t.Errorf("k=%d rank %d: %v vs brute %v", k, i, got[i].Dist, all[i].d)
+			}
+		}
+	}
+	if _, _, err := SearchK(coll, q.Values, 5, 0); err == nil {
+		t.Error("expected error for k=0")
+	}
+}
+
+type knnPair struct {
+	i int
+	d float64
+}
+
+func sortPairs(p []knnPair) {
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && p[j].d < p[j-1].d; j-- {
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
+}

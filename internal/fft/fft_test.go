@@ -1,0 +1,326 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(N²) reference implementation of the normalized DFT.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := sign * 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum * complex(1/math.Sqrt(float64(n)), 0)
+	}
+	return out
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Mix of power-of-two and awkward lengths (exercises Bluestein).
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 31, 32, 100, 128, 255, 257} {
+		x := randComplex(rng, n)
+		got, err := Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveDFT(x, false)
+		if d := maxDiff(got, want); d > 1e-8 {
+			t.Errorf("n=%d: Forward differs from naive DFT by %g", n, d)
+		}
+	}
+}
+
+func TestInverseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{2, 6, 8, 17, 64} {
+		x := randComplex(rng, n)
+		got, err := Inverse(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveDFT(x, true)
+		if d := maxDiff(got, want); d > 1e-8 {
+			t.Errorf("n=%d: Inverse differs from naive inverse DFT by %g", n, d)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 5, 8, 33, 128, 1000, 1024} {
+		x := randComplex(rng, n)
+		X, err := Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Inverse(X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(x, back); d > 1e-9 {
+			t.Errorf("n=%d: roundtrip error %g", n, d)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := Forward(nil); err != ErrEmpty {
+		t.Error("Forward(nil) should fail with ErrEmpty")
+	}
+	if _, err := Inverse(nil); err != ErrEmpty {
+		t.Error("Inverse(nil) should fail with ErrEmpty")
+	}
+	if _, err := ForwardReal(nil); err != ErrEmpty {
+		t.Error("ForwardReal(nil) should fail with ErrEmpty")
+	}
+	if _, err := PeriodogramReal(nil); err == nil {
+		t.Error("PeriodogramReal(nil) should fail")
+	}
+	if p := Periodogram(nil); p != nil {
+		t.Error("Periodogram(nil) should be nil")
+	}
+}
+
+func TestForwardDoesNotMutateInput(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	orig := append([]complex128(nil), x...)
+	if _, err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("Forward mutated its input")
+		}
+	}
+}
+
+// Property: Parseval — the unitary transform preserves energy, for any length.
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := 1 + int(nRaw)%512
+		rng := rand.New(rand.NewSource(seed))
+		x := randComplex(rng, n)
+		X, err := Forward(x)
+		if err != nil {
+			return false
+		}
+		return math.Abs(Energy(x)-Energy(X)) < 1e-6*(1+Energy(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linearity — DFT(a·x + y) = a·DFT(x) + DFT(y).
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(128)
+		x := randComplex(rng, n)
+		y := randComplex(rng, n)
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a*x[i] + y[i]
+		}
+		X, _ := Forward(x)
+		Y, _ := Forward(y)
+		S, _ := Forward(sum)
+		for i := range S {
+			if cmplx.Abs(S[i]-(a*X[i]+Y[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Real input ⇒ conjugate-symmetric spectrum: X(N−k) == conj(X(k)).
+func TestRealInputSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{8, 15, 64, 100} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		X, err := ForwardReal(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k < n; k++ {
+			if cmplx.Abs(X[n-k]-cmplx.Conj(X[k])) > 1e-9 {
+				t.Errorf("n=%d k=%d: symmetry violated", n, k)
+			}
+		}
+		if math.Abs(imag(X[0])) > 1e-12 {
+			t.Errorf("n=%d: DC coefficient should be real", n)
+		}
+	}
+}
+
+func TestPureSinusoidPeaksAtItsFrequency(t *testing.T) {
+	// A sinusoid with exactly 8 cycles over 128 samples must put all its
+	// periodogram power at bin 8.
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 8 * float64(i) / float64(n))
+	}
+	p, err := PeriodogramReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range p {
+		if k == 8 {
+			if p[k] < 1 {
+				t.Errorf("bin 8 power %v too small", p[k])
+			}
+			continue
+		}
+		if p[k] > 1e-12 {
+			t.Errorf("leakage at bin %d: %v", k, p[k])
+		}
+	}
+	// Its period should be n/8 = 16 samples.
+	if got := PeriodOf(8, n); got != 16 {
+		t.Errorf("PeriodOf(8,128) = %v, want 16", got)
+	}
+}
+
+func TestPeriodogramLength(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 9, 1024} {
+		X := make([]complex128, n)
+		p := Periodogram(X)
+		want := (n-1)/2 + 1
+		if len(p) != want {
+			t.Errorf("n=%d: periodogram length %d, want %d", n, len(p), want)
+		}
+	}
+}
+
+func TestFrequencyAndPeriodHelpers(t *testing.T) {
+	if FrequencyOf(7, 1024) != 7.0/1024 {
+		t.Error("FrequencyOf wrong")
+	}
+	if !math.IsInf(PeriodOf(0, 100), 1) {
+		t.Error("PeriodOf(0) should be +Inf")
+	}
+	// Weekly period in a 364-day series sits at bin 52.
+	if PeriodOf(52, 364) != 7 {
+		t.Error("weekly bin mapping wrong")
+	}
+}
+
+func TestMagnitudes(t *testing.T) {
+	X := []complex128{3 + 4i, 1i, -2}
+	m := Magnitudes(X)
+	want := []float64{5, 1, 2}
+	for i := range want {
+		if math.Abs(m[i]-want[i]) > 1e-12 {
+			t.Errorf("mag[%d] = %v, want %v", i, m[i], want[i])
+		}
+	}
+}
+
+func TestInverseReal(t *testing.T) {
+	x := []float64{1, 5, -2, 4, 0, 0, 3, 3}
+	X, err := ForwardReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := InverseReal(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(back[i]-x[i]) > 1e-9 {
+			t.Errorf("roundtrip[%d] = %v, want %v", i, back[i], x[i])
+		}
+	}
+}
+
+func TestPaperExampleMagnitudeVector(t *testing.T) {
+	// §3.2 example: T = {(1+2i),(2+2i),(1+i),(5+i)} has
+	// abs(T) = {2.23, 2.82, 1.41, 5.09}.
+	T := []complex128{1 + 2i, 2 + 2i, 1 + 1i, 5 + 1i}
+	m := Magnitudes(T)
+	want := []float64{math.Sqrt(5), math.Sqrt(8), math.Sqrt(2), math.Sqrt(26)}
+	for i := range want {
+		if math.Abs(m[i]-want[i]) > 1e-12 {
+			t.Errorf("mag[%d] = %v, want %v", i, m[i], want[i])
+		}
+	}
+}
+
+func BenchmarkForward1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randComplex(rng, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardBluestein1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randComplex(rng, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeriodogram1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PeriodogramReal(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package kleinberg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/burst"
+	"repro/internal/querylog"
+)
+
+func TestDetectErrors(t *testing.T) {
+	if _, err := Detect(nil, Options{}); err != ErrInput {
+		t.Error("expected ErrInput for empty")
+	}
+	if _, err := Detect([]float64{1, -2}, Options{}); err != ErrInput {
+		t.Error("expected ErrInput for negative counts")
+	}
+}
+
+func TestAllZeroStream(t *testing.T) {
+	det, err := Detect(make([]float64, 50), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Bursts) != 0 {
+		t.Errorf("zero stream produced bursts: %v", det.Bursts)
+	}
+}
+
+func TestFlatStreamNoBursts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 365)
+	for i := range x {
+		x[i] = float64(50 + rng.Intn(10)) // mild noise around 55
+	}
+	det, err := Detect(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Bursts) > 1 {
+		t.Errorf("flat stream produced %d bursts: %v", len(det.Bursts), det.Bursts)
+	}
+}
+
+func TestPlantedBurstDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 365)
+	for i := range x {
+		x[i] = float64(20 + rng.Intn(8))
+	}
+	for i := 100; i < 130; i++ {
+		x[i] = float64(120 + rng.Intn(20))
+	}
+	det, err := Detect(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Bursts) == 0 {
+		t.Fatal("planted burst missed")
+	}
+	b := det.Bursts[0]
+	if b.Start > 102 || b.End < 127 {
+		t.Errorf("burst [%d,%d] does not cover planted [100,129]", b.Start, b.End)
+	}
+	if det.Weights[0] <= 0 {
+		t.Errorf("burst weight %v should be positive", det.Weights[0])
+	}
+	if det.Lambda1 <= det.Lambda0 {
+		t.Error("rates not ordered")
+	}
+}
+
+func TestStatesMatchBursts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = float64(10 + rng.Intn(5))
+	}
+	for i := 50; i < 60; i++ {
+		x[i] += 100
+	}
+	for i := 150; i < 170; i++ {
+		x[i] += 80
+	}
+	det, err := Detect(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBurst := make([]bool, len(x))
+	for _, b := range det.Bursts {
+		for i := b.Start; i <= b.End; i++ {
+			inBurst[i] = true
+		}
+	}
+	for i, s := range det.States {
+		if (s == 1) != inBurst[i] {
+			t.Fatalf("state/burst disagreement at %d", i)
+		}
+	}
+	if len(det.Bursts) != len(det.Weights) {
+		t.Fatal("weights not aligned with bursts")
+	}
+}
+
+// Property: bursts are disjoint, ordered, in range; a higher entry cost
+// gamma never yields more *bursts* (the standard exchange argument: if the
+// γ₂-optimal path had more entries than the γ₁-optimal one for γ₂ > γ₁,
+// swapping them would improve one of the two optima). Burst *days* are not
+// monotone — a higher γ can merge two bursts across a dip into one longer
+// burst — so only the count is asserted.
+func TestInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(300)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(30))
+		}
+		for b := 0; b < rng.Intn(3); b++ {
+			at := rng.Intn(n)
+			for i := at; i < at+10+rng.Intn(20) && i < n; i++ {
+				x[i] += float64(100 + rng.Intn(50))
+			}
+		}
+		det, err := Detect(x, Options{})
+		if err != nil {
+			return false
+		}
+		prevEnd := -1
+		for _, b := range det.Bursts {
+			if b.Start <= prevEnd || b.End < b.Start || b.End >= n {
+				return false
+			}
+			prevEnd = b.End
+		}
+		strict, err := Detect(x, Options{Gamma: 5})
+		if err != nil {
+			return false
+		}
+		return len(strict.Bursts) <= len(det.Bursts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The two detectors agree on the obvious seasonal bursts of the halloween
+// exemplar (raw counts for Kleinberg, standardized for the MA detector).
+func TestAgreesWithMADetectorOnHalloween(t *testing.T) {
+	s := querylog.New(4).Exemplar(querylog.Halloween)
+	kb, err := Detect(s.Values, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := burst.DetectStandardized(s.Values, burst.LongWindow, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kb.Bursts) == 0 || len(ma.Bursts) == 0 {
+		t.Fatalf("detector found nothing: kleinberg %d, MA %d", len(kb.Bursts), len(ma.Bursts))
+	}
+	// Every strong MA burst (the Octobers) overlaps some Kleinberg burst.
+	for _, mb := range ma.Bursts {
+		if mb.Len() < 10 {
+			continue
+		}
+		found := false
+		for _, k := range kb.Bursts {
+			if burst.Overlap(mb, k) > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			mid := s.DateOf((mb.Start + mb.End) / 2)
+			t.Errorf("MA burst around %v has no Kleinberg counterpart", mid.Format(time.DateOnly))
+		}
+	}
+}
+
+// The §6 claim: the MA detector is cheaper than the automaton.
+func BenchmarkKleinberg1024(b *testing.B) {
+	s := querylog.New(5).Exemplar(querylog.Easter)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(s.Values, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMovingAverage1024(b *testing.B) {
+	s := querylog.New(5).Exemplar(querylog.Easter)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := burst.DetectStandardized(s.Values, burst.LongWindow, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package minisql executes the SQL dialect of the paper's fig. 18 against a
+// burstdb table:
+//
+//	SELECT Burst B FROM Database
+//	WHERE B.startDate < Q.endDate AND B.endDate > Q.startDate
+//
+// generalized to:
+//
+//	SELECT * | col {, col} FROM bursts
+//	    [WHERE col op value {AND col op value}]
+//	    [ORDER BY col [ASC|DESC]]
+//	    [LIMIT n]
+//
+// with columns seqid, startdate, enddate, avgvalue and operators
+// <, <=, >, >=, =, <>. The planner picks the startDate or endDate B-tree
+// when a range predicate permits it and falls back to a heap scan
+// otherwise; EXPLAIN-style plan information is returned with every result.
+package minisql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokComma
+	tokStar
+	tokOp // < <= > >= = <>
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a lexical or grammatical problem with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minisql: position %d: %s", e.Pos, e.Msg)
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '<':
+			if i+1 < len(input) && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{tokOp, input[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '-' || c == '.' || unicode.IsDigit(c):
+			start := i
+			i++
+			for i < len(input) && (unicode.IsDigit(rune(input[i])) || input[i] == '.' ||
+				input[i] == 'e' || input[i] == 'E' ||
+				((input[i] == '+' || input[i] == '-') && (input[i-1] == 'e' || input[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) ||
+				unicode.IsDigit(rune(input[i])) || input[i] == '_' || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(input[start:i]), start})
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}

@@ -1,0 +1,214 @@
+package mvptree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/querylog"
+	"repro/internal/seqstore"
+	"repro/internal/series"
+	"repro/internal/spectral"
+)
+
+type fixture struct {
+	values  [][]float64
+	store   *seqstore.Memory
+	tree    *Tree
+	queries [][]float64
+}
+
+func buildFixture(t testing.TB, n, seqLen int, opts Options, seed int64) *fixture {
+	t.Helper()
+	g := querylog.NewGenerator(querylog.DefaultStart, seqLen, seed)
+	data := querylog.StandardizeAll(g.Dataset(n))
+	qs := querylog.StandardizeAll(g.Queries(5))
+	store, err := seqstore.NewMemory(seqLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &fixture{store: store}
+	specs := make([]*spectral.HalfSpectrum, n)
+	ids := make([]int, n)
+	for i, s := range data {
+		id, err := store.Append(s.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		fx.values = append(fx.values, s.Values)
+		if specs[i], err = spectral.FromValues(s.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fx.tree, err = Build(specs, ids, opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		fx.queries = append(fx.queries, q.Values)
+	}
+	return fx
+}
+
+func bruteKNN(t testing.TB, values [][]float64, q []float64, k int) []Result {
+	t.Helper()
+	res := make([]Result, 0, len(values))
+	for id, v := range values {
+		d, err := series.Euclidean(q, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = append(res, Result{ID: id, Dist: d})
+	}
+	sort.Slice(res, func(a, b int) bool { return res[a].Dist < res[b].Dist })
+	if k > len(res) {
+		k = len(res)
+	}
+	return res[:k]
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, nil, Options{}); err == nil {
+		t.Error("expected empty-input error")
+	}
+	h, _ := spectral.FromValues(make([]float64, 8))
+	if _, err := Build([]*spectral.HalfSpectrum{h}, []int{0, 1}, Options{}); err == nil {
+		t.Error("expected ids-mismatch error")
+	}
+	h2, _ := spectral.FromValues(make([]float64, 16))
+	if _, err := Build([]*spectral.HalfSpectrum{h, h2}, []int{0, 1}, Options{}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	fx := buildFixture(t, 20, 64, Options{Budget: 8}, 1)
+	if _, _, err := fx.tree.Search(fx.queries[0], 0, fx.store); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, _, err := fx.tree.Search(make([]float64, 7), 1, fx.store); err == nil {
+		t.Error("expected error for wrong length")
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	fx := buildFixture(t, 150, 128, Options{Budget: 16}, 2)
+	for _, k := range []int{1, 3, 10} {
+		for qi, q := range fx.queries {
+			want := bruteKNN(t, fx.values, q, k)
+			got, st, err := fx.tree.Search(q, k, fx.store)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != k {
+				t.Fatalf("k=%d query %d: %d results", k, qi, len(got))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+					t.Errorf("k=%d query %d rank %d: %v vs %v",
+						k, qi, i, got[i].Dist, want[i].Dist)
+				}
+			}
+			if st.BoundsComputed == 0 {
+				t.Error("no bounds computed")
+			}
+		}
+	}
+}
+
+// Property: exactness across random datasets, budgets and bound flavors.
+func TestExactnessProperty(t *testing.T) {
+	f := func(seed int64, budgetRaw, paperRaw uint8) bool {
+		budget := 6 + int(budgetRaw)%16
+		fx := buildFixture(t, 70, 64, Options{
+			Budget:      budget,
+			Seed:        seed%50 + 1,
+			PaperBounds: paperRaw%2 == 0,
+		}, seed)
+		q := fx.queries[0]
+		want := bruteKNN(t, fx.values, q, 3)
+		got, _, err := fx.tree.Search(q, 3, fx.store)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Logf("budget %d rank %d: %v vs %v", budget, i, got[i].Dist, want[i].Dist)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathPruningFires(t *testing.T) {
+	fx := buildFixture(t, 500, 256, Options{Budget: 16}, 3)
+	totalPruned := 0
+	for _, q := range fx.queries {
+		_, st, err := fx.tree.Search(q, 1, fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalPruned += st.PathPruned
+	}
+	if totalPruned == 0 {
+		t.Error("path-distance pruning never fired on 500 objects")
+	}
+	t.Logf("path-pruned %d leaf entries across %d queries", totalPruned, len(fx.queries))
+}
+
+func TestKLargerThanDataset(t *testing.T) {
+	fx := buildFixture(t, 12, 64, Options{Budget: 6}, 4)
+	got, _, err := fx.tree.Search(fx.queries[0], 40, fx.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 12 {
+		t.Errorf("got %d results, want all 12", len(got))
+	}
+}
+
+// The mvp-tree's reason to exist: across a query workload, path pruning and
+// quadrant pruning save bound computations versus evaluating every object
+// (individual hard queries may still touch everything).
+func TestBoundsComputedBelowPopulation(t *testing.T) {
+	fx := buildFixture(t, 600, 256, Options{Budget: 24}, 5)
+	total := 0
+	for _, q := range fx.queries {
+		_, st, err := fx.tree.Search(q, 1, fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.BoundsComputed
+	}
+	if total >= 600*len(fx.queries) {
+		t.Errorf("bounds computed %d across %d queries — no savings at all",
+			total, len(fx.queries))
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	fx := buildFixture(t, 30, 64, Options{}, 6)
+	if fx.tree.Len() != 30 || fx.tree.SeqLen() != 64 {
+		t.Errorf("Len/SeqLen = %d/%d", fx.tree.Len(), fx.tree.SeqLen())
+	}
+	if len(fx.tree.Features()) < 30 {
+		t.Errorf("feature table has %d entries", len(fx.tree.Features()))
+	}
+}
+
+func BenchmarkMVPSearch1NN(b *testing.B) {
+	fx := buildFixture(b, 1000, 256, Options{Budget: 16}, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fx.tree.Search(fx.queries[i%len(fx.queries)], 1, fx.store); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package mvptree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/seqstore"
+	"repro/internal/series"
+	"repro/internal/spectral"
+)
+
+// vpBound is the query's distance interval to one root-path vantage point.
+type vpBound struct {
+	lb, ub float64
+}
+
+type searcher struct {
+	t       *Tree
+	ctx     *spectral.QueryContext
+	k       int
+	st      *Stats
+	cands   []candidate
+	sigmaUB float64
+	ubTop   []float64
+	// path holds the query bounds to the vantage points on the current
+	// root path (outermost first), capped at Options.PathDists.
+	path []vpBound
+}
+
+type candidate struct {
+	id     int
+	lb, ub float64
+}
+
+// Search returns the k nearest neighbours of query, refining candidates
+// against store. The feature table is in-memory (t.Features()).
+func (t *Tree) Search(query []float64, k int, store seqstore.Store) ([]Result, Stats, error) {
+	var st Stats
+	if k < 1 {
+		return nil, st, errors.New("mvptree: k must be >= 1")
+	}
+	if len(query) != t.seqLen {
+		return nil, st, spectral.ErrMismatch
+	}
+	hq, err := spectral.FromValues(query)
+	if err != nil {
+		return nil, st, err
+	}
+	s := &searcher{
+		t: t, ctx: spectral.NewQueryContext(hq), k: k, st: &st,
+		sigmaUB: math.Inf(1),
+	}
+	if err := s.visit(t.root); err != nil {
+		return nil, st, err
+	}
+
+	sub := s.sigmaUB
+	pruned := s.cands[:0]
+	for _, c := range s.cands {
+		if c.lb <= sub {
+			pruned = append(pruned, c)
+		}
+	}
+	st.Candidates = len(pruned)
+	sortByLB(pruned)
+
+	var results []Result
+	worst := math.Inf(1)
+	buf := make([]float64, t.seqLen)
+	for _, c := range pruned {
+		if len(results) >= k && c.lb > worst {
+			break
+		}
+		if err := store.GetInto(c.id, buf); err != nil {
+			return nil, st, fmt.Errorf("mvptree: refine id %d: %w", c.id, err)
+		}
+		st.FullRetrievals++
+		bound := math.Inf(1)
+		if len(results) >= k {
+			bound = worst
+		}
+		d, abandoned, err := series.EuclideanEarlyAbandon(query, buf, bound)
+		if err != nil {
+			return nil, st, err
+		}
+		if abandoned {
+			continue
+		}
+		results = insertResult(results, Result{ID: c.id, Dist: d}, k)
+		if len(results) >= k {
+			worst = results[len(results)-1].Dist
+		}
+	}
+	return results, st, nil
+}
+
+func sortByLB(c []candidate) {
+	slices.SortFunc(c, func(a, b candidate) int {
+		switch {
+		case a.lb < b.lb:
+			return -1
+		case a.lb > b.lb:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+func insertResult(res []Result, r Result, k int) []Result {
+	pos := len(res)
+	for pos > 0 && res[pos-1].Dist > r.Dist {
+		pos--
+	}
+	res = append(res, Result{})
+	copy(res[pos+1:], res[pos:])
+	res[pos] = r
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+func (s *searcher) bounds(ref int) (lb, ub float64, err error) {
+	s.st.BoundsComputed++
+	c := s.t.features[ref]
+	if s.t.opts.PaperBounds {
+		return c.BoundsFast(s.ctx)
+	}
+	return c.SafeBoundsFast(s.ctx)
+}
+
+func (s *searcher) add(id int, lb, ub float64) {
+	s.cands = append(s.cands, candidate{id: id, lb: lb, ub: ub})
+	if len(s.ubTop) < s.k {
+		s.ubTop = append(s.ubTop, ub)
+		siftUpMax(s.ubTop, len(s.ubTop)-1)
+		if len(s.ubTop) == s.k {
+			s.sigmaUB = s.ubTop[0]
+		}
+	} else if ub < s.ubTop[0] {
+		s.ubTop[0] = ub
+		siftDownMax(s.ubTop, 0)
+		s.sigmaUB = s.ubTop[0]
+	}
+}
+
+func (s *searcher) visit(nd *node) error {
+	if nd == nil {
+		return nil
+	}
+	s.st.NodesVisited++
+	if nd.leaf != nil {
+		return s.visitLeaf(nd)
+	}
+
+	lb1, ub1, err := s.bounds(nd.vp1Ref)
+	if err != nil {
+		return err
+	}
+	s.add(nd.vp1ID, lb1, ub1)
+	lb2, ub2, err := s.bounds(nd.vp2Ref)
+	if err != nil {
+		return err
+	}
+	s.add(nd.vp2ID, lb2, ub2)
+
+	// Push path bounds for the leaves below (same order as construction).
+	pushed := 0
+	if len(s.path) < s.t.opts.PathDists {
+		s.path = append(s.path, vpBound{lb1, ub1})
+		pushed++
+		if len(s.path) < s.t.opts.PathDists {
+			s.path = append(s.path, vpBound{lb2, ub2})
+			pushed++
+		}
+	}
+	defer func() { s.path = s.path[:len(s.path)-pushed] }()
+
+	// Quadrant pruning: objects in side 0 of vp1 have d(x,vp1) ≤ m1, side 1
+	// have d(x,vp1) > m1; analogously for vp2 within each side. A side is
+	// prunable when the triangle inequality puts every object beyond σ_UB.
+	for s1 := 0; s1 < 2; s1++ {
+		if s1 == 0 && lb1 > nd.m1+s.sigmaUB {
+			continue // every d(x,vp1) ≤ m1 object is > σ_UB away
+		}
+		if s1 == 1 && ub1 < nd.m1-s.sigmaUB {
+			continue // every d(x,vp1) > m1 object is > σ_UB away
+		}
+		for s2 := 0; s2 < 2; s2++ {
+			if s2 == 0 && lb2 > nd.m2[s1]+s.sigmaUB {
+				continue
+			}
+			if s2 == 1 && ub2 < nd.m2[s1]-s.sigmaUB {
+				continue
+			}
+			if err := s.visit(nd.children[s1][s2]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *searcher) visitLeaf(nd *node) error {
+	for _, e := range nd.leaf {
+		// Path-distance pruning: the stored exact d(x, vp_i) plus the
+		// query's interval to vp_i lower-bound d(q, x) for free.
+		pruned := false
+		limit := len(e.pathD)
+		if len(s.path) < limit {
+			limit = len(s.path)
+		}
+		for i := 0; i < limit; i++ {
+			d := e.pathD[i]
+			pb := s.path[i]
+			if d-pb.ub > s.sigmaUB || pb.lb-d > s.sigmaUB {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			s.st.PathPruned++
+			continue
+		}
+		lb, ub, err := s.bounds(e.ref)
+		if err != nil {
+			return err
+		}
+		s.add(e.id, lb, ub)
+	}
+	return nil
+}
+
+func siftUpMax(h []float64, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDownMax(h []float64, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && h[l] > h[big] {
+			big = l
+		}
+		if r < len(h) && h[r] > h[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}

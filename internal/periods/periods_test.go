@@ -1,0 +1,329 @@
+package periods
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/querylog"
+)
+
+func TestDetectErrors(t *testing.T) {
+	if _, err := Detect([]float64{1, 2}, 1e-4); err == nil {
+		t.Error("expected error for short input")
+	}
+	x := make([]float64, 64)
+	if _, err := Detect(x, 0); err == nil {
+		t.Error("expected error for p=0")
+	}
+	if _, err := Detect(x, 1); err == nil {
+		t.Error("expected error for p=1")
+	}
+}
+
+func TestFlatSeriesHasNoPeriods(t *testing.T) {
+	x := make([]float64, 128)
+	for i := range x {
+		x[i] = 42
+	}
+	d, err := Detect(x, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Periods) != 0 {
+		t.Errorf("flat series produced periods: %v", d.Periods)
+	}
+}
+
+func TestPureSinusoidDetected(t *testing.T) {
+	n := 512
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/16) + 0.1*math.Cos(2*math.Pi*float64(i)/7.11)
+	}
+	d, err := Detect(x, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Periods) == 0 {
+		t.Fatal("no periods found for a pure sinusoid")
+	}
+	if math.Abs(d.Periods[0].Length-16) > 0.5 {
+		t.Errorf("dominant period %v, want 16", d.Periods[0].Length)
+	}
+}
+
+// Fig. 13 reproduction at the archetype level.
+func TestCinemaPeriods(t *testing.T) {
+	s := querylog.New(1).Exemplar(querylog.Cinema)
+	d, err := Detect(s.Values, DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasPeriodNear(7, 0.2) {
+		t.Errorf("cinema: weekly period not detected; top: %v", d.Top(5))
+	}
+	if !d.HasPeriodNear(3.5, 0.1) {
+		t.Errorf("cinema: 3.5-day harmonic not detected (fig. 13 P2); top: %v", d.Top(5))
+	}
+}
+
+func TestFullMoonPeriods(t *testing.T) {
+	s := querylog.New(2).Exemplar(querylog.FullMoon)
+	d, err := Detect(s.Values, DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasPeriodNear(29.53, 1.5) {
+		t.Errorf("full moon: lunar period not detected; top: %v", d.Top(5))
+	}
+}
+
+func TestNordstromPeriods(t *testing.T) {
+	s := querylog.New(3).Exemplar(querylog.Nordstrom)
+	d, err := Detect(s.Values, DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasPeriodNear(7, 0.2) {
+		t.Errorf("nordstrom: weekly period not detected; top: %v", d.Top(5))
+	}
+}
+
+// Fig. 13's fourth panel: a bursty but non-periodic query should yield no
+// (or almost no) significant periods — the threshold avoids false alarms.
+func TestDudleyMooreNoFalseAlarms(t *testing.T) {
+	s := querylog.New(4).Exemplar(querylog.DudleyMoore)
+	d, err := Detect(s.Values, DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single one-shot event spreads energy across all frequencies; allow
+	// a couple of borderline bins but nothing resembling a periodic comb.
+	if len(d.Periods) > 3 {
+		t.Errorf("dudley moore: %d significant periods, want ~0: %v", len(d.Periods), d.Top(5))
+	}
+}
+
+// Property: white noise at 99.99% confidence rarely produces false alarms.
+func TestWhiteNoiseFalseAlarmRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	alarms, bins := 0, 0
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, 512)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		d, err := Detect(x, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alarms += len(d.Periods)
+		bins += len(d.Periodogram) - 1
+	}
+	rate := float64(alarms) / float64(bins)
+	// Expected rate is 1e-4; allow an order of magnitude of slack.
+	if rate > 1e-3 {
+		t.Errorf("false-alarm rate %v too high", rate)
+	}
+}
+
+// Property: every reported period exceeds the threshold, lengths are
+// consistent with bins, and ordering is by decreasing power.
+func TestDetectionInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64 + rng.Intn(512)
+		x := make([]float64, n)
+		per := float64(4 + rng.Intn(40))
+		for i := range x {
+			x[i] = math.Sin(2*math.Pi*float64(i)/per)*(1+rng.Float64()) + rng.NormFloat64()*0.3
+		}
+		d, err := Detect(x, 1e-3)
+		if err != nil {
+			return false
+		}
+		for i, p := range d.Periods {
+			if p.Power <= d.Threshold {
+				return false
+			}
+			if math.Abs(p.Length-float64(n)/float64(p.Bin)) > 1e-9 {
+				return false
+			}
+			if i > 0 && d.Periods[i-1].Power < p.Power {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopAndHasPeriodNear(t *testing.T) {
+	d := &Detection{Periods: []Period{
+		{Bin: 2, Length: 50, Power: 9},
+		{Bin: 4, Length: 25, Power: 5},
+	}}
+	if len(d.Top(1)) != 1 || d.Top(1)[0].Length != 50 {
+		t.Error("Top(1) wrong")
+	}
+	if len(d.Top(10)) != 2 {
+		t.Error("Top should clamp")
+	}
+	if !d.HasPeriodNear(25, 0.5) || d.HasPeriodNear(10, 0.5) {
+		t.Error("HasPeriodNear wrong")
+	}
+}
+
+func TestPowerHistogramExponentialOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := make([]float64, 2048)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	d, err := Detect(x, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, dist, err := d.PowerHistogram(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != len(d.Periodogram)-1 {
+		t.Errorf("histogram N = %d", h.N)
+	}
+	// Fig. 12: the power histogram of noise should fit an exponential well.
+	// Bin-0 density of an exponential dominates; check monotone-ish decay by
+	// comparing first and last thirds.
+	first, last := 0, 0
+	for i, c := range h.Counts {
+		if i < len(h.Counts)/3 {
+			first += c
+		}
+		if i >= 2*len(h.Counts)/3 {
+			last += c
+		}
+	}
+	if first <= last {
+		t.Errorf("power histogram not decaying: first-third %d vs last-third %d", first, last)
+	}
+	if fitErr := h.ExponentialFitError(dist); fitErr > 2*dist.Lambda {
+		t.Errorf("exponential fit error %v too large (lambda %v)", fitErr, dist.Lambda)
+	}
+}
+
+func TestPeriodString(t *testing.T) {
+	p := Period{Bin: 3, Length: 7.0, Frequency: 0.142, Power: 0.5}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func BenchmarkDetect1024(b *testing.B) {
+	s := querylog.New(7).Exemplar(querylog.Cinema)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(s.Values, 1e-4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDetectSetSharedPeriod(t *testing.T) {
+	// Several weekly series with different noise: the set detector should
+	// find the shared 7-day rhythm and suppress idiosyncratic peaks.
+	g := querylog.New(20)
+	set := [][]float64{
+		g.Exemplar(querylog.Cinema).Values,
+		g.Exemplar(querylog.Nordstrom).Values,
+		g.Exemplar(querylog.Cinema).Values, // second draw has new noise
+	}
+	det, err := DetectSet(set, DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.HasPeriodNear(7, 0.2) {
+		t.Errorf("shared weekly period not found: %v", det.Top(5))
+	}
+}
+
+func TestDetectSetSuppressesIdiosyncraticPeaks(t *testing.T) {
+	// One strongly periodic series mixed with many noise series: the set
+	// threshold should require the period to survive the averaging.
+	rng := rand.New(rand.NewSource(21))
+	mk := func(amp float64) []float64 {
+		x := make([]float64, 512)
+		for i := range x {
+			x[i] = amp*math.Sin(2*math.Pi*float64(i)/16) + rng.NormFloat64()
+		}
+		return x
+	}
+	weak := [][]float64{mk(0.6)}
+	for i := 0; i < 7; i++ {
+		weak = append(weak, mk(0))
+	}
+	single, err := Detect(weak[0], DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := DetectSet(weak, DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.HasPeriodNear(16, 0.5) && set.HasPeriodNear(16, 0.5) {
+		t.Log("period survived averaging (acceptable), checking power drop")
+	}
+	// The averaged power at the period bin must be far below the single
+	// series' power.
+	bin := 512 / 16
+	if set.Periodogram[bin] >= single.Periodogram[bin] {
+		t.Errorf("averaging did not dilute the lone peak: %v vs %v",
+			set.Periodogram[bin], single.Periodogram[bin])
+	}
+}
+
+func TestDetectSetErrors(t *testing.T) {
+	if _, err := DetectSet(nil, 1e-4); err == nil {
+		t.Error("expected error for empty set")
+	}
+	if _, err := DetectSet([][]float64{make([]float64, 8)}, 0); err == nil {
+		t.Error("expected error for p=0")
+	}
+	if _, err := DetectSet([][]float64{{1, 2}}, 1e-4); err == nil {
+		t.Error("expected error for short sequences")
+	}
+	if _, err := DetectSet([][]float64{make([]float64, 8), make([]float64, 9)}, 1e-4); err == nil {
+		t.Error("expected error for ragged set")
+	}
+	// Flat set: no periods, no error.
+	det, err := DetectSet([][]float64{make([]float64, 16)}, 1e-4)
+	if err != nil || len(det.Periods) != 0 {
+		t.Errorf("flat set: %v %v", det, err)
+	}
+}
+
+func TestPValues(t *testing.T) {
+	s := querylog.New(30).Exemplar(querylog.Cinema)
+	det, err := Detect(s.Values, DefaultConfidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Periods) == 0 {
+		t.Fatal("no periods")
+	}
+	for _, p := range det.Periods {
+		if p.PValue <= 0 || p.PValue >= DefaultConfidence {
+			t.Errorf("period %v: p-value %v should be in (0, %v)", p.Length, p.PValue, DefaultConfidence)
+		}
+	}
+	// Stronger power ⇒ smaller p-value.
+	for i := 1; i < len(det.Periods); i++ {
+		if det.Periods[i].PValue < det.Periods[i-1].PValue {
+			t.Error("p-values not monotone with power ordering")
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package querylog
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/series"
+)
+
+// archetypeKind enumerates the shape classes mixed into bulk datasets.
+type archetypeKind int
+
+const (
+	kindWeekly archetypeKind = iota
+	kindLunar
+	kindSeasonalRamp
+	kindSeasonalBox
+	kindAnniversary
+	kindNewsEvent
+	kindTwoBurst
+	kindRandomWalk
+	kindWhiteNoise
+	numKinds
+)
+
+func (k archetypeKind) String() string {
+	switch k {
+	case kindWeekly:
+		return "weekly"
+	case kindLunar:
+		return "lunar"
+	case kindSeasonalRamp:
+		return "ramp"
+	case kindSeasonalBox:
+		return "seasonal"
+	case kindAnniversary:
+		return "anniv"
+	case kindNewsEvent:
+		return "news"
+	case kindTwoBurst:
+		return "twoburst"
+	case kindRandomWalk:
+		return "walk"
+	case kindWhiteNoise:
+		return "noise"
+	default:
+		return "unknown"
+	}
+}
+
+// randomArchetype draws one jittered series of the given kind. The parameter
+// jitter is what makes two "weekly" queries similar-but-not-identical, which
+// is exactly the structure similarity search is supposed to exploit.
+func (g *Generator) randomArchetype(kind archetypeKind, name string) *series.Series {
+	r := g.rng
+	switch kind {
+	case kindWeekly:
+		prof := [7]float64{}
+		for i := range prof {
+			prof[i] = r.Float64() * 0.3
+		}
+		// Randomly choose weekend-heavy or weekday-heavy demand.
+		if r.Intn(2) == 0 {
+			prof[5], prof[6] = 0.8+r.Float64()*0.4, 0.7+r.Float64()*0.4
+		} else {
+			for i := 1; i <= 5; i++ {
+				prof[i] = 0.7 + r.Float64()*0.4
+			}
+		}
+		return g.build(name, 40+r.Float64()*120, 3+r.Float64()*6,
+			weekendPattern(30+r.Float64()*80, &prof))
+	case kindLunar:
+		return g.build(name, 20+r.Float64()*50, 2+r.Float64()*4,
+			lunarPattern(25+r.Float64()*50))
+	case kindSeasonalRamp:
+		month := time.Month(1 + r.Intn(12))
+		day := 1 + r.Intn(28)
+		rise := 30 + r.Intn(60)
+		drop := 2 + r.Intn(6)
+		return g.build(name, 10+r.Float64()*30, 2+r.Float64()*4,
+			seasonalRampBurst(60+r.Float64()*120, rise, drop,
+				func(year int) time.Time {
+					return time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+				}))
+	case kindSeasonalBox:
+		month := time.Month(1 + r.Intn(12))
+		day := 1 + r.Intn(28)
+		return g.build(name, 10+r.Float64()*40, 2+r.Float64()*5,
+			seasonalBoxBurst(60+r.Float64()*120, month, day, 5+r.Float64()*20))
+	case kindAnniversary:
+		month := time.Month(1 + r.Intn(12))
+		day := 1 + r.Intn(28)
+		return g.build(name, 20+r.Float64()*50, 3+r.Float64()*4,
+			anniversarySpike(80+r.Float64()*150, month, day))
+	case kindNewsEvent:
+		// Keep the event away from the edges when the series is long
+		// enough; degenerate to anywhere-in-range for short series.
+		span := g.Length - 60
+		offset := 30
+		if span < 1 {
+			span = g.Length
+			offset = 0
+		}
+		event := offset + r.Intn(span)
+		return g.build(name, 10+r.Float64()*30, 2+r.Float64()*4,
+			oneShotEvent(80+r.Float64()*250, event, 3+r.Float64()*15))
+	case kindTwoBurst:
+		m1 := time.Month(1 + r.Intn(6))
+		m2 := time.Month(7 + r.Intn(6))
+		return g.build(name, 20+r.Float64()*50, 3+r.Float64()*4,
+			seasonalBoxBurst(50+r.Float64()*80, m1, 1+r.Intn(28), 4+r.Float64()*8),
+			seasonalBoxBurst(40+r.Float64()*80, m2, 1+r.Intn(28), 4+r.Float64()*8))
+	case kindRandomWalk:
+		return g.build(name, 40+r.Float64()*60, 1+r.Float64()*3,
+			g.randomWalk(1+r.Float64()*4))
+	default: // kindWhiteNoise
+		return g.build(name, 30+r.Float64()*70, 5+r.Float64()*15)
+	}
+}
+
+// Dataset generates n jittered series spanning all archetype kinds, cycling
+// through the kinds so every shape class is represented ~equally. Series are
+// named "<kind>-<ordinal>".
+func (g *Generator) Dataset(n int) []*series.Series {
+	out := make([]*series.Series, 0, n)
+	for i := 0; i < n; i++ {
+		kind := archetypeKind(i % int(numKinds))
+		name := fmt.Sprintf("%s-%05d", kind, i)
+		out = append(out, g.randomArchetype(kind, name))
+	}
+	return out
+}
+
+// Queries generates n fresh series not present in any Dataset call (their
+// parameters are new PRNG draws), used as the held-out query workload the
+// paper describes ("the queries were sequences not found in the database").
+func (g *Generator) Queries(n int) []*series.Series {
+	out := make([]*series.Series, 0, n)
+	for i := 0; i < n; i++ {
+		kind := archetypeKind(g.rng.Intn(int(numKinds)))
+		name := fmt.Sprintf("query-%s-%05d", kind, i)
+		out = append(out, g.randomArchetype(kind, name))
+	}
+	return out
+}
+
+// StandardizeAll returns z-scored copies of all series — the paper
+// standardizes every sequence before feature extraction and search.
+func StandardizeAll(in []*series.Series) []*series.Series {
+	out := make([]*series.Series, len(in))
+	for i, s := range in {
+		out[i] = s.Standardized()
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package querylog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV ensures the loader never panics on arbitrary input and that
+// accepted datasets are structurally sound (equal lengths, non-empty names).
+func FuzzLoadCSV(f *testing.F) {
+	seeds := []string{
+		"cinema,1,2,3\n",
+		"a,1\nb,2\n",
+		"a,1,2\nb,3\n",
+		"name only\n",
+		",1,2\n",
+		"x,1e309\n",
+		"x,NaN\n",
+		"\x00,1\n",
+		"q,1,2\n\nq2,3,4\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		data, err := LoadCSV(strings.NewReader(input), DefaultStart)
+		if err != nil {
+			return
+		}
+		if len(data) == 0 {
+			t.Fatal("accepted dataset is empty")
+		}
+		want := data[0].Len()
+		for i, s := range data {
+			if s.Len() != want {
+				t.Fatalf("series %d length %d != %d", i, s.Len(), want)
+			}
+			if s.ID != i {
+				t.Fatalf("series %d has ID %d", i, s.ID)
+			}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package querylog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/seqstore"
+	"repro/internal/series"
+)
+
+// Loading real datasets: the library is not tied to the synthetic
+// generator — any query log exported as CSV (one row per query term:
+// name,v0,v1,...) or as a seqstore binary file plus a ".names" sidecar
+// (the formats cmd/genlog writes) loads into []*series.Series.
+
+// LoadCSV parses series from r. Each line is `name,v0,v1,...`; every row
+// must have the same number of values. start is the calendar date of the
+// first observation.
+func LoadCSV(r io.Reader, start time.Time) ([]*series.Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24) // rows can be long (1024+ values)
+	var out []*series.Series
+	want := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("querylog: line %d: need name plus at least one value", line)
+		}
+		name := strings.TrimSpace(fields[0])
+		values := make([]float64, 0, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("querylog: line %d value %d: %w", line, i, err)
+			}
+			values = append(values, v)
+		}
+		if want == -1 {
+			want = len(values)
+		} else if len(values) != want {
+			return nil, fmt.Errorf("querylog: line %d has %d values, want %d", line, len(values), want)
+		}
+		out = append(out, &series.Series{
+			ID:     len(out),
+			Name:   name,
+			Start:  start,
+			Values: values,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("querylog: read csv: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("querylog: empty csv")
+	}
+	return out, nil
+}
+
+// LoadCSVFile is LoadCSV over a file path.
+func LoadCSVFile(path string, start time.Time) ([]*series.Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCSV(f, start)
+}
+
+// LoadBinary reads a seqstore binary file written by cmd/genlog, with the
+// term names taken from the "<path>.names" sidecar (one name per line; rows
+// beyond the name list get synthetic names).
+func LoadBinary(path string, start time.Time) ([]*series.Series, error) {
+	st, err := seqstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	var names []string
+	if nf, err := os.Open(path + ".names"); err == nil {
+		sc := bufio.NewScanner(nf)
+		for sc.Scan() {
+			names = append(names, strings.TrimSpace(sc.Text()))
+		}
+		nf.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("querylog: read names: %w", err)
+		}
+	}
+
+	out := make([]*series.Series, 0, st.Len())
+	for id := 0; id < st.Len(); id++ {
+		values, err := st.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("series-%05d", id)
+		if id < len(names) && names[id] != "" {
+			name = names[id]
+		}
+		out = append(out, &series.Series{ID: id, Name: name, Start: start, Values: values})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("querylog: empty binary store")
+	}
+	return out, nil
+}

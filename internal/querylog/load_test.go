@@ -1,0 +1,137 @@
+package querylog
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/seqstore"
+)
+
+func TestLoadCSV(t *testing.T) {
+	csv := "cinema,1,2,3.5\n\nfull moon,4,5,6\n"
+	got, err := LoadCSV(strings.NewReader(csv), DefaultStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d series", len(got))
+	}
+	if got[0].Name != "cinema" || got[1].Name != "full moon" {
+		t.Errorf("names: %q %q", got[0].Name, got[1].Name)
+	}
+	if got[0].Values[2] != 3.5 || got[1].Values[0] != 4 {
+		t.Errorf("values: %v %v", got[0].Values, got[1].Values)
+	}
+	if got[0].ID != 0 || got[1].ID != 1 {
+		t.Errorf("ids: %d %d", got[0].ID, got[1].ID)
+	}
+	if !got[0].Start.Equal(DefaultStart) {
+		t.Error("start date not propagated")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"lonely\n",         // no values
+		"a,1,2\nb,1\n",     // ragged rows
+		"a,1,notanumber\n", // bad float
+	}
+	for _, c := range cases {
+		if _, err := LoadCSV(strings.NewReader(c), DefaultStart); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestLoadCSVFileMissing(t *testing.T) {
+	if _, err := LoadCSVFile("/nonexistent/file.csv", DefaultStart); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestCSVRoundTripThroughGenerated(t *testing.T) {
+	// Generate, serialize the way cmd/genlog does, and reload.
+	g := NewGenerator(DefaultStart, 32, 1)
+	data := g.Dataset(5)
+	var sb strings.Builder
+	for _, s := range data {
+		sb.WriteString(s.Name)
+		for _, v := range s.Values {
+			sb.WriteByte(',')
+			sb.WriteString(formatFloat(v))
+		}
+		sb.WriteByte('\n')
+	}
+	back, err := LoadCSV(strings.NewReader(sb.String()), DefaultStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(data) {
+		t.Fatalf("%d vs %d series", len(back), len(data))
+	}
+	for i, s := range data {
+		if back[i].Name != s.Name {
+			t.Errorf("series %d name %q vs %q", i, back[i].Name, s.Name)
+		}
+		for j := range s.Values {
+			if back[i].Values[j] != s.Values[j] {
+				t.Fatalf("series %d value %d: %v vs %v", i, j, back[i].Values[j], s.Values[j])
+			}
+		}
+	}
+}
+
+// formatFloat mirrors cmd/genlog's CSV float formatting.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func TestLoadBinary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	st, err := seqstore.Create(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := [][]float64{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}}
+	for _, v := range vals {
+		if _, err := st.Append(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Names sidecar covers only the first two rows.
+	if err := os.WriteFile(path+".names", []byte("alpha\nbeta\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBinary(path, DefaultStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d series", len(got))
+	}
+	if got[0].Name != "alpha" || got[1].Name != "beta" {
+		t.Errorf("names: %q %q", got[0].Name, got[1].Name)
+	}
+	if got[2].Name != "series-00002" {
+		t.Errorf("fallback name: %q", got[2].Name)
+	}
+	for i, v := range vals {
+		for j := range v {
+			if got[i].Values[j] != v[j] {
+				t.Fatalf("series %d value %d mismatch", i, j)
+			}
+		}
+	}
+	// Missing file.
+	if _, err := LoadBinary(filepath.Join(dir, "missing.bin"), DefaultStart); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,230 @@
+// Package sbt implements elastic burst detection with a Shifted Binary Tree
+// in the style of Zhu & Shasha ("Efficient elastic burst detection in data
+// streams", KDD'03) — the second comparator of the paper's §6 ("compared to
+// the work of Zhu & Shasha, our approach is more flexible since it does not
+// require a custom index structure ... and requires significantly less
+// storage space").
+//
+// Elastic burst detection asks: over a non-negative count stream, find
+// every window (start, w) whose sum meets a per-length threshold f(w), for
+// many window lengths w at once. The SBT aggregates the stream at dyadic
+// resolutions with half-overlapping ("shifted") windows; because sums of
+// non-negative values are monotone under containment, a level window whose
+// aggregate is below the smallest threshold of the lengths it covers prunes
+// every contained window, and only alarm regions pay a detailed search.
+package sbt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Window is one detected burst window.
+type Window struct {
+	// Start is the first index of the window.
+	Start int
+	// Length is the window length w.
+	Length int
+	// Sum is the window aggregate.
+	Sum float64
+}
+
+// Stats reports the pruning behaviour of one search.
+type Stats struct {
+	// Alarms counts level windows whose aggregate met the bracket threshold.
+	Alarms int
+	// DetailedChecks counts candidate (start, length) windows whose exact
+	// sum was evaluated.
+	DetailedChecks int
+	// TotalWindows is the number of candidate windows a brute-force scan
+	// would evaluate.
+	TotalWindows int
+}
+
+// Detector is a built Shifted Binary Tree over one stream.
+type Detector struct {
+	prefix []float64   // prefix sums; prefix[i] = Σ x[0:i]
+	levels [][]float64 // levels[i][j] = sum of window length 2^(i+1) at start j·2^i
+	n      int
+}
+
+// ErrInput is returned for empty or negative inputs.
+var ErrInput = errors.New("sbt: stream must be non-empty and non-negative")
+
+// New builds the SBT over x (non-negative counts).
+func New(x []float64) (*Detector, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, ErrInput
+	}
+	d := &Detector{n: n, prefix: make([]float64, n+1)}
+	for i, v := range x {
+		if v < 0 {
+			return nil, ErrInput
+		}
+		d.prefix[i+1] = d.prefix[i] + v
+	}
+	// Level i (0-based) holds shifted windows of length 2^(i+1) with
+	// stride 2^i. Build levels until one window covers the whole stream.
+	for i := 0; ; i++ {
+		length := 1 << (i + 1)
+		stride := 1 << i
+		if length >= 2*n {
+			break
+		}
+		var lvl []float64
+		for start := 0; start < n; start += stride {
+			end := start + length
+			if end > n {
+				end = n
+			}
+			lvl = append(lvl, d.prefix[end]-d.prefix[start])
+			if end == n {
+				break
+			}
+		}
+		d.levels = append(d.levels, lvl)
+		if length >= n {
+			break
+		}
+	}
+	return d, nil
+}
+
+// Len returns the stream length.
+func (d *Detector) Len() int { return d.n }
+
+// StorageFloats returns the number of float64 aggregates the structure
+// retains (prefix sums plus all shifted levels) — the §6 storage-comparison
+// quantity.
+func (d *Detector) StorageFloats() int {
+	total := len(d.prefix)
+	for _, lvl := range d.levels {
+		total += len(lvl)
+	}
+	return total
+}
+
+// windowSum is the exact sum of (start, length).
+func (d *Detector) windowSum(start, length int) float64 {
+	return d.prefix[start+length] - d.prefix[start]
+}
+
+// Search finds every window whose sum is ≥ its length's threshold. The
+// thresholds map lists the window lengths of interest; thresholds must be
+// non-decreasing in window length (sums of non-negative data are monotone,
+// so any sensible f is), which Search validates.
+func (d *Detector) Search(thresholds map[int]float64) ([]Window, Stats, error) {
+	var st Stats
+	if len(thresholds) == 0 {
+		return nil, st, errors.New("sbt: no window lengths requested")
+	}
+	lengths := make([]int, 0, len(thresholds))
+	for w := range thresholds {
+		if w < 1 || w > d.n {
+			return nil, st, fmt.Errorf("sbt: window length %d out of range [1,%d]", w, d.n)
+		}
+		lengths = append(lengths, w)
+	}
+	sort.Ints(lengths)
+	for i := 1; i < len(lengths); i++ {
+		if thresholds[lengths[i]] < thresholds[lengths[i-1]] {
+			return nil, st, fmt.Errorf("sbt: thresholds must be non-decreasing (f(%d)=%v < f(%d)=%v)",
+				lengths[i], thresholds[lengths[i]], lengths[i-1], thresholds[lengths[i-1]])
+		}
+	}
+	for _, w := range lengths {
+		st.TotalWindows += d.n - w + 1
+	}
+
+	var out []Window
+	seen := map[[2]int]bool{}
+	emit := func(start, w int, sum float64) {
+		key := [2]int{start, w}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, Window{Start: start, Length: w, Sum: sum})
+		}
+	}
+
+	// Window lengths of 1 have no covering level guarantee; scan directly.
+	rest := lengths
+	if rest[0] == 1 {
+		thr := thresholds[1]
+		for s := 0; s < d.n; s++ {
+			st.DetailedChecks++
+			if v := d.windowSum(s, 1); v >= thr {
+				emit(s, 1, v)
+			}
+		}
+		rest = rest[1:]
+	}
+
+	// Assign each remaining length to the level that covers it: level i
+	// (length 2^(i+1), stride 2^i) contains every window of length
+	// ≤ 2^i + 1.
+	byLevel := make([][]int, len(d.levels))
+	for _, w := range rest {
+		li := coveringLevel(w)
+		if li >= len(d.levels) {
+			// Stream too short for a covering level: brute force this length.
+			thr := thresholds[w]
+			for s := 0; s+w <= d.n; s++ {
+				st.DetailedChecks++
+				if v := d.windowSum(s, w); v >= thr {
+					emit(s, w, v)
+				}
+			}
+			continue
+		}
+		byLevel[li] = append(byLevel[li], w)
+	}
+
+	for li, ws := range byLevel {
+		if len(ws) == 0 {
+			continue
+		}
+		minThr := thresholds[ws[0]] // ws sorted ascending ⇒ smallest threshold
+		stride := 1 << li
+		for j, agg := range d.levels[li] {
+			if agg < minThr {
+				continue // prunes every contained window of these lengths
+			}
+			st.Alarms++
+			// Detailed search inside the level window's span.
+			lo := j * stride
+			hi := lo + (2 << li)
+			if hi > d.n {
+				hi = d.n
+			}
+			for _, w := range ws {
+				thr := thresholds[w]
+				for s := lo; s+w <= hi; s++ {
+					st.DetailedChecks++
+					if v := d.windowSum(s, w); v >= thr {
+						emit(s, w, v)
+					}
+				}
+			}
+		}
+	}
+
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Length != out[b].Length {
+			return out[a].Length < out[b].Length
+		}
+		return out[a].Start < out[b].Start
+	})
+	return out, st, nil
+}
+
+// coveringLevel returns the smallest level index whose shifted windows
+// contain every stream window of length w: level i covers w ≤ 2^i + 1.
+func coveringLevel(w int) int {
+	i := 0
+	for (1<<i)+1 < w {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,228 @@
+package sbt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/burst"
+	"repro/internal/querylog"
+	"repro/internal/stats"
+)
+
+// bruteSearch is the exhaustive reference.
+func bruteSearch(x []float64, thresholds map[int]float64) []Window {
+	var out []Window
+	for w, thr := range thresholds {
+		for s := 0; s+w <= len(x); s++ {
+			sum := 0.0
+			for i := s; i < s+w; i++ {
+				sum += x[i]
+			}
+			if sum >= thr {
+				out = append(out, Window{Start: s, Length: w, Sum: sum})
+			}
+		}
+	}
+	return out
+}
+
+func windowSet(ws []Window) map[[2]int]float64 {
+	m := map[[2]int]float64{}
+	for _, w := range ws {
+		m[[2]int{w.Start, w.Length}] = w.Sum
+	}
+	return m
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil); err != ErrInput {
+		t.Error("expected ErrInput for empty")
+	}
+	if _, err := New([]float64{1, -1}); err != ErrInput {
+		t.Error("expected ErrInput for negative")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	d, err := New([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Search(nil); err == nil {
+		t.Error("expected error for no lengths")
+	}
+	if _, _, err := d.Search(map[int]float64{0: 1}); err == nil {
+		t.Error("expected error for length 0")
+	}
+	if _, _, err := d.Search(map[int]float64{9: 1}); err == nil {
+		t.Error("expected error for length > n")
+	}
+	if _, _, err := d.Search(map[int]float64{1: 5, 2: 3}); err == nil {
+		t.Error("expected error for decreasing thresholds")
+	}
+}
+
+func TestSimpleBurst(t *testing.T) {
+	x := []float64{1, 1, 1, 10, 12, 1, 1, 1}
+	d, err := New(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := d.Search(map[int]float64{2: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Start != 3 || got[0].Sum != 22 {
+		t.Errorf("got %v", got)
+	}
+	if st.DetailedChecks >= st.TotalWindows {
+		t.Logf("no pruning on tiny input (fine): %+v", st)
+	}
+}
+
+// Property: SBT output equals brute force on random count streams with
+// multiple window lengths.
+func TestMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(500)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(10))
+		}
+		// A few planted bursts.
+		for b := 0; b < rng.Intn(3); b++ {
+			at := rng.Intn(n)
+			for i := at; i < at+5+rng.Intn(20) && i < n; i++ {
+				x[i] += float64(30 + rng.Intn(30))
+			}
+		}
+		mean := stats.Mean(x)
+		thresholds := map[int]float64{}
+		for _, w := range []int{1, 3, 7, 30} {
+			if w > n {
+				continue
+			}
+			// Non-decreasing in w by construction.
+			thresholds[w] = mean*float64(w) + 25
+		}
+		if len(thresholds) == 0 {
+			return true
+		}
+		d, err := New(x)
+		if err != nil {
+			return false
+		}
+		got, _, err := d.Search(thresholds)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		want := bruteSearch(x, thresholds)
+		gs, ws := windowSet(got), windowSet(want)
+		if len(gs) != len(ws) {
+			t.Logf("n=%d: %d vs brute %d windows", n, len(gs), len(ws))
+			return false
+		}
+		for k, v := range ws {
+			if gv, ok := gs[k]; !ok || gv != v {
+				t.Logf("window %v: %v vs %v", k, gs[k], v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPruningOnQuietStream(t *testing.T) {
+	// A quiet stream with one burst: the SBT must prune most detailed work.
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = float64(rng.Intn(3))
+	}
+	for i := 2000; i < 2030; i++ {
+		x[i] += 200
+	}
+	d, err := New(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := d.Search(map[int]float64{7: 500, 30: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DetailedChecks*5 > st.TotalWindows {
+		t.Errorf("weak pruning: %d detailed of %d total", st.DetailedChecks, st.TotalWindows)
+	}
+}
+
+// The §6 storage claim: compacted burst triplets need far less space than
+// the SBT aggregates for the same sequence.
+func TestStorageComparisonVsTriplets(t *testing.T) {
+	s := querylog.New(6).Exemplar(querylog.Easter)
+	d, err := New(s.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbtFloats := d.StorageFloats()
+	det, err := burst.DetectStandardized(s.Values, burst.LongWindow, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One triplet = startDate + endDate + avg ≈ 3 numbers.
+	tripletFloats := 3 * len(det.Bursts)
+	if tripletFloats == 0 {
+		t.Fatal("no bursts to store")
+	}
+	if sbtFloats < 20*tripletFloats {
+		t.Errorf("SBT stores %d floats vs %d for triplets — expected ≫ (paper §6 claim)",
+			sbtFloats, tripletFloats)
+	}
+	t.Logf("storage: SBT %d floats, burst triplets %d floats (%.0fx)",
+		sbtFloats, tripletFloats, float64(sbtFloats)/float64(tripletFloats))
+}
+
+func TestCoveringLevel(t *testing.T) {
+	cases := map[int]int{2: 0, 3: 1, 5: 2, 9: 3, 17: 4}
+	for w, want := range cases {
+		if got := coveringLevel(w); got != want {
+			t.Errorf("coveringLevel(%d) = %d, want %d", w, got, want)
+		}
+	}
+	// Containment sanity: level i windows (length 2^(i+1), stride 2^i)
+	// contain every window of length ≤ 2^i+1.
+	for w := 2; w <= 17; w++ {
+		i := coveringLevel(w)
+		if w > (1<<i)+1 {
+			t.Errorf("w=%d assigned level %d but exceeds coverage %d", w, i, (1<<i)+1)
+		}
+	}
+}
+
+func BenchmarkSearch4096(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = float64(rng.Intn(5))
+	}
+	for i := 1000; i < 1040; i++ {
+		x[i] += 100
+	}
+	d, err := New(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	thr := map[int]float64{7: 300, 30: 600}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.Search(thr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package seqstore stores uncompressed time series as fixed-length binary
+// records, either on disk or in memory. The similarity-search experiments
+// need it to model the paper's setup faithfully: the index holds only
+// compressed features, and every candidate that survives pruning costs a
+// random read of the full sequence ("the full representation of the
+// remaining objects is retrieved from the disk", §4.1; fig. 23 separates
+// disk-resident from memory-resident storage).
+//
+// The disk backend is a flat file: an 8-byte header (magic + record length)
+// followed by records of n float64 values each, addressed by sequence ID.
+package seqstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+)
+
+// Store is random-access storage of equal-length float64 sequences by ID.
+type Store interface {
+	// Append adds a sequence and returns its ID (IDs are dense from 0).
+	Append(values []float64) (int, error)
+	// Get reads sequence id into a freshly allocated slice.
+	Get(id int) ([]float64, error)
+	// GetInto reads sequence id into dst (must have length SeqLen).
+	GetInto(id int, dst []float64) error
+	// Len returns the number of stored sequences.
+	Len() int
+	// SeqLen returns the per-sequence length.
+	SeqLen() int
+	// Reads returns the number of Get/GetInto calls served (the random-I/O
+	// counter the experiments report).
+	Reads() int64
+	// ResetReads zeroes the read counter.
+	ResetReads()
+	// Close releases resources.
+	Close() error
+}
+
+// ErrNotFound is returned for out-of-range sequence IDs.
+var ErrNotFound = errors.New("seqstore: sequence not found")
+
+// ErrBadLength is returned when a sequence's length does not match the store.
+var ErrBadLength = errors.New("seqstore: sequence length mismatch")
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+
+// Memory is the in-memory Store backend.
+type Memory struct {
+	mu     sync.RWMutex
+	seqLen int
+	data   [][]float64
+	reads  int64
+}
+
+// NewMemory creates an in-memory store for sequences of length seqLen.
+func NewMemory(seqLen int) (*Memory, error) {
+	if seqLen <= 0 {
+		return nil, errors.New("seqstore: sequence length must be positive")
+	}
+	return &Memory{seqLen: seqLen}, nil
+}
+
+// Append implements Store.
+func (m *Memory) Append(values []float64) (int, error) {
+	if len(values) != m.seqLen {
+		return 0, ErrBadLength
+	}
+	cp := make([]float64, len(values))
+	copy(cp, values)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data = append(m.data, cp)
+	return len(m.data) - 1, nil
+}
+
+// Get implements Store.
+func (m *Memory) Get(id int) ([]float64, error) {
+	dst := make([]float64, m.seqLen)
+	if err := m.GetInto(id, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// GetInto implements Store.
+func (m *Memory) GetInto(id int, dst []float64) error {
+	if len(dst) != m.seqLen {
+		return ErrBadLength
+	}
+	m.mu.Lock()
+	m.reads++
+	if id < 0 || id >= len(m.data) {
+		m.mu.Unlock()
+		return ErrNotFound
+	}
+	src := m.data[id]
+	m.mu.Unlock()
+	copy(dst, src)
+	return nil
+}
+
+// Len implements Store.
+func (m *Memory) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.data)
+}
+
+// SeqLen implements Store.
+func (m *Memory) SeqLen() int { return m.seqLen }
+
+// Reads implements Store.
+func (m *Memory) Reads() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.reads
+}
+
+// ResetReads implements Store.
+func (m *Memory) ResetReads() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reads = 0
+}
+
+// Close implements Store.
+func (m *Memory) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Disk backend
+
+const (
+	magic      = uint32(0x53514c47) // "SQLG"
+	headerSize = 8                  // magic + uint32 record length
+)
+
+// Disk is the file-backed Store backend.
+type Disk struct {
+	mu     sync.Mutex
+	f      *os.File
+	seqLen int
+	count  int
+	reads  int64
+	buf    []byte // scratch record buffer, guarded by mu
+}
+
+// Create creates (or truncates) a disk store at path for sequences of
+// length seqLen.
+func Create(path string, seqLen int) (*Disk, error) {
+	if seqLen <= 0 {
+		return nil, errors.New("seqstore: sequence length must be positive")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("seqstore: create: %w", err)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(seqLen))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("seqstore: write header: %w", err)
+	}
+	return &Disk{f: f, seqLen: seqLen, buf: make([]byte, 8*seqLen)}, nil
+}
+
+// Open opens an existing disk store.
+func Open(path string) (*Disk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("seqstore: open: %w", err)
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("seqstore: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
+		f.Close()
+		return nil, errors.New("seqstore: bad magic")
+	}
+	seqLen := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if seqLen <= 0 {
+		f.Close()
+		return nil, errors.New("seqstore: corrupt header")
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	recBytes := int64(8 * seqLen)
+	body := fi.Size() - headerSize
+	if body%recBytes != 0 {
+		f.Close()
+		return nil, errors.New("seqstore: truncated record data")
+	}
+	return &Disk{f: f, seqLen: seqLen, count: int(body / recBytes), buf: make([]byte, recBytes)}, nil
+}
+
+// Append implements Store.
+func (d *Disk) Append(values []float64) (int, error) {
+	if len(values) != d.seqLen {
+		return 0, ErrBadLength
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, v := range values {
+		binary.LittleEndian.PutUint64(d.buf[8*i:], math.Float64bits(v))
+	}
+	off := int64(headerSize) + int64(d.count)*int64(len(d.buf))
+	if _, err := d.f.WriteAt(d.buf, off); err != nil {
+		return 0, fmt.Errorf("seqstore: append: %w", err)
+	}
+	id := d.count
+	d.count++
+	return id, nil
+}
+
+// Get implements Store.
+func (d *Disk) Get(id int) ([]float64, error) {
+	dst := make([]float64, d.seqLen)
+	if err := d.GetInto(id, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// GetInto implements Store.
+func (d *Disk) GetInto(id int, dst []float64) error {
+	if len(dst) != d.seqLen {
+		return ErrBadLength
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reads++
+	if id < 0 || id >= d.count {
+		return ErrNotFound
+	}
+	off := int64(headerSize) + int64(id)*int64(len(d.buf))
+	if _, err := d.f.ReadAt(d.buf, off); err != nil {
+		return fmt.Errorf("seqstore: read record %d: %w", id, err)
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.buf[8*i:]))
+	}
+	return nil
+}
+
+// Len implements Store.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}
+
+// SeqLen implements Store.
+func (d *Disk) SeqLen() int { return d.seqLen }
+
+// Reads implements Store.
+func (d *Disk) Reads() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads
+}
+
+// ResetReads implements Store.
+func (d *Disk) ResetReads() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reads = 0
+}
+
+// Close implements Store.
+func (d *Disk) Close() error { return d.f.Close() }
+
+// Sync flushes buffered writes to stable storage.
+func (d *Disk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Sync()
+}
+
+var (
+	_ Store = (*Memory)(nil)
+	_ Store = (*Disk)(nil)
+)

@@ -1,0 +1,152 @@
+// Package series defines the time-series type the whole system operates on:
+// one value per day for a query word or phrase, e.g. the number of times
+// "Thanksgiving" was issued to the search engine on each day (paper §1).
+//
+// It also provides the exact Euclidean distance (with the early-abandon
+// optimization used by the linear-scan baseline in §7.4), z-score
+// standardization (§6.3), and reconstruction of a sequence from a partial
+// set of Fourier coefficients (used for fig. 5).
+package series
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fft"
+	"repro/internal/stats"
+)
+
+// Series is a daily-count time series for one query term.
+type Series struct {
+	// ID is the database identifier (assigned by the dataset builder).
+	ID int
+	// Name is the query word or phrase, e.g. "cinema".
+	Name string
+	// Start is the calendar date of Values[0].
+	Start time.Time
+	// Values holds one observation per day.
+	Values []float64
+}
+
+// ErrLengthMismatch is returned by distance functions on unequal lengths.
+var ErrLengthMismatch = errors.New("series: length mismatch")
+
+// Len returns the number of daily observations.
+func (s *Series) Len() int { return len(s.Values) }
+
+// DateOf returns the calendar date of observation i.
+func (s *Series) DateOf(i int) time.Time {
+	return s.Start.AddDate(0, 0, i)
+}
+
+// IndexOf returns the observation index of date d, which may be out of range
+// if d falls outside the series.
+func (s *Series) IndexOf(d time.Time) int {
+	return int(d.Sub(s.Start).Hours() / 24)
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	v := make([]float64, len(s.Values))
+	copy(v, s.Values)
+	return &Series{ID: s.ID, Name: s.Name, Start: s.Start, Values: v}
+}
+
+// Standardized returns a z-scored copy of the series (subtract mean, divide
+// by standard deviation), the normalization applied before both similarity
+// search (§7) and burst-feature extraction (§6.3).
+func (s *Series) Standardized() *Series {
+	out := s.Clone()
+	stats.StandardizeInPlace(out.Values)
+	return out
+}
+
+// Spectrum returns the normalized DFT of the series values.
+func (s *Series) Spectrum() ([]complex128, error) {
+	return fft.ForwardReal(s.Values)
+}
+
+// String implements fmt.Stringer.
+func (s *Series) String() string {
+	return fmt.Sprintf("Series(%d, %q, %d days from %s)",
+		s.ID, s.Name, len(s.Values), s.Start.Format("2006-01-02"))
+}
+
+// Euclidean returns the Euclidean distance between two equal-length value
+// vectors.
+func Euclidean(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// EuclideanEarlyAbandon computes the Euclidean distance but gives up as soon
+// as the running squared sum exceeds bound² and then returns (+Inf, true).
+// The linear-scan baseline and the index refinement phase both use this
+// optimization (§7.4: "optimized to perform an early termination of the
+// Euclidean distance, when the running sum exceeded the best-so-far match").
+func EuclideanEarlyAbandon(a, b []float64, bound float64) (dist float64, abandoned bool, err error) {
+	if len(a) != len(b) {
+		return 0, false, ErrLengthMismatch
+	}
+	limit := bound * bound
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+		if sum > limit {
+			return math.Inf(1), true, nil
+		}
+	}
+	return math.Sqrt(sum), false, nil
+}
+
+// SquaredEuclidean returns the squared Euclidean distance.
+func SquaredEuclidean(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum, nil
+}
+
+// Reconstruct rebuilds a time-domain sequence of length n from a sparse set
+// of spectrum coefficients given as position→value. Positions refer to the
+// full-length DFT vector; conjugate mirrors must be present explicitly (the
+// helpers in package spectral add them). Used to reproduce fig. 5.
+func Reconstruct(n int, coeffs map[int]complex128) ([]float64, error) {
+	if n <= 0 {
+		return nil, errors.New("series: reconstruct needs positive length")
+	}
+	X := make([]complex128, n)
+	for pos, c := range coeffs {
+		if pos < 0 || pos >= n {
+			return nil, fmt.Errorf("series: coefficient position %d out of range [0,%d)", pos, n)
+		}
+		X[pos] = c
+	}
+	return fft.InverseReal(X)
+}
+
+// ReconstructionError returns the Euclidean distance between x and its
+// reconstruction from the given sparse coefficients — the quantity "E"
+// annotated on fig. 5.
+func ReconstructionError(x []float64, coeffs map[int]complex128) (float64, error) {
+	rec, err := Reconstruct(len(x), coeffs)
+	if err != nil {
+		return 0, err
+	}
+	return Euclidean(x, rec)
+}

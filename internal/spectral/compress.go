@@ -1,0 +1,285 @@
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Method selects which compressed representation (and bound algebra) to use.
+type Method int
+
+const (
+	// methodUnset is the zero value, reserved so that callers' option
+	// structs can distinguish "not configured" from GEMINI.
+	methodUnset Method = iota
+	// GEMINI keeps the first c coefficients plus the middle (Nyquist)
+	// coefficient and lower-bounds the distance with the symmetric property
+	// (LB-GEMINI). It provides no upper bound.
+	GEMINI
+	// Wang keeps the first c coefficients plus the energy of the omitted
+	// ones; bounds follow Wang & Wang '00.
+	Wang
+	// BestMin keeps the ⌊c/1.125⌋ best coefficients plus the middle
+	// coefficient and uses the minProperty (paper fig. 7).
+	BestMin
+	// BestError keeps the ⌊c/1.125⌋ best coefficients plus the omitted
+	// energy (paper fig. 8).
+	BestError
+	// BestMinError keeps the ⌊c/1.125⌋ best coefficients plus the omitted
+	// energy and uses the minProperty as well (paper fig. 9) — the paper's
+	// tightest representation.
+	BestMinError
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case GEMINI:
+		return "GEMINI"
+	case Wang:
+		return "Wang"
+	case BestMin:
+		return "BestMin"
+	case BestError:
+		return "BestError"
+	case BestMinError:
+		return "BestMinError"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists every representation in presentation order.
+func Methods() []Method { return []Method{GEMINI, Wang, BestMin, BestError, BestMinError} }
+
+// UsesBest reports whether the method selects the largest-magnitude
+// coefficients (rather than the first ones).
+func (m Method) UsesBest() bool { return m == BestMin || m == BestError || m == BestMinError }
+
+// StoresError reports whether the representation records the omitted energy.
+func (m Method) StoresError() bool { return m == Wang || m == BestError || m == BestMinError }
+
+// storesMiddle reports whether the representation spends its spare double on
+// the middle (Nyquist) coefficient instead of the error (Table 1).
+func (m Method) storesMiddle() bool { return m == GEMINI || m == BestMin }
+
+// CoeffBudget returns the number of complex coefficients a method may keep
+// under the "2c+1 doubles" memory budget of §7.1: first-coefficient methods
+// keep c (positions are implicit); best-coefficient methods must also store
+// each position (2 bytes per 16-byte coefficient) and therefore keep
+// ⌊c/1.125⌋.
+func CoeffBudget(m Method, c int) int {
+	if !m.UsesBest() {
+		return c
+	}
+	return int(math.Floor(float64(c) / 1.125))
+}
+
+// Compressed is the stored representation of one sequence.
+type Compressed struct {
+	// Method is the representation/bounds family.
+	Method Method
+	// N is the original sequence length.
+	N int
+	// Positions are the kept half-spectrum bins, sorted ascending.
+	Positions []int
+	// Coeffs[i] is the coefficient at Positions[i].
+	Coeffs []complex128
+	// MinPower is the magnitude of the smallest *selected* best coefficient
+	// (the minProperty radius). Zero for first-coefficient methods.
+	MinPower float64
+	// Err is the weighted energy Σ w·|T_k|² of the omitted bins; valid only
+	// when Method.StoresError() is true.
+	Err float64
+	// basis records the decomposition the coefficients come from.
+	basis basis
+}
+
+// ErrBudget is returned when the memory budget admits no coefficients.
+var ErrBudget = errors.New("spectral: coefficient budget must be >= 1")
+
+// Compress builds the compressed representation of h for the given method
+// under a memory budget of 2·budget+1 doubles (§7.1's "2*(c)+1" accounting).
+func Compress(h *HalfSpectrum, m Method, budget int) (*Compressed, error) {
+	k := CoeffBudget(m, budget)
+	if k < 1 {
+		return nil, ErrBudget
+	}
+	return compressK(h, m, k)
+}
+
+// compressK keeps exactly k coefficients (first or best per the method).
+func compressK(h *HalfSpectrum, m Method, k int) (*Compressed, error) {
+	bins := h.Bins()
+	var positions []int
+	minPower := 0.0
+	if m.UsesBest() {
+		positions, minPower = selectBest(h, k)
+	} else {
+		// "First" coefficients start at bin 1: the data is standardized so
+		// DC carries no information, matching the symmetric-property setup
+		// of Rafiei & Mendelzon.
+		if k > bins-1 {
+			k = bins - 1
+		}
+		if k < 1 {
+			k = 1
+		}
+		positions = make([]int, 0, k)
+		for b := 1; b <= k && b < bins; b++ {
+			positions = append(positions, b)
+		}
+	}
+	if m.storesMiddle() && h.basis == basisDFT {
+		positions = addMiddle(h, positions)
+	}
+	c := &Compressed{Method: m, N: h.N, Positions: positions, MinPower: minPower, basis: h.basis}
+	c.Coeffs = make([]complex128, len(positions))
+	kept := make(map[int]bool, len(positions))
+	for i, p := range positions {
+		c.Coeffs[i] = h.Coeffs[p]
+		kept[p] = true
+	}
+	if m.StoresError() {
+		for b := 0; b < bins; b++ {
+			if !kept[b] {
+				c.Err += h.Power(b)
+			}
+		}
+	}
+	return c, nil
+}
+
+// selectBest returns the k largest-magnitude bins (any bin, DC included —
+// for standardized data DC is zero and never wins) sorted by position, plus
+// the magnitude of the smallest selected one.
+func selectBest(h *HalfSpectrum, k int) ([]int, float64) {
+	bins := h.Bins()
+	if k > bins {
+		k = bins
+	}
+	order := make([]int, bins)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ma, mb := cmplx.Abs(h.Coeffs[order[a]]), cmplx.Abs(h.Coeffs[order[b]])
+		if ma != mb {
+			return ma > mb
+		}
+		return order[a] < order[b] // deterministic tie-break
+	})
+	sel := append([]int(nil), order[:k]...)
+	minPower := cmplx.Abs(h.Coeffs[sel[k-1]])
+	sort.Ints(sel)
+	return sel, minPower
+}
+
+// addMiddle appends the middle (Nyquist) bin if the length is even and the
+// bin is not already kept. If it is already kept the representation simply
+// uses one less double (§7.1).
+func addMiddle(h *HalfSpectrum, positions []int) []int {
+	if h.N%2 != 0 {
+		return positions
+	}
+	mid := h.N / 2
+	for _, p := range positions {
+		if p == mid {
+			return positions
+		}
+	}
+	positions = append(positions, mid)
+	sort.Ints(positions)
+	return positions
+}
+
+// CompressEnergy implements the paper's §8 extension: keep the best
+// coefficients until they capture at least the given fraction of the signal
+// energy (0 < fraction ≤ 1). The result uses BestMinError bounds.
+func CompressEnergy(h *HalfSpectrum, fraction float64) (*Compressed, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, errors.New("spectral: energy fraction must be in (0,1]")
+	}
+	total := h.Energy()
+	if total == 0 {
+		return compressK(h, BestMinError, 1)
+	}
+	bins := h.Bins()
+	order := make([]int, bins)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return cmplx.Abs(h.Coeffs[order[a]]) > cmplx.Abs(h.Coeffs[order[b]])
+	})
+	captured := 0.0
+	k := 0
+	for k < bins && captured < fraction*total {
+		captured += h.Power(order[k])
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	return compressK(h, BestMinError, k)
+}
+
+// MemoryDoubles returns the number of 8-byte doubles this representation
+// occupies under the §7.1 accounting: 2 doubles per coefficient, plus 0.25
+// doubles per stored position for best-coefficient methods, plus 1 double
+// for the error (the middle coefficient, being real, costs 1 double and is
+// already included in its coefficient count at 2 — we charge it at 1 like
+// the paper does).
+func (t *Compressed) MemoryDoubles() float64 {
+	mem := 0.0
+	for _, p := range t.Positions {
+		if t.N%2 == 0 && p == t.N/2 {
+			mem++ // middle coefficient is real: one double
+			continue
+		}
+		mem += 2
+		if t.Method.UsesBest() {
+			mem += 0.25 // 2-byte stored position
+		}
+	}
+	if t.Method.StoresError() {
+		mem++
+	}
+	return mem
+}
+
+// Reconstruct inverts the compressed representation to the time domain,
+// zero-filling omitted bins — the reconstruction whose error fig. 5 reports.
+func (t *Compressed) Reconstruct() ([]float64, error) {
+	bins := t.N/2 + 1
+	if t.basis == basisHaar {
+		bins = t.N
+	}
+	h := &HalfSpectrum{N: t.N, Coeffs: make([]complex128, bins), basis: t.basis}
+	for i, p := range t.Positions {
+		h.Coeffs[p] = t.Coeffs[i]
+	}
+	return h.Values()
+}
+
+// ReconstructionError returns the Euclidean distance between x and the
+// reconstruction from this representation. By Parseval it equals the square
+// root of the omitted weighted energy.
+func (t *Compressed) ReconstructionError(x []float64) (float64, error) {
+	rec, err := t.Reconstruct()
+	if err != nil {
+		return 0, err
+	}
+	if len(rec) != len(x) {
+		return 0, ErrMismatch
+	}
+	sum := 0.0
+	for i := range x {
+		d := x[i] - rec[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum), nil
+}

@@ -1,0 +1,73 @@
+package spectral
+
+import (
+	"errors"
+	"math"
+)
+
+// The paper notes (§3) that its algorithms "can be adapted to any class of
+// orthogonal decompositions (such as wavelets, PCA, etc.) with minimal or no
+// adjustments". This file demonstrates that: an orthonormal Haar wavelet
+// decomposition exposed through the same HalfSpectrum type, so Compress,
+// Bounds and the VP-tree work on it unchanged. Haar coefficients are real
+// and all unique, so every bin has Parseval weight 1.
+
+// basis identifies the orthogonal decomposition backing a HalfSpectrum.
+type basis int
+
+const (
+	basisDFT basis = iota
+	basisHaar
+)
+
+// ErrPowerOfTwo is returned when the Haar transform gets a length that is
+// not a power of two.
+var ErrPowerOfTwo = errors.New("spectral: haar requires power-of-two length")
+
+// FromValuesHaar computes the orthonormal Haar decomposition of x (length
+// must be a power of two). The result behaves exactly like a DFT-backed
+// HalfSpectrum: distances are preserved and the compressed bounds apply.
+func FromValuesHaar(x []float64) (*HalfSpectrum, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("spectral: empty input")
+	}
+	if n&(n-1) != 0 {
+		return nil, ErrPowerOfTwo
+	}
+	work := make([]float64, n)
+	copy(work, x)
+	tmp := make([]float64, n)
+	for l := n; l >= 2; l /= 2 {
+		half := l / 2
+		for i := 0; i < half; i++ {
+			tmp[i] = (work[2*i] + work[2*i+1]) / math.Sqrt2
+			tmp[half+i] = (work[2*i] - work[2*i+1]) / math.Sqrt2
+		}
+		copy(work[:l], tmp[:l])
+	}
+	coeffs := make([]complex128, n)
+	for i, v := range work {
+		coeffs[i] = complex(v, 0)
+	}
+	return &HalfSpectrum{N: n, Coeffs: coeffs, basis: basisHaar}, nil
+}
+
+// haarInverse inverts the orthonormal Haar decomposition.
+func haarInverse(c []complex128) []float64 {
+	n := len(c)
+	work := make([]float64, n)
+	for i, v := range c {
+		work[i] = real(v)
+	}
+	tmp := make([]float64, n)
+	for l := 2; l <= n; l *= 2 {
+		half := l / 2
+		for i := 0; i < half; i++ {
+			tmp[2*i] = (work[i] + work[half+i]) / math.Sqrt2
+			tmp[2*i+1] = (work[i] - work[half+i]) / math.Sqrt2
+		}
+		copy(work[:l], tmp[:l])
+	}
+	return work
+}

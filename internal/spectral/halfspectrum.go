@@ -1,0 +1,173 @@
+// Package spectral implements the paper's compressed time-series
+// representations and their Euclidean-distance bounds (§3):
+//
+//   - GEMINI        — first coefficients, symmetric lower bound [Agrawal et
+//     al. '93, tightened by Rafiei & Mendelzon '98],
+//   - Wang          — first coefficients + approximation error [Wang & Wang '00],
+//   - BestMin       — best (largest-magnitude) coefficients + minProperty,
+//   - BestError     — best coefficients + approximation error,
+//   - BestMinError  — best coefficients + minProperty + error (tightest).
+//
+// Sequences are real, so their spectra are conjugate-symmetric and only the
+// first half of the coefficients is unique. We work on that half-spectrum
+// and attach a Parseval weight to every bin (2 for a bin with a conjugate
+// mirror, 1 for DC and — when the length is even — the Nyquist bin), which
+// makes the weighted frequency-domain distance *exactly* equal to the
+// time-domain Euclidean distance. All the bound algebra of §3 goes through
+// term-by-term under these weights.
+package spectral
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/fft"
+)
+
+// HalfSpectrum holds the unique coefficients of an orthogonal decomposition
+// of a real sequence of length N. For the default DFT basis these are bins
+// 0 .. ⌊N/2⌋ of the normalized transform; for the Haar basis (see
+// FromValuesHaar) they are all N wavelet coefficients with weight 1.
+type HalfSpectrum struct {
+	// N is the original time-domain length.
+	N int
+	// Coeffs[k] is the coefficient at bin k (DFT: k = 0 .. ⌊N/2⌋).
+	Coeffs []complex128
+	// basis selects the decomposition; the zero value is the DFT.
+	basis basis
+}
+
+// ErrMismatch is returned when two spectra have different original lengths.
+var ErrMismatch = errors.New("spectral: sequence length mismatch")
+
+// FromValues computes the half-spectrum of a real sequence.
+func FromValues(x []float64) (*HalfSpectrum, error) {
+	X, err := fft.ForwardReal(x)
+	if err != nil {
+		return nil, err
+	}
+	half := len(X)/2 + 1
+	h := &HalfSpectrum{N: len(X), Coeffs: make([]complex128, half)}
+	copy(h.Coeffs, X[:half])
+	return h, nil
+}
+
+// Bins returns the number of unique bins (⌊N/2⌋+1).
+func (h *HalfSpectrum) Bins() int { return len(h.Coeffs) }
+
+// Weight returns the Parseval weight of bin k. For the DFT basis it is 1
+// for DC and (even N) the Nyquist bin and 2 for every bin with a distinct
+// conjugate mirror; for real orthonormal bases (Haar) every bin weighs 1.
+func (h *HalfSpectrum) Weight(k int) float64 {
+	if h.basis == basisHaar {
+		return 1
+	}
+	if k == 0 {
+		return 1
+	}
+	if h.N%2 == 0 && k == h.N/2 {
+		return 1
+	}
+	return 2
+}
+
+// Power returns the weighted power of bin k: Weight(k)·|X(k)|², i.e. the
+// total energy that bin contributes to the full spectrum.
+func (h *HalfSpectrum) Power(k int) float64 {
+	m := cmplx.Abs(h.Coeffs[k])
+	return h.Weight(k) * m * m
+}
+
+// Energy returns the total weighted energy, which by Parseval equals the
+// time-domain energy of the original sequence.
+func (h *HalfSpectrum) Energy() float64 {
+	e := 0.0
+	for k := range h.Coeffs {
+		e += h.Power(k)
+	}
+	return e
+}
+
+// Distance returns the exact Euclidean distance between the two underlying
+// time-domain sequences, computed in the coefficient domain.
+func Distance(a, b *HalfSpectrum) (float64, error) {
+	if a.N != b.N || a.basis != b.basis {
+		return 0, ErrMismatch
+	}
+	sum := 0.0
+	for k := range a.Coeffs {
+		d := cmplx.Abs(a.Coeffs[k] - b.Coeffs[k])
+		sum += a.Weight(k) * d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// MaskedDistance returns the Euclidean distance restricted to the given
+// half-spectrum bins — the §7.5 S2 feature ("it is at the user's discretion
+// to use all or some of the best-k periods for similarity search, therefore
+// effectively concentrating on just the periods of interest"):
+//
+//	sqrt( Σ_{k∈bins} w_k · |A_k − B_k|² )
+//
+// Duplicate bins are counted once; out-of-range bins are an error.
+func MaskedDistance(a, b *HalfSpectrum, bins []int) (float64, error) {
+	if a.N != b.N || a.basis != b.basis {
+		return 0, ErrMismatch
+	}
+	seen := make(map[int]bool, len(bins))
+	sum := 0.0
+	for _, k := range bins {
+		if k < 0 || k >= a.Bins() {
+			return 0, errors.New("spectral: masked bin out of range")
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		d := absFast(a.Coeffs[k] - b.Coeffs[k])
+		sum += a.Weight(k) * d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// BinsForPeriods returns the half-spectrum bins whose period (N/k days)
+// lies within relTol (relative tolerance, e.g. 0.05 for ±5 %) of any
+// requested period. DC is never included.
+func (h *HalfSpectrum) BinsForPeriods(periods []float64, relTol float64) []int {
+	var out []int
+	for k := 1; k < h.Bins(); k++ {
+		binPeriod := float64(h.N) / float64(k)
+		for _, p := range periods {
+			if p <= 0 {
+				continue
+			}
+			if math.Abs(binPeriod-p) <= relTol*p {
+				out = append(out, k)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FullSpectrum expands the half-spectrum back to the full conjugate-symmetric
+// DFT vector of length N.
+func (h *HalfSpectrum) FullSpectrum() []complex128 {
+	X := make([]complex128, h.N)
+	copy(X, h.Coeffs)
+	for k := 1; k < len(h.Coeffs); k++ {
+		if h.N-k != k {
+			X[h.N-k] = cmplx.Conj(h.Coeffs[k])
+		}
+	}
+	return X
+}
+
+// Values inverts the decomposition back to the time domain.
+func (h *HalfSpectrum) Values() ([]float64, error) {
+	if h.basis == basisHaar {
+		return haarInverse(h.Coeffs), nil
+	}
+	return fft.InverseReal(h.FullSpectrum())
+}

@@ -1,0 +1,209 @@
+package vptree
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/spectral"
+)
+
+// Dynamic maintenance (§4.1 notes that "accommodation of insertion and
+// deletion procedures can be implemented on top of the proposed search
+// mechanisms", citing the dynamic vp-tree of Fu et al.). A dynamic tree
+// retains the uncompressed spectra of its objects so that inserts can
+// route and split with exact distances, exactly like construction does;
+// static trees stay compact and reject updates.
+//
+//   - Insert descends by exact distance to each vantage point and appends
+//     to the reached leaf; a leaf that overflows past 2×LeafSize is rebuilt
+//     into a subtree from its retained spectra.
+//   - Delete tombstones the object wherever it lives: leaf entries are
+//     removed outright, vantage points stay as routing-only markers (their
+//     position is load-bearing for the subtree's median invariant) and are
+//     excluded from results.
+
+// ErrStatic is returned when updating a tree built without Dynamic mode.
+var ErrStatic = errors.New("vptree: tree was built without Options.Dynamic")
+
+// ErrDuplicateID is returned when inserting an ID the tree already holds.
+var ErrDuplicateID = errors.New("vptree: duplicate sequence ID")
+
+// Insert adds a new object to a dynamic tree. The spectrum must have the
+// tree's sequence length; id must address the object in the seqstore used
+// at query time.
+func (t *Tree) Insert(spec *spectral.HalfSpectrum, id int) error {
+	if !t.opts.Dynamic {
+		return ErrStatic
+	}
+	if spec.N != t.seqLen {
+		return spectral.ErrMismatch
+	}
+	if _, dup := t.specByID[id]; dup {
+		return ErrDuplicateID
+	}
+	nd, err := t.insertNode(t.root, spec, id)
+	if err != nil {
+		return err
+	}
+	t.root = nd
+	t.specByID[id] = spec
+	t.n++
+	return nil
+}
+
+func (t *Tree) insertNode(nd *node, spec *spectral.HalfSpectrum, id int) (*node, error) {
+	if nd.leaf != nil {
+		ref, err := t.compressSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		nd.leaf = append(nd.leaf, entry{id: id, ref: ref})
+		if len(nd.leaf) <= 2*t.opts.LeafSize {
+			return nd, nil
+		}
+		return t.rebuildLeaf(nd, spec, id)
+	}
+	vpSpec, ok := t.specByID[nd.vpID]
+	if !ok {
+		// The vantage point's spectrum was dropped by a delete; route by
+		// reconstructing it from the stored compressed form (exact enough
+		// for routing is not acceptable — so we keep VP spectra on delete;
+		// reaching here is a bug).
+		return nil, errors.New("vptree: missing vantage-point spectrum")
+	}
+	d, err := spectral.Distance(vpSpec, spec)
+	if err != nil {
+		return nil, err
+	}
+	var child **node
+	if d <= nd.median {
+		child = &nd.left
+	} else {
+		child = &nd.right
+	}
+	sub, err := t.insertNode(*child, spec, id)
+	if err != nil {
+		return nil, err
+	}
+	*child = sub
+	return nd, nil
+}
+
+// compressSpec compresses one spectrum into the feature table, using the
+// fixed Budget or, when EnergyFraction is set, the §8 variable-coefficient
+// scheme.
+func (t *Tree) compressSpec(spec *spectral.HalfSpectrum) (int, error) {
+	var c *spectral.Compressed
+	var err error
+	if t.opts.EnergyFraction > 0 {
+		c, err = spectral.CompressEnergy(spec, t.opts.EnergyFraction)
+	} else {
+		c, err = spectral.Compress(spec, t.opts.Method, t.opts.Budget)
+	}
+	if err != nil {
+		return 0, err
+	}
+	t.features = append(t.features, c)
+	return len(t.features) - 1, nil
+}
+
+// rebuildLeaf converts an overflowing leaf (which already contains the new
+// entry) into a subtree built with the standard construction algorithm.
+func (t *Tree) rebuildLeaf(nd *node, newSpec *spectral.HalfSpectrum, newID int) (*node, error) {
+	specs := make([]*spectral.HalfSpectrum, 0, len(nd.leaf))
+	ids := make([]int, 0, len(nd.leaf))
+	for _, e := range nd.leaf {
+		s, ok := t.specByID[e.id]
+		if !ok {
+			if e.id == newID {
+				s = newSpec
+			} else {
+				return nil, errors.New("vptree: missing spectrum for leaf rebuild")
+			}
+		}
+		specs = append(specs, s)
+		ids = append(ids, e.id)
+	}
+	idx := make([]int, len(specs))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(t.opts.Seed + int64(len(t.features))))
+	return t.build(specs, ids, idx, rng)
+}
+
+// Delete removes the object with the given id from a dynamic tree and
+// reports whether it was present. Vantage points are tombstoned (kept for
+// routing, excluded from search results); leaf entries are removed.
+func (t *Tree) Delete(id int) (bool, error) {
+	if !t.opts.Dynamic {
+		return false, ErrStatic
+	}
+	removed := t.deleteNode(t.root, id)
+	if removed {
+		t.n--
+		// Keep the spectrum of tombstoned vantage points: inserts still
+		// route through them. Leaf spectra are no longer needed.
+		if !t.isVantage(t.root, id) {
+			delete(t.specByID, id)
+		}
+	}
+	return removed, nil
+}
+
+func (t *Tree) deleteNode(nd *node, id int) bool {
+	if nd == nil {
+		return false
+	}
+	if nd.leaf != nil {
+		for i, e := range nd.leaf {
+			if e.id == id {
+				nd.leaf = append(nd.leaf[:i], nd.leaf[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	if nd.vpID == id && !nd.vpDeleted {
+		nd.vpDeleted = true
+		return true
+	}
+	if t.deleteNode(nd.left, id) {
+		return true
+	}
+	return t.deleteNode(nd.right, id)
+}
+
+// isVantage reports whether id is a (possibly tombstoned) vantage point.
+func (t *Tree) isVantage(nd *node, id int) bool {
+	if nd == nil || nd.leaf != nil {
+		return false
+	}
+	if nd.vpID == id {
+		return true
+	}
+	return t.isVantage(nd.left, id) || t.isVantage(nd.right, id)
+}
+
+// Contains reports whether the tree holds a live object with the given id.
+func (t *Tree) Contains(id int) bool {
+	return t.contains(t.root, id)
+}
+
+func (t *Tree) contains(nd *node, id int) bool {
+	if nd == nil {
+		return false
+	}
+	if nd.leaf != nil {
+		for _, e := range nd.leaf {
+			if e.id == id {
+				return true
+			}
+		}
+		return false
+	}
+	if nd.vpID == id {
+		return !nd.vpDeleted
+	}
+	return t.contains(nd.left, id) || t.contains(nd.right, id)
+}

@@ -1,0 +1,116 @@
+package vptree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/querylog"
+	"repro/internal/seqstore"
+	"repro/internal/spectral"
+)
+
+// The §8 extension: a tree of variable-size (energy-capped) representations
+// must still answer exactly.
+func TestEnergyFractionTreeExact(t *testing.T) {
+	fx := buildFixture(t, 100, 128, Options{EnergyFraction: 0.9}, 40)
+	for qi, q := range fx.queries {
+		want := bruteKNN(t, fx.values, q, 3)
+		got, st, err := fx.tree.Search(q, 3, fx.tree.Features(), fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Errorf("query %d rank %d: %v vs %v", qi, i, got[i].Dist, want[i].Dist)
+			}
+		}
+		if st.BoundsComputed == 0 {
+			t.Error("no bounds computed")
+		}
+	}
+	// Representation sizes should actually vary across objects.
+	sizes := map[int]bool{}
+	for _, c := range fx.tree.Features() {
+		sizes[len(c.Positions)] = true
+	}
+	if len(sizes) < 3 {
+		t.Errorf("energy compression produced only %d distinct sizes", len(sizes))
+	}
+}
+
+// Smooth (periodic) series should get far smaller representations than
+// noise at the same captured energy.
+func TestEnergyFractionAdaptsToContent(t *testing.T) {
+	g := querylog.NewGenerator(querylog.DefaultStart, 512, 41)
+	periodic := g.Exemplar(querylog.Cinema).Standardized()
+	noise := g.Exemplar(querylog.WhiteNoiseName).Standardized()
+	hp, err := spectral.FromValues(periodic.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn, err := spectral.FromValues(noise.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := spectral.CompressEnergy(hp, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := spectral.CompressEnergy(hn, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Positions)*2 >= len(cn.Positions) {
+		t.Errorf("periodic needs %d coeffs, noise %d — expected periodic << noise",
+			len(cp.Positions), len(cn.Positions))
+	}
+}
+
+func TestEnergyFractionWithDynamicInsert(t *testing.T) {
+	g := querylog.NewGenerator(querylog.DefaultStart, 64, 42)
+	data := querylog.StandardizeAll(g.Dataset(20))
+	store, err := seqstore.NewMemory(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]*spectral.HalfSpectrum, 10)
+	ids := make([]int, 10)
+	for i := 0; i < 10; i++ {
+		if ids[i], err = store.Append(data[i].Values); err != nil {
+			t.Fatal(err)
+		}
+		if specs[i], err = spectral.FromValues(data[i].Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree, err := Build(specs, ids, Options{EnergyFraction: 0.85, Dynamic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 20; i++ {
+		id, err := store.Append(data[i].Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := spectral.FromValues(data[i].Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Insert(h, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := querylog.StandardizeAll(g.Queries(1))[0]
+	values := make([][]float64, 20)
+	for i := range values {
+		values[i] = data[i].Values
+	}
+	want := bruteKNN(t, values, q.Values, 1)[0]
+	got, _, err := tree.Search(q.Values, 1, tree.Features(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0].Dist-want.Dist) > 1e-9 {
+		t.Errorf("energy+dynamic: %v vs %v", got[0].Dist, want.Dist)
+	}
+}

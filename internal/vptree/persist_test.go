@@ -1,0 +1,150 @@
+package vptree
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fx := buildFixture(t, 120, 128, Options{Budget: 12}, 50)
+	path := filepath.Join(t.TempDir(), "tree.bin")
+	if err := fx.tree.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != fx.tree.Len() || loaded.SeqLen() != fx.tree.SeqLen() {
+		t.Fatalf("Len/SeqLen: %d/%d vs %d/%d",
+			loaded.Len(), loaded.SeqLen(), fx.tree.Len(), fx.tree.SeqLen())
+	}
+	if loaded.Height() != fx.tree.Height() {
+		t.Errorf("height %d vs %d", loaded.Height(), fx.tree.Height())
+	}
+	// Searches on the loaded tree return identical answers.
+	for _, q := range fx.queries {
+		want, _, err := fx.tree.Search(q, 3, fx.tree.Features(), fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := loaded.Search(q, 3, loaded.Features(), fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("result count %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || math.Abs(got[i].Dist-want[i].Dist) > 1e-12 {
+				t.Errorf("rank %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSaveLoadWithTombstones(t *testing.T) {
+	fx := buildDynFixture(t, 40, 0, 64, 51)
+	// Delete a handful (some become tombstoned vantage points).
+	for id := 0; id < 10; id++ {
+		if _, err := fx.tree.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		delete(fx.values, id)
+	}
+	path := filepath.Join(t.TempDir(), "tree.bin")
+	if err := fx.tree.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 30 {
+		t.Fatalf("loaded Len = %d, want 30", loaded.Len())
+	}
+	// Deleted objects never surface in results.
+	got, _, err := loaded.Search(fx.queries[0], 30, loaded.Features(), fx.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("got %d results, want 30 live objects", len(got))
+	}
+	for _, r := range got {
+		if r.ID < 10 {
+			t.Errorf("deleted id %d resurfaced", r.ID)
+		}
+	}
+	// Loaded trees are static.
+	if _, err := loaded.Delete(15); err != ErrStatic {
+		t.Errorf("Delete on loaded tree: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, []byte("not a tree file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("expected error for garbage file")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	// Truncated valid file.
+	fx := buildFixture(t, 20, 64, Options{Budget: 6}, 52)
+	good := filepath.Join(dir, "good.bin")
+	if err := fx.tree.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{10, len(data) / 2, len(data) - 3} {
+		trunc := filepath.Join(dir, "trunc.bin")
+		if err := os.WriteFile(trunc, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(trunc); err == nil {
+			t.Errorf("expected error for file truncated at %d", cut)
+		}
+	}
+	// Trailing junk.
+	junk := filepath.Join(dir, "junk.bin")
+	if err := os.WriteFile(junk, append(data, 0xFF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(junk); err == nil {
+		t.Error("expected error for trailing junk")
+	}
+}
+
+func TestSaveLoadEnergyFractionTree(t *testing.T) {
+	fx := buildFixture(t, 50, 64, Options{EnergyFraction: 0.9}, 53)
+	path := filepath.Join(t.TempDir(), "etree.bin")
+	if err := fx.tree.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := fx.queries[0]
+	want, _, err := fx.tree.Search(q, 1, fx.tree.Features(), fx.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := loaded.Search(q, 1, loaded.Features(), fx.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != want[0].ID || math.Abs(got[0].Dist-want[0].Dist) > 1e-12 {
+		t.Errorf("%+v vs %+v", got[0], want[0])
+	}
+}

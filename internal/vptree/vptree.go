@@ -1,0 +1,592 @@
+// Package vptree implements the paper's customized vantage-point tree (§4):
+// a metric-space index whose vantage points and leaf objects are stored as
+// *compressed* spectral representations, searched with the lower/upper
+// distance bounds of package spectral instead of exact distances.
+//
+// Construction follows §4.1: the tree is built on uncompressed data (exact
+// distances, exact split medians), selecting as vantage point the candidate
+// with the highest standard deviation of distances to the other objects;
+// only afterwards is every stored object converted to its compressed form.
+//
+// Search is the fig. 11 algorithm extended with the guided-descent heuristic:
+// at each vantage point the child whose distance annulus overlaps the query
+// bounds more is visited first, the best-so-far upper bound σ_UB prunes
+// subtrees, and the surviving compressed candidates are refined by fetching
+// full sequences from a seqstore.Store in increasing lower-bound order with
+// early abandoning.
+package vptree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"sort"
+
+	"repro/internal/seqstore"
+	"repro/internal/series"
+	"repro/internal/spectral"
+)
+
+// Options configures tree construction.
+type Options struct {
+	// Method is the compressed representation family (default BestMinError).
+	Method spectral.Method
+	// Budget is the memory budget c of "2c+1 doubles" per object (default 16).
+	Budget int
+	// LeafSize is the max number of objects in a leaf (default 4).
+	LeafSize int
+	// Candidates is how many vantage-point candidates to evaluate per split
+	// (default 8).
+	Candidates int
+	// Sample is how many distances to sample per candidate when estimating
+	// the distance spread (default 32).
+	Sample int
+	// Seed drives candidate sampling (default 1).
+	Seed int64
+	// PaperBounds selects the paper-faithful fig. 9 bounds instead of the
+	// provably sound SafeBounds. The default (false) uses SafeBounds so that
+	// search results are exact.
+	PaperBounds bool
+	// Dynamic retains the uncompressed spectra so Insert and Delete work
+	// after construction, trading the compact-index property for
+	// updatability (see dynamic.go).
+	Dynamic bool
+	// EnergyFraction, when in (0,1], switches to the paper's §8 extension:
+	// each object keeps however many best coefficients capture this
+	// fraction of its energy (variable-size BestMinError representations)
+	// instead of a fixed Budget.
+	EnergyFraction float64
+	// NoGuidedDescent disables the §4.1 annulus-overlap heuristic and
+	// always visits the left child first (ablation knob; results are
+	// unchanged, work may increase).
+	NoGuidedDescent bool
+}
+
+func (o *Options) fill() {
+	if o.Method == 0 {
+		o.Method = spectral.BestMinError
+	}
+	if o.Budget == 0 {
+		o.Budget = 16
+	}
+	if o.LeafSize == 0 {
+		o.LeafSize = 4
+	}
+	if o.Candidates == 0 {
+		o.Candidates = 8
+	}
+	if o.Sample == 0 {
+		o.Sample = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// FeatureSource resolves a feature reference to its compressed
+// representation. The in-memory implementation is a slice lookup; the disk
+// implementation (DiskFeatures) reads and decodes a record, modelling the
+// "index on disk" configuration of fig. 23.
+type FeatureSource interface {
+	// Feature returns the compressed representation for ref.
+	Feature(ref int) (*spectral.Compressed, error)
+	// NumFeatures returns the number of stored features.
+	NumFeatures() int
+}
+
+// MemoryFeatures is the in-memory FeatureSource.
+type MemoryFeatures []*spectral.Compressed
+
+// Feature implements FeatureSource.
+func (m MemoryFeatures) Feature(ref int) (*spectral.Compressed, error) {
+	if ref < 0 || ref >= len(m) {
+		return nil, fmt.Errorf("vptree: feature ref %d out of range", ref)
+	}
+	return m[ref], nil
+}
+
+// NumFeatures implements FeatureSource.
+func (m MemoryFeatures) NumFeatures() int { return len(m) }
+
+// node is one tree node: internal nodes carry a vantage point and a median;
+// leaves carry a bucket of entries.
+type node struct {
+	vpID      int // sequence ID of the vantage point
+	vpRef     int // feature reference of the vantage point
+	vpDeleted bool
+	median    float64
+	left      *node
+	right     *node
+	leaf      []entry // non-nil ⇒ leaf node
+}
+
+type entry struct {
+	id  int
+	ref int
+}
+
+// Tree is the compressed vantage-point tree.
+type Tree struct {
+	root     *node
+	n        int
+	seqLen   int
+	opts     Options
+	features MemoryFeatures // populated at build; may be swapped to disk
+	// specByID retains the uncompressed spectra in Dynamic mode.
+	specByID map[int]*spectral.HalfSpectrum
+}
+
+// Stats reports the work one search performed.
+type Stats struct {
+	// BoundsComputed counts lower/upper bound evaluations against
+	// compressed objects (vantage points and leaf entries).
+	BoundsComputed int
+	// NodesVisited counts tree nodes traversed.
+	NodesVisited int
+	// Candidates counts compressed objects that survived traversal.
+	Candidates int
+	// FullRetrievals counts uncompressed sequences fetched from the store.
+	FullRetrievals int
+}
+
+// Result is one neighbour: the sequence ID and its exact Euclidean distance.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// Build constructs the tree over the given spectra. ids[i] is the sequence
+// ID of specs[i] (it must address the same sequence in the seqstore used at
+// query time). The returned tree owns an in-memory feature table; use
+// Features to obtain it, e.g. for spilling to disk.
+func Build(specs []*spectral.HalfSpectrum, ids []int, opts Options) (*Tree, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("vptree: empty input")
+	}
+	if len(specs) != len(ids) {
+		return nil, errors.New("vptree: specs/ids length mismatch")
+	}
+	opts.fill()
+	n := specs[0].N
+	for _, s := range specs {
+		if s.N != n {
+			return nil, spectral.ErrMismatch
+		}
+	}
+	t := &Tree{n: len(specs), seqLen: n, opts: opts}
+	t.features = make(MemoryFeatures, 0, len(specs))
+	if opts.Dynamic {
+		t.specByID = make(map[int]*spectral.HalfSpectrum, len(specs))
+		for i, s := range specs {
+			t.specByID[ids[i]] = s
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Work items reference the input slice by position.
+	idx := make([]int, len(specs))
+	for i := range idx {
+		idx[i] = i
+	}
+	var err error
+	t.root, err = t.build(specs, ids, idx, rng)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// compress stores the compressed form of specs[i] and returns its ref.
+func (t *Tree) compress(specs []*spectral.HalfSpectrum, i int) (int, error) {
+	return t.compressSpec(specs[i])
+}
+
+func (t *Tree) build(specs []*spectral.HalfSpectrum, ids, idx []int, rng *rand.Rand) (*node, error) {
+	if len(idx) <= t.opts.LeafSize {
+		nd := &node{leaf: make([]entry, 0, len(idx))}
+		for _, i := range idx {
+			ref, err := t.compress(specs, i)
+			if err != nil {
+				return nil, err
+			}
+			nd.leaf = append(nd.leaf, entry{id: ids[i], ref: ref})
+		}
+		return nd, nil
+	}
+
+	vpPos, err := t.selectVP(specs, idx, rng)
+	if err != nil {
+		return nil, err
+	}
+	vp := idx[vpPos]
+	// Remove the vantage point from the working set.
+	idx[vpPos] = idx[len(idx)-1]
+	rest := idx[:len(idx)-1]
+
+	// Exact distances to the vantage point (construction uses uncompressed
+	// representations, §4.1).
+	dists := make([]float64, len(rest))
+	for i, j := range rest {
+		d, err := spectral.Distance(specs[vp], specs[j])
+		if err != nil {
+			return nil, err
+		}
+		dists[i] = d
+	}
+	median := medianOf(dists)
+
+	var leftIdx, rightIdx []int
+	for i, j := range rest {
+		if dists[i] <= median {
+			leftIdx = append(leftIdx, j)
+		} else {
+			rightIdx = append(rightIdx, j)
+		}
+	}
+	// Degenerate split (many ties at the median): fall back to a leaf to
+	// guarantee progress.
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		all := append(append([]int{vp}, leftIdx...), rightIdx...)
+		nd := &node{leaf: make([]entry, 0, len(all))}
+		for _, i := range all {
+			ref, err := t.compress(specs, i)
+			if err != nil {
+				return nil, err
+			}
+			nd.leaf = append(nd.leaf, entry{id: ids[i], ref: ref})
+		}
+		return nd, nil
+	}
+
+	ref, err := t.compress(specs, vp)
+	if err != nil {
+		return nil, err
+	}
+	nd := &node{vpID: ids[vp], vpRef: ref, median: median}
+	if nd.left, err = t.build(specs, ids, leftIdx, rng); err != nil {
+		return nil, err
+	}
+	if nd.right, err = t.build(specs, ids, rightIdx, rng); err != nil {
+		return nil, err
+	}
+	return nd, nil
+}
+
+// selectVP implements the §4.1 heuristic: among sampled candidates pick the
+// one with the highest standard deviation of distances to sampled objects —
+// "an analogue of the largest eigenvector in SVD decomposition".
+func (t *Tree) selectVP(specs []*spectral.HalfSpectrum, idx []int, rng *rand.Rand) (int, error) {
+	nc := t.opts.Candidates
+	if nc > len(idx) {
+		nc = len(idx)
+	}
+	ns := t.opts.Sample
+	if ns > len(idx)-1 {
+		ns = len(idx) - 1
+	}
+	bestPos, bestSpread := 0, -1.0
+	for c := 0; c < nc; c++ {
+		pos := rng.Intn(len(idx))
+		cand := idx[pos]
+		var sum, sumSq float64
+		count := 0
+		for s := 0; s < ns; s++ {
+			other := idx[rng.Intn(len(idx))]
+			if other == cand {
+				continue
+			}
+			d, err := spectral.Distance(specs[cand], specs[other])
+			if err != nil {
+				return 0, err
+			}
+			sum += d
+			sumSq += d * d
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		mean := sum / float64(count)
+		spread := sumSq/float64(count) - mean*mean
+		if spread > bestSpread {
+			bestSpread, bestPos = spread, pos
+		}
+	}
+	return bestPos, nil
+}
+
+func medianOf(x []float64) float64 {
+	cp := append([]float64(nil), x...)
+	sort.Float64s(cp)
+	m := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[m]
+	}
+	return (cp[m-1] + cp[m]) / 2
+}
+
+// Len returns the number of indexed sequences.
+func (t *Tree) Len() int { return t.n }
+
+// SeqLen returns the indexed sequence length.
+func (t *Tree) SeqLen() int { return t.seqLen }
+
+// Features returns the in-memory feature table built alongside the tree.
+func (t *Tree) Features() MemoryFeatures { return t.features }
+
+// Height returns the height of the tree (a single leaf has height 1).
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf != nil {
+		return 1
+	}
+	l, r := height(n.left), height(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// candidate is a compressed object that survived traversal.
+type candidate struct {
+	id     int
+	lb, ub float64
+}
+
+// Search returns the k nearest neighbours of the query values, refining
+// candidates against the full sequences in store. feats resolves compressed
+// features (pass t.Features() for the in-memory configuration or a
+// DiskFeatures for the on-disk one).
+func (t *Tree) Search(query []float64, k int, feats FeatureSource, store seqstore.Store) ([]Result, Stats, error) {
+	var st Stats
+	if k < 1 {
+		return nil, st, errors.New("vptree: k must be >= 1")
+	}
+	if len(query) != t.seqLen {
+		return nil, st, spectral.ErrMismatch
+	}
+	hq, err := spectral.FromValues(query)
+	if err != nil {
+		return nil, st, err
+	}
+
+	// Phase 1: traverse, collecting candidates and shrinking σ_UB.
+	s := &searcher{
+		t: t, hq: hq, k: k, feats: feats, st: &st,
+		ctx:     spectral.NewQueryContext(hq),
+		sigmaUB: math.Inf(1),
+	}
+	if err := s.visit(t.root); err != nil {
+		return nil, st, err
+	}
+
+	// Phase 2: prune by the k-th smallest upper bound (maintained during
+	// traversal as σ_UB) and refine in increasing lower-bound order with
+	// early abandoning (fig. 11 NNSearch).
+	sub := s.sigmaUB
+	pruned := s.cands[:0]
+	for _, c := range s.cands {
+		if c.lb <= sub {
+			pruned = append(pruned, c)
+		}
+	}
+	st.Candidates = len(pruned)
+	slices.SortFunc(pruned, func(a, b candidate) int {
+		switch {
+		case a.lb < b.lb:
+			return -1
+		case a.lb > b.lb:
+			return 1
+		default:
+			return 0
+		}
+	})
+
+	best := newKBest(k)
+	buf := make([]float64, t.seqLen)
+	for _, c := range pruned {
+		if best.full() && c.lb > best.worst() {
+			break // every later candidate has an even larger lower bound
+		}
+		if err := store.GetInto(c.id, buf); err != nil {
+			return nil, st, fmt.Errorf("vptree: refine id %d: %w", c.id, err)
+		}
+		st.FullRetrievals++
+		bound := best.worst()
+		if !best.full() {
+			bound = math.Inf(1)
+		}
+		d, abandoned, err := series.EuclideanEarlyAbandon(query, buf, bound)
+		if err != nil {
+			return nil, st, err
+		}
+		if !abandoned {
+			best.offer(Result{ID: c.id, Dist: d})
+		}
+	}
+	return best.sorted(), st, nil
+}
+
+type searcher struct {
+	t       *Tree
+	hq      *spectral.HalfSpectrum
+	ctx     *spectral.QueryContext
+	k       int
+	feats   FeatureSource
+	st      *Stats
+	cands   []candidate
+	sigmaUB float64
+	ubTop   []float64 // max-heap of the k smallest upper bounds seen
+}
+
+// bounds evaluates the query bounds against a stored compressed object.
+func (s *searcher) bounds(ref int) (lb, ub float64, err error) {
+	c, err := s.feats.Feature(ref)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.st.BoundsComputed++
+	if s.t.opts.PaperBounds {
+		return c.BoundsFast(s.ctx)
+	}
+	return c.SafeBoundsFast(s.ctx)
+}
+
+// add records a candidate and updates σ_UB (the k-th smallest upper bound of
+// any candidate seen so far — with k=1 exactly the paper's best-so-far σ_UB).
+func (s *searcher) add(id int, lb, ub float64) {
+	s.cands = append(s.cands, candidate{id: id, lb: lb, ub: ub})
+	if len(s.ubTop) < s.k {
+		s.ubTop = append(s.ubTop, ub)
+		siftUpMax(s.ubTop, len(s.ubTop)-1)
+		if len(s.ubTop) == s.k {
+			s.sigmaUB = s.ubTop[0]
+		}
+	} else if ub < s.ubTop[0] {
+		s.ubTop[0] = ub
+		siftDownMax(s.ubTop, 0)
+		s.sigmaUB = s.ubTop[0]
+	}
+}
+
+func siftUpMax(h []float64, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDownMax(h []float64, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && h[l] > h[big] {
+			big = l
+		}
+		if r < len(h) && h[r] > h[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+func (s *searcher) visit(nd *node) error {
+	if nd == nil {
+		return nil
+	}
+	s.st.NodesVisited++
+	if nd.leaf != nil {
+		for _, e := range nd.leaf {
+			lb, ub, err := s.bounds(e.ref)
+			if err != nil {
+				return err
+			}
+			s.add(e.id, lb, ub)
+		}
+		return nil
+	}
+	lb, ub, err := s.bounds(nd.vpRef)
+	if err != nil {
+		return err
+	}
+	// Tombstoned vantage points still route (the median invariant is about
+	// their geometric position) but never appear as candidates.
+	if !nd.vpDeleted {
+		s.add(nd.vpID, lb, ub)
+	}
+
+	switch {
+	case ub < nd.median-s.sigmaUB:
+		// Every right-subtree object is provably farther than σ_UB.
+		return s.visit(nd.left)
+	case lb > nd.median+s.sigmaUB:
+		// Every left-subtree object is provably farther than σ_UB.
+		return s.visit(nd.right)
+	default:
+		// Guided descent (§4.1): follow first the child whose region
+		// overlaps the [lb,ub] annulus more.
+		first, second := nd.left, nd.right
+		if !s.t.opts.NoGuidedDescent {
+			overlapLeft := math.Min(ub, nd.median) - lb
+			overlapRight := ub - math.Max(lb, nd.median)
+			if overlapRight > overlapLeft {
+				first, second = nd.right, nd.left
+			}
+		}
+		if err := s.visit(first); err != nil {
+			return err
+		}
+		// Re-check prunability of the second child with the tightened σ_UB.
+		if second == nd.right && ub < nd.median-s.sigmaUB {
+			return nil
+		}
+		if second == nd.left && lb > nd.median+s.sigmaUB {
+			return nil
+		}
+		return s.visit(second)
+	}
+}
+
+// kBest keeps the k smallest exact results seen so far.
+type kBest struct {
+	k   int
+	res []Result
+}
+
+func newKBest(k int) *kBest { return &kBest{k: k} }
+
+func (b *kBest) full() bool { return len(b.res) >= b.k }
+
+// worst returns the current k-th best distance (+Inf while not full).
+func (b *kBest) worst() float64 {
+	if !b.full() {
+		return math.Inf(1)
+	}
+	return b.res[len(b.res)-1].Dist
+}
+
+func (b *kBest) offer(r Result) {
+	pos := sort.Search(len(b.res), func(i int) bool { return b.res[i].Dist > r.Dist })
+	b.res = append(b.res, Result{})
+	copy(b.res[pos+1:], b.res[pos:])
+	b.res[pos] = r
+	if len(b.res) > b.k {
+		b.res = b.res[:b.k]
+	}
+}
+
+func (b *kBest) sorted() []Result { return b.res }
