@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: vet fmt race
+
+bench:
+	$(GO) test -run=^$$ -bench=. -benchmem ./...

@@ -44,15 +44,15 @@ func treeFixture(b *testing.B, n int, opts vptree.Options) (*vptree.Tree, *seqst
 func retrievalsPerQuery(b *testing.B, tree *vptree.Tree, store *seqstore.Memory) float64 {
 	b.Helper()
 	c := sharedCorpus(b)
-	total := 0
+	var agg vptree.Stats
 	for _, q := range c.Queries {
 		_, st, err := tree.Search(q.Values, 1, tree.Features(), store)
 		if err != nil {
 			b.Fatal(err)
 		}
-		total += st.FullRetrievals
+		agg.Add(st)
 	}
-	return float64(total) / float64(len(c.Queries))
+	return float64(agg.FullRetrievals) / float64(len(c.Queries))
 }
 
 // BenchmarkAblationGuidedDescent compares full retrievals with and without
@@ -190,15 +190,15 @@ func BenchmarkAblationTreeVariant(b *testing.B) {
 		var boundsPer float64
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			total := 0
+			var agg vptree.Stats
 			for _, q := range c.Queries {
 				_, st, err := tree.Search(q.Values, 1, tree.Features(), store)
 				if err != nil {
 					b.Fatal(err)
 				}
-				total += st.BoundsComputed
+				agg.Add(st)
 			}
-			boundsPer = float64(total) / float64(len(c.Queries))
+			boundsPer = float64(agg.BoundsComputed) / float64(len(c.Queries))
 		}
 		b.ReportMetric(boundsPer, "bounds/query")
 	})

@@ -16,6 +16,8 @@ import (
 
 	"repro/internal/benchutil"
 	"repro/internal/burst"
+	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/querylog"
 	"repro/internal/spectral"
 )
@@ -211,6 +213,36 @@ func BenchmarkFig23Index(b *testing.B) {
 		_, speedup = cell.ModeledSpeedups(benchutil.Disk2004)
 	}
 	b.ReportMetric(speedup, "modeled-speedup")
+}
+
+// BenchmarkSearch measures the end-to-end k-NN query path through the
+// engine, with and without the observability layer wired, so the overhead of
+// instrumentation is a tracked number. "off" is the baseline (Config.Obs nil:
+// every instrument is a nil pointer and each hook is one nil check); "on"
+// carries the full registry + tracer.
+func BenchmarkSearch(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		hub  *obs.Hub
+	}{{"obs-off", nil}, {"obs-on", obs.NewHub()}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			g := querylog.NewGenerator(querylog.DefaultStart, 512, 1)
+			data := append(g.Exemplars(), g.Dataset(512)...)
+			e, err := core.NewEngine(data, core.Config{Budget: 16, Obs: cfg.hub})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			queries := g.Queries(16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, _, err := e.SimilarQueries(q.Values, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTable1Budgets exercises the Table 1 accounting across budgets

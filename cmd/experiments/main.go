@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/benchutil"
 	"repro/internal/burst"
+	"repro/internal/obs"
 	"repro/internal/querylog"
 	"repro/internal/spectral"
 )
@@ -63,7 +64,20 @@ func main() {
 	paper := flag.Bool("paper", false, "use the paper's full dataset sizes")
 	seed := flag.Int64("seed", 1, "PRNG seed for the synthetic corpus")
 	out := flag.String("out", "", "write output to a file instead of stdout")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/{vars,metrics,traces,pprof} on this address while the experiments run")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// Long experiment runs benefit most from the pprof endpoints; the
+		// metric registry stays empty unless an engine is wired to the hub.
+		srv, addr, err := obs.Serve(*debugAddr, obs.NewHub())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/\n", addr)
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {

@@ -8,17 +8,21 @@
 //	qbb     <query> [k]      'query-by-burst' search
 //	sql     <statement>      SQL over the burst-feature table (fig. 18)
 //	show    <query>          demand-curve sparkline + summary
+//	stats                    observability snapshot (counters + latencies)
 //	list [prefix]            list known query terms
 //	help / quit
 //
 // The database is generated on startup: the paper's exemplar queries plus a
-// configurable number of background series.
+// configurable number of background series. With -debug-addr a debug HTTP
+// server exposes /debug/vars, /debug/metrics (Prometheus text format),
+// /debug/traces and /debug/pprof (see docs/observability.md).
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -27,11 +31,22 @@ import (
 	"repro/internal/benchutil"
 	"repro/internal/core"
 	"repro/internal/minisql"
+	"repro/internal/obs"
 	"repro/internal/querylog"
 	"repro/internal/series"
 )
 
 func main() {
+	// main defers nothing itself: run owns every resource so that error
+	// paths (load failures, save failures) still close the engine instead
+	// of leaking it through os.Exit.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "s2:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	n := flag.Int("n", 200, "background series in the database")
 	days := flag.Int("days", querylog.DefaultLength, "days per series")
 	seed := flag.Int64("seed", 1, "PRNG seed")
@@ -39,61 +54,68 @@ func main() {
 	load := flag.String("load", "", "load a dataset (.csv, or a genlog binary) instead of generating one")
 	db := flag.String("db", "", "open a saved engine directory (see -save) instead of building")
 	save := flag.String("save", "", "after building, save the engine state to this directory")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/{vars,metrics,traces,pprof} on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	fmt.Printf("S2 — query-log similarity tool (paper §7.5 reproduction)\n")
 
-	if *db != "" {
-		fmt.Printf("opening saved engine at %s...\n", *db)
-		engine, err := core.LoadEngine(*db, core.Config{})
+	hub := obs.NewHub()
+	if *debugAddr != "" {
+		srv, addr, err := obs.Serve(*debugAddr, hub)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "s2:", err)
-			os.Exit(1)
+			return err
 		}
-		defer engine.Close()
-		fmt.Printf("ready: %d series indexed. Type 'help'.\n", engine.Len())
-		repl(engine)
-		return
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s/debug/metrics\n", addr)
 	}
 
-	var data []*series.Series
-	var err error
-	if *load != "" {
-		fmt.Printf("loading database from %s...\n", *load)
-		if strings.HasSuffix(*load, ".csv") {
-			data, err = querylog.LoadCSVFile(*load, querylog.DefaultStart)
-		} else {
-			data, err = querylog.LoadBinary(*load, querylog.DefaultStart)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "s2:", err)
-			os.Exit(1)
-		}
-	} else {
-		fmt.Printf("building database: %d exemplars + %d background series x %d days...\n",
-			len(querylog.ExemplarNames()), *n, *days)
-		g := querylog.NewGenerator(querylog.DefaultStart, *days, *seed)
-		data = append(g.Exemplars(), g.Dataset(*n)...)
-	}
-	engine, err := core.NewEngine(data, core.Config{Budget: *budget})
+	engine, err := buildEngine(*db, *load, *n, *days, *seed, *budget, hub)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "s2:", err)
-		os.Exit(1)
+		return err
 	}
 	defer engine.Close()
+
 	if *save != "" {
 		if err := engine.Save(*save); err != nil {
-			fmt.Fprintln(os.Stderr, "s2: save:", err)
-			os.Exit(1)
+			return fmt.Errorf("save: %w", err)
 		}
 		fmt.Printf("engine state saved to %s (reopen with -db %s)\n", *save, *save)
 	}
 	fmt.Printf("ready: %d series indexed. Type 'help'.\n", engine.Len())
-	repl(engine)
+	repl(engine, hub)
+	return nil
+}
+
+// buildEngine opens, loads or generates the database. On every error path
+// nothing is left open (the engine only escapes on success).
+func buildEngine(db, load string, n, days int, seed int64, budget int, hub *obs.Hub) (*core.Engine, error) {
+	if db != "" {
+		fmt.Printf("opening saved engine at %s...\n", db)
+		return core.LoadEngine(db, core.Config{Obs: hub})
+	}
+	var data []*series.Series
+	var err error
+	if load != "" {
+		fmt.Printf("loading database from %s...\n", load)
+		if strings.HasSuffix(load, ".csv") {
+			data, err = querylog.LoadCSVFile(load, querylog.DefaultStart)
+		} else {
+			data, err = querylog.LoadBinary(load, querylog.DefaultStart)
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		fmt.Printf("building database: %d exemplars + %d background series x %d days...\n",
+			len(querylog.ExemplarNames()), n, days)
+		g := querylog.NewGenerator(querylog.DefaultStart, days, seed)
+		data = append(g.Exemplars(), g.Dataset(n)...)
+	}
+	return core.NewEngine(data, core.Config{Budget: budget, Obs: hub})
 }
 
 // repl runs the interactive loop until EOF or quit.
-func repl(engine *core.Engine) {
+func repl(engine *core.Engine, hub *obs.Hub) {
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("s2> ")
@@ -107,9 +129,73 @@ func repl(engine *core.Engine) {
 		if line == "quit" || line == "exit" {
 			break
 		}
+		if line == "stats" {
+			printStats(hub)
+			continue
+		}
 		if err := dispatch(engine, line); err != nil {
 			fmt.Println("error:", err)
 		}
+	}
+}
+
+// printStats renders the registry snapshot: counters and gauges as single
+// values, histograms as count/mean/p50/p99 summaries.
+func printStats(hub *obs.Hub) {
+	snap := hub.Registry().Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) == 0 {
+		fmt.Println("  no metrics recorded yet")
+		return
+	}
+	for _, c := range snap.Counters {
+		fmt.Printf("  %-36s %12d\n", c.Name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		fmt.Printf("  %-36s %12.3f\n", g.Name, g.Value)
+	}
+	for _, h := range snap.Histograms {
+		if h.Count == 0 {
+			fmt.Printf("  %-36s %12s\n", h.Name, "(empty)")
+			continue
+		}
+		mean := h.Sum / float64(h.Count)
+		fmt.Printf("  %-36s count=%-6d mean=%-10s p50<=%-10s p99<=%s\n",
+			h.Name, h.Count, formatSeconds(mean),
+			formatSeconds(histQuantile(h, 0.5)), formatSeconds(histQuantile(h, 0.99)))
+	}
+	if n := hub.Tracer().Len(); n > 0 {
+		fmt.Printf("  (%d traces retained; see /debug/traces with -debug-addr)\n", n)
+	}
+}
+
+// histQuantile is the bucket-bound quantile over a frozen histogram.
+func histQuantile(h obs.HistogramSnapshot, q float64) float64 {
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.UpperBound
+		}
+	}
+	return math.Inf(1)
+}
+
+// formatSeconds prints a seconds-scale value at a readable unit. Histograms
+// of non-time quantities (e.g. k) print as plain numbers.
+func formatSeconds(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case v >= 1:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 1e-3:
+		return fmt.Sprintf("%.3gms", v*1e3)
+	default:
+		return fmt.Sprintf("%.3gus", v*1e6)
 	}
 }
 
@@ -150,6 +236,7 @@ func dispatch(e *core.Engine, line string) error {
   sql     <statement>       e.g. sql SELECT * FROM bursts WHERE startDate < 300 AND endDate > 280
   show    <query>           demand sparkline and summary
   approx  <query>           compressed-representation quality (best-k reconstruction)
+  stats                     observability snapshot (counters + latency histograms)
   list    [prefix]          known query terms
   quit`)
 		return nil
@@ -185,7 +272,8 @@ func dispatch(e *core.Engine, line string) error {
 		for i, r := range res {
 			fmt.Printf("  %2d. %-24s dist=%.2f\n", i+1, r.Name, r.Dist)
 		}
-		fmt.Printf("  (examined %d of %d full sequences)\n", st.FullRetrievals, e.Len())
+		fmt.Printf("  (examined %d of %d full sequences; %d lb-prunes, %d ub-prunes)\n",
+			st.FullRetrievals, e.Len(), st.LBPrunes, st.UBPrunes)
 	case "periods":
 		det, err := e.PeriodsOf(id)
 		if err != nil {

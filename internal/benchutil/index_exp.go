@@ -48,6 +48,10 @@ type IndexCell struct {
 	// IndexFeatReads counts feature-record fetches of the disk-feature
 	// configuration.
 	IndexFeatReads int64
+	// IndexStats is the aggregate search work over the whole query workload
+	// (accumulated with vptree.Stats.Add; identical for both feature
+	// placements, so only the memory run's aggregate is kept).
+	IndexStats vptree.Stats
 	// Correct reports whether every index answer matched the linear scan.
 	Correct bool
 }
@@ -175,29 +179,29 @@ func runIndexCell(c *Corpus, store *seqstore.Disk, ids []int, size, budget int, 
 	cell.LinearScan = time.Since(start)
 	cell.LinearSeqReads = store.Reads()
 
-	run := func(src vptree.FeatureSource) (time.Duration, int64, error) {
+	run := func(src vptree.FeatureSource) (time.Duration, int64, vptree.Stats, error) {
 		store.ResetReads()
+		var agg vptree.Stats
 		start := time.Now()
 		for qi, q := range c.Queries {
-			res, _, err := tree.Search(q.Values, 1, src, store)
+			res, st, err := tree.Search(q.Values, 1, src, store)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, agg, err
 			}
+			agg.Add(st)
 			if len(res) != 1 || math.Abs(res[0].Dist-linResults[qi]) > 1e-9 {
 				cell.Correct = false
 			}
 		}
-		return time.Since(start), store.Reads(), nil
+		return time.Since(start), store.Reads(), agg, nil
 	}
-	var seqReads int64
-	if cell.IndexDisk, seqReads, err = run(disk); err != nil {
+	if cell.IndexDisk, _, _, err = run(disk); err != nil {
 		return nil, err
 	}
 	cell.IndexFeatReads = disk.Reads()
-	if cell.IndexMemory, cell.IndexSeqReads, err = run(tree.Features()); err != nil {
+	if cell.IndexMemory, cell.IndexSeqReads, cell.IndexStats, err = run(tree.Features()); err != nil {
 		return nil, err
 	}
-	_ = seqReads // identical to IndexSeqReads by construction
 	return cell, nil
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/burst"
+	"repro/internal/obs"
 )
 
 // Record is one burst-feature row.
@@ -79,6 +80,27 @@ type ScanStats struct {
 	RowsMatched int
 }
 
+// Metrics routes per-query accounting into obs counters. The zero value
+// (and nil counters) disables every increment, so DBs can update metrics
+// unconditionally.
+type Metrics struct {
+	// Queries counts Overlapping executions (each QueryByBurst issues one
+	// per query burst).
+	Queries *obs.Counter
+	// RowsScanned counts rows touched by any plan (index entries followed
+	// or heap rows read).
+	RowsScanned *obs.Counter
+	// RowsMatched counts rows satisfying both overlap predicates.
+	RowsMatched *obs.Counter
+	// BTreeProbes counts index-entry visits — RowsScanned restricted to
+	// the two B-tree plans, i.e. the paper's "pages touched" analogue.
+	BTreeProbes *obs.Counter
+	// Candidates and Matches count query-by-burst candidate sequences
+	// found via the overlap indexes vs. those that scored BSim > 0.
+	Candidates *obs.Counter
+	Matches    *obs.Counter
+}
+
 // DB is the burst-feature database.
 type DB struct {
 	rows    []Record
@@ -89,7 +111,11 @@ type DB struct {
 	bySeq   map[int64][]int64
 	minKey  int64
 	maxKey  int64
+	metrics Metrics
 }
+
+// SetMetrics installs obs counters that every subsequent query updates.
+func (db *DB) SetMetrics(m Metrics) { db.metrics = m }
 
 // New creates an empty burst database.
 func New() *DB {
@@ -242,6 +268,12 @@ func (db *DB) Overlapping(qStart, qEnd int64, plan Plan) ([]Record, ScanStats, e
 	default:
 		return nil, st, fmt.Errorf("burstdb: unknown plan %v", plan)
 	}
+	db.metrics.Queries.Inc()
+	db.metrics.RowsScanned.Add(int64(st.RowsScanned))
+	db.metrics.RowsMatched.Add(int64(st.RowsMatched))
+	if plan == PlanIndexStart || plan == PlanIndexEnd {
+		db.metrics.BTreeProbes.Add(int64(st.RowsScanned))
+	}
 	// Full-tuple ordering so every plan returns an identical row sequence
 	// even when several bursts of one sequence share a start date.
 	sort.Slice(out, func(a, b int) bool {
@@ -347,6 +379,7 @@ func (db *DB) QueryByBurst(query []burst.Burst, k int, exclude int64, plan Plan)
 			}
 		}
 	}
+	db.metrics.Candidates.Add(int64(len(candidates)))
 	matches := make([]Match, 0, len(candidates))
 	for seqID := range candidates {
 		score := burst.BSim(query, db.BurstsOf(seqID))
@@ -354,6 +387,7 @@ func (db *DB) QueryByBurst(query []burst.Burst, k int, exclude int64, plan Plan)
 			matches = append(matches, Match{SeqID: seqID, Score: score})
 		}
 	}
+	db.metrics.Matches.Add(int64(len(matches)))
 	sort.Slice(matches, func(a, b int) bool {
 		if matches[a].Score != matches[b].Score {
 			return matches[a].Score > matches[b].Score

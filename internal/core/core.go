@@ -17,11 +17,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/burst"
 	"repro/internal/burstdb"
 	"repro/internal/dtw"
 	"repro/internal/mvptree"
+	"repro/internal/obs"
 	"repro/internal/periods"
 	"repro/internal/seqstore"
 	"repro/internal/series"
@@ -68,6 +70,11 @@ type Config struct {
 	// query terms continuously). Costs the retained spectra and is
 	// incompatible with IndexMVPTree and FeaturesPath.
 	DynamicIndex bool
+	// Obs, when non-nil, turns on the observability layer: every hot path
+	// updates metrics in Obs.Metrics (see docs/observability.md for the
+	// names) and records a per-query span trace into Obs.Traces. Nil
+	// disables instrumentation at a cost of one nil check per operation.
+	Obs *obs.Hub
 }
 
 // IndexKind selects the metric index implementation.
@@ -148,6 +155,24 @@ type Engine struct {
 	diskFeat *vptree.DiskFeatures
 	burstsS  *burstdb.DB // short-window burst features
 	burstsL  *burstdb.DB // long-window burst features
+	hub      *obs.Hub
+	tracer   *obs.Tracer
+	met      engineMetrics
+}
+
+// wireObs installs the observability hub: registry instruments, per-query
+// tracing, store read/write accounting and burst-database counters. Safe
+// with hub == nil (everything becomes a no-op).
+func (e *Engine) wireObs(hub *obs.Hub) {
+	e.hub = hub
+	e.tracer = hub.Tracer()
+	e.met = newEngineMetrics(hub.Registry())
+	if hub.Registry() != nil {
+		e.store = seqstore.Instrument(e.store, hub.Registry())
+		m := burstDBMetrics(hub.Registry())
+		e.burstsS.SetMetrics(m)
+		e.burstsL.SetMetrics(m)
+	}
 }
 
 // NewEngine builds an engine over the given series. All series must share
@@ -178,6 +203,8 @@ func NewEngine(data []*series.Series, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.store = store
+	e.wireObs(cfg.Obs)
+	e.met.seriesIngested.Add(int64(len(data)))
 
 	zValues := make([][]float64, len(data))
 	ids := make([]int, len(data))
@@ -298,6 +325,7 @@ func (e *Engine) Add(s *series.Series) (int, error) {
 		}
 		e.burstDB(w).InsertBursts(int64(id), e.filterBursts(det))
 	}
+	e.met.seriesIngested.Inc()
 	return id, nil
 }
 
@@ -407,25 +435,53 @@ func (e *Engine) standardizeQuery(values []float64) ([]float64, error) {
 // SimilarQueries returns the k series whose standardized demand curves are
 // closest (Euclidean) to the given raw demand curve, using the index.
 func (e *Engine) SimilarQueries(values []float64, k int) ([]Neighbor, vptree.Stats, error) {
+	defer e.met.similarLat.Start()()
+	e.met.similarTotal.Inc()
+	e.met.similarK.Observe(float64(k))
+	tr := e.tracer.StartTrace("similar_queries")
+	defer tr.Finish()
+	tr.Annotate("k", strconv.Itoa(k))
+
+	sp := tr.Span("standardize")
 	z, err := e.standardizeQuery(values)
+	sp.Finish()
 	if err != nil {
 		return nil, vptree.Stats{}, err
 	}
+	sp = tr.Span("index_search")
 	res, st, err := e.searchIndex(z, k)
+	sp.Finish()
+	annotateSearch(sp, st)
+	e.met.recordSearch(st)
 	if err != nil {
 		return nil, st, err
 	}
+	e.met.similarResults.Add(int64(len(res)))
 	return e.toNeighbors(res), st, nil
 }
 
 // SimilarToID returns the k nearest neighbours of an indexed series,
 // excluding the series itself.
 func (e *Engine) SimilarToID(id, k int) ([]Neighbor, vptree.Stats, error) {
+	defer e.met.similarLat.Start()()
+	e.met.similarTotal.Inc()
+	e.met.similarK.Observe(float64(k))
+	tr := e.tracer.StartTrace("similar_to_id")
+	defer tr.Finish()
+	tr.Annotate("id", strconv.Itoa(id))
+	tr.Annotate("k", strconv.Itoa(k))
+
+	sp := tr.Span("fetch_standardized")
 	z, err := e.store.Get(id)
+	sp.Finish()
 	if err != nil {
 		return nil, vptree.Stats{}, err
 	}
+	sp = tr.Span("index_search")
 	res, st, err := e.searchIndex(z, k+1)
+	sp.Finish()
+	annotateSearch(sp, st)
+	e.met.recordSearch(st)
 	if err != nil {
 		return nil, st, err
 	}
@@ -438,6 +494,7 @@ func (e *Engine) SimilarToID(id, k int) ([]Neighbor, vptree.Stats, error) {
 			break
 		}
 	}
+	e.met.similarResults.Add(int64(len(out)))
 	return e.toNeighbors(out), st, nil
 }
 
@@ -455,6 +512,11 @@ func (e *Engine) LinearScan(values []float64, k int) ([]Neighbor, error) {
 	if k < 1 {
 		return nil, errors.New("core: k must be >= 1")
 	}
+	defer e.met.linearLat.Start()()
+	e.met.linearTotal.Inc()
+	tr := e.tracer.StartTrace("linear_scan")
+	defer tr.Finish()
+	tr.Annotate("k", strconv.Itoa(k))
 	z, err := e.standardizeQuery(values)
 	if err != nil {
 		return nil, err
@@ -547,6 +609,8 @@ func (e *Engine) SimilarDTW(id, band, k int) ([]Neighbor, error) {
 	if k < 1 {
 		return nil, errors.New("core: k must be >= 1")
 	}
+	defer e.met.dtwLat.Start()()
+	e.met.dtwTotal.Inc()
 	z, err := e.store.Get(id)
 	if err != nil {
 		return nil, err
@@ -581,6 +645,8 @@ func (e *Engine) SimilarDTW(id, band, k int) ([]Neighbor, error) {
 // Periods runs the §5 period detector on arbitrary raw values at the
 // engine's configured confidence.
 func (e *Engine) Periods(values []float64) (*periods.Detection, error) {
+	defer e.met.periodsLat.Start()()
+	e.met.periodsTotal.Inc()
 	return periods.Detect(values, e.cfg.PeriodConfidence)
 }
 
@@ -597,6 +663,8 @@ func (e *Engine) PeriodsOf(id int) (*periods.Detection, error) {
 // use case of summarizing "the important periods for a set of sequences
 // (e.g., for the knn results)". Pass e.g. the IDs returned by SimilarToID.
 func (e *Engine) PeriodsOfSet(ids []int) (*periods.Detection, error) {
+	defer e.met.periodsLat.Start()()
+	e.met.periodsTotal.Inc()
 	set := make([][]float64, 0, len(ids))
 	for _, id := range ids {
 		s, err := e.Series(id)
@@ -660,6 +728,8 @@ func (e *Engine) SimilarByPeriods(id int, periodDays []float64, relTol float64, 
 // Bursts runs the §6.1 burst detector on arbitrary raw values with the
 // engine's cutoff and the chosen window.
 func (e *Engine) Bursts(values []float64, w BurstWindow) (*burst.Detection, error) {
+	defer e.met.burstsLat.Start()()
+	e.met.burstsTotal.Inc()
 	return burst.DetectStandardized(values, e.windowDays(w), e.cfg.BurstCutoff)
 }
 
@@ -706,10 +776,20 @@ func (e *Engine) filterBursts(det *burst.Detection) []burst.Burst {
 }
 
 func (e *Engine) queryBursts(q []burst.Burst, k int, exclude int64, w BurstWindow) ([]BurstMatch, error) {
-	matches, _, err := e.burstDB(w).QueryByBurst(q, k, exclude, burstdb.PlanAuto)
+	defer e.met.qbbLat.Start()()
+	e.met.qbbTotal.Inc()
+	tr := e.tracer.StartTrace("query_by_burst")
+	defer tr.Finish()
+	tr.Annotate("window", w.String())
+	tr.Annotate("query_bursts", strconv.Itoa(len(q)))
+	matches, st, err := e.burstDB(w).QueryByBurst(q, k, exclude, burstdb.PlanAuto)
 	if err != nil {
 		return nil, err
 	}
+	tr.Annotate("plan", st.Plan.String())
+	tr.Annotate("rows_scanned", strconv.Itoa(st.RowsScanned))
+	tr.Annotate("rows_matched", strconv.Itoa(st.RowsMatched))
+	e.met.qbbResults.Add(int64(len(matches)))
 	out := make([]BurstMatch, len(matches))
 	for i, m := range matches {
 		out[i] = BurstMatch{ID: int(m.SeqID), Name: e.Name(int(m.SeqID)), Score: m.Score}

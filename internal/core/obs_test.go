@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// counterValue fetches a registered counter's value; registering here is safe
+// because the engine has already claimed the name with the same kind.
+func counterValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	return reg.Counter(name, "").Value()
+}
+
+// TestSimilarQueriesObservability is the integration test for the obs layer:
+// one SimilarQueries call must move the engine and vptree metrics and leave a
+// trace whose span tree includes the index search.
+func TestSimilarQueriesObservability(t *testing.T) {
+	hub := obs.NewHub()
+	e, g := buildEngine(t, 60, Config{Budget: 12, Obs: hub}, 7)
+	reg := hub.Registry()
+
+	if got := counterValue(t, reg, "engine_series_ingested_total"); got != int64(e.Len()) {
+		t.Errorf("engine_series_ingested_total = %d, want %d", got, e.Len())
+	}
+
+	q := g.Queries(1)[0]
+	res, st, err := e.SimilarQueries(q.Values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+
+	if got := counterValue(t, reg, "engine_similar_total"); got != 1 {
+		t.Errorf("engine_similar_total = %d, want 1", got)
+	}
+	if got := counterValue(t, reg, "engine_similar_results_total"); got != 3 {
+		t.Errorf("engine_similar_results_total = %d, want 3", got)
+	}
+	// The promoted vptree counters must agree with the returned Stats.
+	for name, want := range map[string]int{
+		"vptree_nodes_visited_total":   st.NodesVisited,
+		"vptree_lb_prunes_total":       st.LBPrunes,
+		"vptree_ub_prunes_total":       st.UBPrunes,
+		"vptree_exact_distances_total": st.ExactDistances,
+		"vptree_full_retrievals_total": st.FullRetrievals,
+	} {
+		if got := counterValue(t, reg, name); got != int64(want) {
+			t.Errorf("%s = %d, want %d (returned Stats)", name, got, want)
+		}
+	}
+	if counterValue(t, reg, "vptree_nodes_visited_total") == 0 {
+		t.Error("vptree_nodes_visited_total is zero after a search")
+	}
+	// A single query may prune nothing on a tiny dataset; a small workload
+	// must show lower-bound pruning at work.
+	for _, q := range g.Queries(8) {
+		if _, _, err := e.SimilarQueries(q.Values, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if counterValue(t, reg, "vptree_lb_prunes_total") == 0 {
+		t.Error("vptree_lb_prunes_total is zero after a query workload")
+	}
+	// Instrumented seqstore: full retrievals read sequence bytes.
+	if got := counterValue(t, reg, "seqstore_reads_total"); got < int64(st.FullRetrievals) {
+		t.Errorf("seqstore_reads_total = %d, want >= %d", got, st.FullRetrievals)
+	}
+	lat := reg.Timer("engine_similar_latency_seconds", "").Histogram()
+	if lat.Count() != 9 {
+		t.Errorf("engine_similar_latency_seconds count = %d, want 9", lat.Count())
+	}
+
+	// The call must have left a trace with the index_search span.
+	snap := hub.Tracer().Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("no traces retained")
+	}
+	rec := snap[0]
+	if rec.Root.Name != "similar_queries" {
+		t.Fatalf("latest trace = %q, want similar_queries", rec.Root.Name)
+	}
+	var names []string
+	for _, sp := range rec.Root.Children {
+		names = append(names, sp.Name)
+	}
+	found := false
+	for _, n := range names {
+		if n == "index_search" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace spans = %v, want an index_search span", names)
+	}
+
+	// A second call through SimilarToID reuses the same instruments.
+	if _, _, err := e.SimilarToID(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, reg, "engine_similar_total"); got != 10 {
+		t.Errorf("engine_similar_total after SimilarToID = %d, want 10", got)
+	}
+	if lat.Count() != 10 {
+		t.Errorf("latency count after SimilarToID = %d, want 10", lat.Count())
+	}
+	if hub.Tracer().Snapshot()[0].Root.Name != "similar_to_id" {
+		t.Error("SimilarToID did not emit a similar_to_id trace")
+	}
+}
+
+// TestEngineWithoutObs checks the nil path: no hub, everything still works
+// and Hub() reports nil.
+func TestEngineWithoutObs(t *testing.T) {
+	e, g := buildEngine(t, 30, Config{Budget: 8}, 8)
+	if e.Hub() != nil {
+		t.Error("engine without Config.Obs has a hub")
+	}
+	q := g.Queries(1)[0]
+	if _, _, err := e.SimilarQueries(q.Values, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.LinearScan(q.Values, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryByBurstObservability exercises the burstdb metric sinks and the
+// query_by_burst trace through the engine path.
+func TestQueryByBurstObservability(t *testing.T) {
+	hub := obs.NewHub()
+	e, _ := buildEngine(t, 40, Config{Budget: 8, Obs: hub}, 9)
+	reg := hub.Registry()
+
+	s, err := e.Series(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.QueryByBurst(s.Values, 3, Short); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, reg, "engine_qbb_total"); got != 1 {
+		t.Errorf("engine_qbb_total = %d, want 1", got)
+	}
+	if counterValue(t, reg, "burstdb_queries_total") == 0 {
+		t.Error("burstdb_queries_total is zero after QueryByBurst")
+	}
+	snap := hub.Tracer().Snapshot()
+	if len(snap) == 0 || snap[0].Root.Name != "query_by_burst" {
+		t.Fatalf("expected a query_by_burst trace, got %+v", snap)
+	}
+}
+
+// TestLoadEngineWiresObs checks that an engine restored from disk re-wires
+// the hub passed at load time (LoadEngine does not run NewEngine).
+func TestLoadEngineWiresObs(t *testing.T) {
+	e, g := buildEngine(t, 30, Config{Budget: 8}, 10)
+	dir := t.TempDir()
+	if err := e.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	hub := obs.NewHub()
+	loaded, err := LoadEngine(dir, Config{Budget: 8, Obs: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if got := counterValue(t, hub.Registry(), "engine_series_ingested_total"); got != int64(loaded.Len()) {
+		t.Errorf("loaded engine_series_ingested_total = %d, want %d", got, loaded.Len())
+	}
+	q := g.Queries(1)[0]
+	if _, _, err := loaded.SimilarQueries(q.Values, 2); err != nil {
+		t.Fatal(err)
+	}
+	if counterValue(t, hub.Registry(), "engine_similar_total") != 1 {
+		t.Error("loaded engine did not count SimilarQueries")
+	}
+	if counterValue(t, hub.Registry(), "seqstore_reads_total") == 0 {
+		t.Error("loaded engine store is not instrumented")
+	}
+}

@@ -201,5 +201,7 @@ func LoadEngine(dir string, cfg Config) (*Engine, error) {
 		z.Close()
 		return nil, err
 	}
+	e.wireObs(cfg.Obs)
+	e.met.seriesIngested.Add(int64(count))
 	return e, nil
 }

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+)
+
+// Handler returns the debug HTTP surface for a hub:
+//
+//	/debug/vars     expvar-style JSON snapshot of every metric
+//	/debug/metrics  Prometheus text exposition (hand-rolled, format 0.0.4)
+//	/debug/traces   recent query traces as JSON (most recent first)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// The handler tolerates a nil hub (every endpoint serves empty data), so it
+// can be mounted before observability is wired up.
+func Handler(h *Hub) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(varsPayload(h.Registry())) //nolint:errcheck // best-effort debug output
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, h.Registry().Snapshot())
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		traces := h.Tracer().Snapshot()
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(traces) {
+				traces = traces[:n]
+			}
+		}
+		if traces == nil {
+			traces = []TraceRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(traces) //nolint:errcheck // best-effort debug output
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug server on addr (e.g. "localhost:6060"; use port 0
+// for an ephemeral port) and returns the server plus the bound address. The
+// server runs until Close/Shutdown is called.
+func Serve(addr string, h *Hub) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(h)}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	return srv, ln.Addr().String(), nil
+}
+
+// varsPayload flattens a snapshot into an expvar-style name->value map.
+// Histograms become {count, sum, avg, p50, p99} summaries.
+func varsPayload(r *Registry) map[string]any {
+	out := map[string]any{}
+	s := r.Snapshot()
+	for _, c := range s.Counters {
+		out[c.Name] = c.Value
+	}
+	for _, g := range s.Gauges {
+		out[g.Name] = g.Value
+	}
+	for _, h := range s.Histograms {
+		summary := map[string]any{"count": h.Count, "sum": h.Sum}
+		if h.Count > 0 {
+			summary["avg"] = h.Sum / float64(h.Count)
+			summary["p50"] = quantileFromSnapshot(h, 0.5)
+			summary["p99"] = quantileFromSnapshot(h, 0.99)
+		}
+		out[h.Name] = summary
+	}
+	return out
+}
+
+// quantileFromSnapshot mirrors Histogram.Quantile over a frozen snapshot.
+func quantileFromSnapshot(h HistogramSnapshot, q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.UpperBound
+		}
+	}
+	return math.Inf(1)
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format: counters get a `_total`-as-named value, histograms emit cumulative
+// `_bucket{le=...}` series plus `_sum` and `_count`.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	for _, c := range s.Counters {
+		writeHeader(w, c.Name, c.Help, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		writeHeader(w, g.Name, g.Help, "gauge")
+		fmt.Fprintf(w, "%s %s\n", g.Name, formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		writeHeader(w, h.Name, h.Help, "histogram")
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, formatFloat(b.UpperBound), cum)
+		}
+		cum += h.Overflow
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum)
+		fmt.Fprintf(w, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count)
+	}
+}
+
+func writeHeader(w io.Writer, name, help, kind string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SortedNames returns every metric name in a snapshot, sorted (handy for the
+// REPL `stats` command and for tests asserting snapshot determinism).
+func (s Snapshot) SortedNames() []string {
+	var names []string
+	for _, c := range s.Counters {
+		names = append(names, c.Name)
+	}
+	for _, g := range s.Gauges {
+		names = append(names, g.Name)
+	}
+	for _, h := range s.Histograms {
+		names = append(names, h.Name)
+	}
+	sort.Strings(names)
+	return names
+}

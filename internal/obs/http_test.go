@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func populatedHub() *Hub {
+	h := NewHub()
+	h.Metrics.Counter("vptree_nodes_visited_total", "nodes").Add(42)
+	h.Metrics.Gauge("engine_series", "series").Set(1.5)
+	lat := h.Metrics.Timer("engine_similar_latency_seconds", "latency")
+	lat.Observe(2 * time.Millisecond)
+	lat.Observe(5 * time.Millisecond)
+	tr := h.Traces.StartTrace("similar")
+	tr.Span("search").Finish()
+	tr.Finish()
+	return h
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	t.Parallel()
+	srv := httptest.NewServer(Handler(populatedHub()))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/debug/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE vptree_nodes_visited_total counter",
+		"vptree_nodes_visited_total 42",
+		"# TYPE engine_series gauge",
+		"engine_series 1.5",
+		"# TYPE engine_similar_latency_seconds histogram",
+		"engine_similar_latency_seconds_count 2",
+		`engine_similar_latency_seconds_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars["vptree_nodes_visited_total"] != float64(42) {
+		t.Errorf("vars counter = %v", vars["vptree_nodes_visited_total"])
+	}
+	lat, ok := vars["engine_similar_latency_seconds"].(map[string]any)
+	if !ok || lat["count"] != float64(2) {
+		t.Errorf("vars histogram = %v", vars["engine_similar_latency_seconds"])
+	}
+
+	code, body = get(t, srv, "/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", code)
+	}
+	var traces []TraceRecord
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/debug/traces not JSON: %v", err)
+	}
+	if len(traces) != 1 || traces[0].Root.Name != "similar" || len(traces[0].Root.Children) != 1 {
+		t.Errorf("traces = %+v", traces)
+	}
+
+	if code, _ := get(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}
+
+func TestDebugEndpointsNilHub(t *testing.T) {
+	t.Parallel()
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	if code, _ := get(t, srv, "/debug/metrics"); code != http.StatusOK {
+		t.Errorf("nil-hub /debug/metrics status %d", code)
+	}
+	code, body := get(t, srv, "/debug/traces")
+	if code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Errorf("nil-hub /debug/traces = %d %q", code, body)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	t.Parallel()
+	srv, addr, err := Serve("127.0.0.1:0", populatedHub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "vptree_nodes_visited_total 42") {
+		t.Errorf("served metrics missing counter:\n%s", body)
+	}
+}
+
+func TestPrometheusCumulativeBuckets(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	h := r.Histogram("h", "", HistogramOpts{Start: 1, Factor: 2, Buckets: 3}) // 1,2,4
+	for _, v := range []float64{0.5, 1.5, 3, 50} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	WritePrometheus(&sb, r.Snapshot())
+	out := sb.String()
+	for _, want := range []string{
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="2"} 2`,
+		`h_bucket{le="4"} 3`,
+		`h_bucket{le="+Inf"} 4`,
+		"h_sum 55",
+		"h_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q in:\n%s", want, out)
+		}
+	}
+}

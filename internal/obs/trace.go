@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records finished traces into a fixed-size ring buffer (the last N
+// queries). Starting a trace is cheap; nothing is shared until Finish.
+// All methods are nil-safe, so instrumented code can trace unconditionally.
+type Tracer struct {
+	mu     sync.Mutex
+	ring   []TraceRecord
+	next   int
+	filled bool
+	seq    atomic.Uint64
+}
+
+// NewTracer creates a tracer retaining the last `capacity` traces
+// (default 64 when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{ring: make([]TraceRecord, capacity)}
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed region of a trace. Spans form a tree; a span and its
+// direct children may be manipulated from different goroutines.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// Trace is one in-flight query trace rooted at a single span.
+type Trace struct {
+	tracer *Tracer
+	id     uint64
+	root   *Span
+}
+
+// StartTrace begins a trace whose root span has the given name. A nil
+// tracer returns a nil (no-op) trace.
+func (t *Tracer) StartTrace(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{
+		tracer: t,
+		id:     t.seq.Add(1),
+		root:   &Span{name: name, start: time.Now()},
+	}
+}
+
+// Root returns the trace's root span (nil on a nil trace).
+func (tr *Trace) Root() *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.root
+}
+
+// Span opens a child span of the root (nil on a nil trace).
+func (tr *Trace) Span(name string) *Span { return tr.Root().Child(name) }
+
+// Annotate attaches a key/value pair to the root span.
+func (tr *Trace) Annotate(key, value string) { tr.Root().Annotate(key, value) }
+
+// Finish closes the root span and commits the trace to the tracer's ring
+// buffer, evicting the oldest record when full. No-op on a nil trace.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.root.Finish()
+	rec := tr.root.record()
+	rec.ID = tr.id
+	t := tr.tracer
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.next == 0 {
+		t.filled = true
+	}
+	t.mu.Unlock()
+}
+
+// Child opens a sub-span (nil-safe: a nil span returns a nil child).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Annotate attaches a key/value pair (no-op on a nil span).
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Finish stamps the span's end time (idempotent; no-op on a nil span).
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SpanRecord is one frozen span.
+type SpanRecord struct {
+	Name       string       `json:"name"`
+	Start      time.Time    `json:"start"`
+	DurationMS float64      `json:"duration_ms"`
+	Attrs      []Attr       `json:"attrs,omitempty"`
+	Children   []SpanRecord `json:"children,omitempty"`
+}
+
+// TraceRecord is one frozen trace.
+type TraceRecord struct {
+	ID   uint64     `json:"id"`
+	Root SpanRecord `json:"root"`
+}
+
+// record freezes the span tree. Unfinished descendants are stamped with the
+// commit time so durations are always well-defined.
+func (s *Span) record() TraceRecord {
+	return TraceRecord{Root: s.recordAt(time.Now())}
+}
+
+func (s *Span) recordAt(now time.Time) SpanRecord {
+	s.mu.Lock()
+	end := s.end
+	if end.IsZero() {
+		end = now
+	}
+	rec := SpanRecord{
+		Name:       s.name,
+		Start:      s.start,
+		DurationMS: float64(end.Sub(s.start)) / float64(time.Millisecond),
+		Attrs:      append([]Attr(nil), s.attrs...),
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		rec.Children = append(rec.Children, c.recordAt(now))
+	}
+	return rec
+}
+
+// Snapshot returns the retained traces, most recent first. A nil tracer
+// returns nil.
+func (t *Tracer) Snapshot() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	if !t.filled && n == 0 {
+		return nil
+	}
+	var out []TraceRecord
+	// Walk backwards from the most recently written slot.
+	total := n
+	if t.filled {
+		total = len(t.ring)
+	}
+	for i := 0; i < total; i++ {
+		idx := (n - 1 - i + len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.filled {
+		return len(t.ring)
+	}
+	return t.next
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"repro/internal/burst"
+	"repro/internal/obs"
 	"repro/internal/periods"
 )
 
@@ -99,6 +100,16 @@ type BurstDetector struct {
 	burstStart int
 	burstSum   float64
 	day        int
+
+	points *obs.Counter // observations consumed
+	events *obs.Counter // burst boundary events emitted
+}
+
+// SetMetrics mirrors the detector's throughput into obs counters: points
+// counts observations consumed, events counts burst boundaries emitted
+// (opens and closes, including Flush). Either counter may be nil.
+func (d *BurstDetector) SetMetrics(points, events *obs.Counter) {
+	d.points, d.events = points, events
 }
 
 // NewBurstDetector creates an online detector with the given moving-average
@@ -155,6 +166,8 @@ func (d *BurstDetector) Push(v float64) []Event {
 		events = append(events, Event{Kind: BurstClose, Day: d.day, Burst: b})
 	}
 	d.day++
+	d.points.Inc()
+	d.events.Add(int64(len(events)))
 	return events
 }
 
@@ -170,6 +183,7 @@ func (d *BurstDetector) Flush() []Event {
 		End:   d.day - 1,
 		Avg:   d.burstSum / float64(d.day-d.burstStart),
 	}
+	d.events.Inc()
 	return []Event{{Kind: BurstClose, Day: d.day, Burst: b}}
 }
 

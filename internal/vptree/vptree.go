@@ -138,17 +138,53 @@ type Tree struct {
 	specByID map[int]*spectral.HalfSpectrum
 }
 
-// Stats reports the work one search performed.
+// Stats reports the work one search performed. Every field is a plain
+// event count for that single search (not a rate and not cumulative across
+// searches); accumulate across searches with Add.
 type Stats struct {
-	// BoundsComputed counts lower/upper bound evaluations against
-	// compressed objects (vantage points and leaf entries).
+	// BoundsComputed counts lower/upper bound pair evaluations against
+	// compressed objects (vantage points and leaf entries) — each is one
+	// O(budget) pass over a stored representation.
 	BoundsComputed int
-	// NodesVisited counts tree nodes traversed.
+	// NodesVisited counts tree nodes traversed (internal nodes and leaves).
 	NodesVisited int
-	// Candidates counts compressed objects that survived traversal.
+	// Candidates counts compressed objects whose lower bound survived the
+	// final σ_UB filter and therefore entered the refinement phase.
 	Candidates int
-	// FullRetrievals counts uncompressed sequences fetched from the store.
+	// FullRetrievals counts uncompressed sequences fetched from the
+	// sequence store during refinement — the random-I/O cost the index
+	// exists to minimize (fig. 23's dominant term on disk).
 	FullRetrievals int
+	// LBPrunes counts prunes justified by a lower bound: subtrees skipped
+	// because every object in them is provably farther than σ_UB
+	// (lb > median + σ_UB at an internal node), plus collected candidates
+	// discarded at the end of traversal because their lower bound exceeded
+	// the final σ_UB.
+	LBPrunes int
+	// UBPrunes counts subtrees skipped because the query's upper bound at
+	// the vantage point proves the far child irrelevant
+	// (ub < median − σ_UB at an internal node).
+	UBPrunes int
+	// GuidedDescentHits counts internal nodes where the §4.1 annulus-overlap
+	// heuristic reordered traversal (the right child was visited first).
+	GuidedDescentHits int
+	// ExactDistances counts exact Euclidean evaluations during refinement,
+	// including ones that early-abandoned partway through the sequence.
+	ExactDistances int
+}
+
+// Add accumulates another search's stats into s, so callers aggregating
+// over a query workload (benchmarks, the engine's metrics registry) do not
+// hand-sum each field.
+func (s *Stats) Add(o Stats) {
+	s.BoundsComputed += o.BoundsComputed
+	s.NodesVisited += o.NodesVisited
+	s.Candidates += o.Candidates
+	s.FullRetrievals += o.FullRetrievals
+	s.LBPrunes += o.LBPrunes
+	s.UBPrunes += o.UBPrunes
+	s.GuidedDescentHits += o.GuidedDescentHits
+	s.ExactDistances += o.ExactDistances
 }
 
 // Result is one neighbour: the sequence ID and its exact Euclidean distance.
@@ -394,6 +430,8 @@ func (t *Tree) Search(query []float64, k int, feats FeatureSource, store seqstor
 	for _, c := range s.cands {
 		if c.lb <= sub {
 			pruned = append(pruned, c)
+		} else {
+			st.LBPrunes++
 		}
 	}
 	st.Candidates = len(pruned)
@@ -422,6 +460,7 @@ func (t *Tree) Search(query []float64, k int, feats FeatureSource, store seqstor
 		if !best.full() {
 			bound = math.Inf(1)
 		}
+		st.ExactDistances++
 		d, abandoned, err := series.EuclideanEarlyAbandon(query, buf, bound)
 		if err != nil {
 			return nil, st, err
@@ -532,9 +571,11 @@ func (s *searcher) visit(nd *node) error {
 	switch {
 	case ub < nd.median-s.sigmaUB:
 		// Every right-subtree object is provably farther than σ_UB.
+		s.st.UBPrunes++
 		return s.visit(nd.left)
 	case lb > nd.median+s.sigmaUB:
 		// Every left-subtree object is provably farther than σ_UB.
+		s.st.LBPrunes++
 		return s.visit(nd.right)
 	default:
 		// Guided descent (§4.1): follow first the child whose region
@@ -545,6 +586,7 @@ func (s *searcher) visit(nd *node) error {
 			overlapRight := ub - math.Max(lb, nd.median)
 			if overlapRight > overlapLeft {
 				first, second = nd.right, nd.left
+				s.st.GuidedDescentHits++
 			}
 		}
 		if err := s.visit(first); err != nil {
@@ -552,9 +594,11 @@ func (s *searcher) visit(nd *node) error {
 		}
 		// Re-check prunability of the second child with the tightened σ_UB.
 		if second == nd.right && ub < nd.median-s.sigmaUB {
+			s.st.UBPrunes++
 			return nil
 		}
 		if second == nd.left && lb > nd.median+s.sigmaUB {
+			s.st.LBPrunes++
 			return nil
 		}
 		return s.visit(second)
