@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench bench-record bench-smoke
 
 all: check
 
@@ -25,3 +25,16 @@ check: vet fmt race
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem ./...
+
+# bench-record writes a schema-versioned perf snapshot (BENCH_<label>.json)
+# from the standardized default workload. Compare two snapshots with
+#   go run ./cmd/benchrec compare OLD.json NEW.json
+BENCH_LABEL ?= dev
+bench-record:
+	$(GO) run ./cmd/benchrec record -label $(BENCH_LABEL)
+
+# bench-smoke runs the tiny CI workload and validates the record
+# structurally (no perf gating).
+bench-smoke:
+	$(GO) run ./cmd/benchrec record -smoke -label smoke -o /tmp/BENCH_smoke.json
+	$(GO) run ./cmd/benchrec validate /tmp/BENCH_smoke.json

@@ -1,0 +1,158 @@
+// Command benchrec records and compares performance snapshots of the
+// engine, tracking the perf trajectory across commits. Records are
+// schema-versioned JSON (BENCH_<label>.json) produced by standardized
+// workloads from internal/benchutil.
+//
+// Usage:
+//
+//	benchrec record [-label dev] [-o FILE] [-smoke] [-series N] [-queries Q] [-days D] [-seed S] [-budget B] [-k K]
+//	benchrec compare [-tol 0.15] OLD.json NEW.json    # exit 1 on regression
+//	benchrec validate FILE.json                       # exit 1 on structural problems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchutil"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "record":
+		err = runRecord(args[1:], stdout)
+	case "compare":
+		var regressed bool
+		regressed, err = runCompare(args[1:], stdout)
+		if err == nil && regressed {
+			return 1
+		}
+	case "validate":
+		err = runValidate(args[1:], stdout)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "benchrec: unknown subcommand %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "benchrec:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  benchrec record [-label dev] [-o FILE] [-smoke] [workload flags]
+  benchrec compare [-tol 0.15] OLD.json NEW.json
+  benchrec validate FILE.json`)
+}
+
+func runRecord(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	def := benchutil.DefaultBenchWorkload()
+	label := fs.String("label", "dev", "record label (names the output file)")
+	out := fs.String("o", "", "output path (default BENCH_<label>.json)")
+	smoke := fs.Bool("smoke", false, "use the tiny CI smoke workload instead of the default")
+	series := fs.Int("series", def.Series, "database series")
+	queries := fs.Int("queries", def.Queries, "held-out queries")
+	days := fs.Int("days", def.Days, "days per series")
+	seed := fs.Int64("seed", def.Seed, "corpus seed")
+	budget := fs.Int("budget", def.Budget, "coefficient budget")
+	k := fs.Int("k", def.K, "neighbours per search")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := benchutil.BenchWorkload{
+		Series: *series, Queries: *queries, Days: *days,
+		Seed: *seed, Budget: *budget, K: *k,
+	}
+	if *smoke {
+		w = benchutil.SmokeBenchWorkload()
+	}
+	rec, err := benchutil.RunBench(w, *label)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *label)
+	}
+	if err := benchutil.WriteRecord(rec, path); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (schema %d, workload %d series x %d days)\n",
+		path, rec.Schema, w.Series, w.Days)
+	fmt.Fprintf(stdout, "  build %.1f ms, tree height %d\n", rec.BuildMS, rec.TreeHeight)
+	fmt.Fprintf(stdout, "  search p50 %.3f ms  p90 %.3f ms  prune ratio %.3f  fraction examined %.4f\n",
+		rec.Search.Latency.P50MS, rec.Search.Latency.P90MS,
+		rec.Search.PruneRatio, rec.Search.FractionExamined)
+	fmt.Fprintf(stdout, "  qbb    p50 %.3f ms  rows scanned %.1f\n",
+		rec.QBB.Latency.P50MS, rec.QBB.RowsScanned)
+	return nil
+}
+
+func runCompare(args []string, stdout io.Writer) (regressed bool, err error) {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	tol := fs.Float64("tol", 0.15, "relative regression tolerance (0.15 = 15%)")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 2 {
+		return false, fmt.Errorf("compare needs exactly two record paths, got %d", fs.NArg())
+	}
+	oldRec, err := benchutil.LoadRecord(fs.Arg(0))
+	if err != nil {
+		return false, err
+	}
+	newRec, err := benchutil.LoadRecord(fs.Arg(1))
+	if err != nil {
+		return false, err
+	}
+	regs, err := benchutil.CompareBenchRecords(oldRec, newRec, *tol)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(stdout, "comparing %s (%s) -> %s (%s), tolerance %.0f%%\n",
+		oldRec.Label, oldRec.CreatedAt, newRec.Label, newRec.CreatedAt, *tol*100)
+	if len(regs) == 0 {
+		fmt.Fprintln(stdout, "no regressions")
+		return false, nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(stdout, "REGRESSION %-26s %10.4f -> %10.4f  (%+.1f%%)\n",
+			r.Metric, r.Old, r.New, r.Delta*100)
+	}
+	return true, nil
+}
+
+func runValidate(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("validate needs exactly one record path, got %d", fs.NArg())
+	}
+	rec, err := benchutil.LoadRecord(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: valid (schema %d, label %q, %d counters)\n",
+		fs.Arg(0), rec.Schema, rec.Label, len(rec.Counters))
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchutil"
+)
+
+func TestRecordValidateCompare(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_a.json")
+	var out, errOut strings.Builder
+
+	if code := run([]string{"record", "-smoke", "-label", "a", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("record exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("record output: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"validate", path}, &out, &errOut); code != 0 {
+		t.Fatalf("validate exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "valid") {
+		t.Errorf("validate output: %s", out.String())
+	}
+
+	// Self-comparison is clean and exits 0.
+	out.Reset()
+	if code := run([]string{"compare", path, path}, &out, &errOut); code != 0 {
+		t.Fatalf("self compare exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("compare output: %s", out.String())
+	}
+
+	// An injected regression makes compare exit 1.
+	rec, err := benchutil.LoadRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Search.Latency.P50MS *= 3
+	rec.Search.Latency.P90MS *= 3
+	rec.Search.Latency.P99MS *= 3
+	rec.Search.Latency.MaxMS *= 3
+	slow := filepath.Join(dir, "BENCH_slow.json")
+	if err := benchutil.WriteRecord(rec, slow); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"compare", path, slow}, &out, &errOut); code != 1 {
+		t.Fatalf("regressed compare exited %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION search.latency.p50_ms") {
+		t.Errorf("compare output missing regression line: %s", out.String())
+	}
+}
+
+func TestValidateRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_bad.json")
+	bad := map[string]any{"schema": 99, "label": "bad"}
+	b, _ := json.Marshal(bad)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"validate", path}, &out, &errOut); code != 1 {
+		t.Errorf("validate of corrupt file exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "schema") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+}
+
+func TestUsageAndBadSubcommand(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args exited %d, want 2", code)
+	}
+	if code := run([]string{"frobnicate"}, &out, &errOut); code != 2 {
+		t.Errorf("bad subcommand exited %d, want 2", code)
+	}
+	if code := run([]string{"help"}, &out, &errOut); code != 0 {
+		t.Errorf("help exited %d, want 0", code)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/querylog"
 	"repro/internal/seqstore"
 	"repro/internal/series"
@@ -29,7 +30,20 @@ func main() {
 	format := flag.String("format", "csv", "output format: csv or binary")
 	out := flag.String("out", "dataset.csv", "output path")
 	exemplars := flag.Bool("exemplars", false, "emit the paper's named exemplar queries instead of a bulk dataset")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/{vars,metrics,traces,pprof} on this address while generating")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// Large generations are CPU-bound; the pprof endpoints are the
+		// useful part of the surface here.
+		srv, addr, err := obs.Serve(*debugAddr, obs.NewHub())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genlog:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/\n", addr)
+	}
 
 	if err := run(*n, *days, *seed, *format, *out, *exemplars); err != nil {
 		fmt.Fprintln(os.Stderr, "genlog:", err)

@@ -6,6 +6,7 @@
 //	periods <query>          automatic important-period discovery
 //	bursts  <query> [short]  burst detection (long- or short-term windows)
 //	qbb     <query> [k]      'query-by-burst' search
+//	explain <cmd> <query>    run similar/qbb with a full EXPLAIN report
 //	sql     <statement>      SQL over the burst-feature table (fig. 18)
 //	show    <query>          demand-curve sparkline + summary
 //	stats                    observability snapshot (counters + latencies)
@@ -15,13 +16,18 @@
 // The database is generated on startup: the paper's exemplar queries plus a
 // configurable number of background series. With -debug-addr a debug HTTP
 // server exposes /debug/vars, /debug/metrics (Prometheus text format),
-// /debug/traces and /debug/pprof (see docs/observability.md).
+// /debug/traces, /debug/explain, /debug/slow and /debug/pprof (see
+// docs/observability.md). With -slow-query, queries over the threshold are
+// logged through log/slog and retained with their span tree and explain
+// report at /debug/slow.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"os"
 	"sort"
@@ -54,7 +60,8 @@ func run() error {
 	load := flag.String("load", "", "load a dataset (.csv, or a genlog binary) instead of generating one")
 	db := flag.String("db", "", "open a saved engine directory (see -save) instead of building")
 	save := flag.String("save", "", "after building, save the engine state to this directory")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/{vars,metrics,traces,pprof} on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/{vars,metrics,traces,explain,slow,pprof} on this address (e.g. localhost:6060)")
+	slowQuery := flag.Duration("slow-query", 0, "log and retain queries slower than this (e.g. 50ms; 0 disables)")
 	flag.Parse()
 
 	fmt.Printf("S2 — query-log similarity tool (paper §7.5 reproduction)\n")
@@ -66,7 +73,11 @@ func run() error {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("debug server on http://%s/debug/metrics\n", addr)
+		slog.Info("debug server listening", "url", "http://"+addr+"/debug/metrics")
+	}
+	if *slowQuery > 0 {
+		hub.Slow.SetThreshold(*slowQuery)
+		slog.Info("slow-query log enabled", "threshold", slowQuery.String())
 	}
 
 	engine, err := buildEngine(*db, *load, *n, *days, *seed, *budget, hub)
@@ -130,7 +141,7 @@ func repl(engine *core.Engine, hub *obs.Hub) {
 			break
 		}
 		if line == "stats" {
-			printStats(hub)
+			writeStats(os.Stdout, hub)
 			continue
 		}
 		if err := dispatch(engine, line); err != nil {
@@ -139,32 +150,46 @@ func repl(engine *core.Engine, hub *obs.Hub) {
 	}
 }
 
-// printStats renders the registry snapshot: counters and gauges as single
-// values, histograms as count/mean/p50/p99 summaries.
-func printStats(hub *obs.Hub) {
+// writeStats renders the registry snapshot as one listing sorted by metric
+// name across all kinds, so output is deterministic run to run: counters and
+// gauges as single values, histograms as count/mean/p50/p99 summaries.
+func writeStats(w io.Writer, hub *obs.Hub) {
 	snap := hub.Registry().Snapshot()
-	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) == 0 {
-		fmt.Println("  no metrics recorded yet")
-		return
-	}
+	lines := map[string]string{}
 	for _, c := range snap.Counters {
-		fmt.Printf("  %-36s %12d\n", c.Name, c.Value)
+		lines[c.Name] = fmt.Sprintf("  %-36s %12d\n", c.Name, c.Value)
 	}
 	for _, g := range snap.Gauges {
-		fmt.Printf("  %-36s %12.3f\n", g.Name, g.Value)
+		lines[g.Name] = fmt.Sprintf("  %-36s %12.3f\n", g.Name, g.Value)
 	}
 	for _, h := range snap.Histograms {
 		if h.Count == 0 {
-			fmt.Printf("  %-36s %12s\n", h.Name, "(empty)")
+			lines[h.Name] = fmt.Sprintf("  %-36s %12s\n", h.Name, "(empty)")
 			continue
 		}
 		mean := h.Sum / float64(h.Count)
-		fmt.Printf("  %-36s count=%-6d mean=%-10s p50<=%-10s p99<=%s\n",
+		lines[h.Name] = fmt.Sprintf("  %-36s count=%-6d mean=%-10s p50<=%-10s p99<=%s\n",
 			h.Name, h.Count, formatSeconds(mean),
 			formatSeconds(histQuantile(h, 0.5)), formatSeconds(histQuantile(h, 0.99)))
 	}
+	if len(lines) == 0 {
+		fmt.Fprintln(w, "  no metrics recorded yet")
+		return
+	}
+	names := make([]string, 0, len(lines))
+	for name := range lines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprint(w, lines[name])
+	}
 	if n := hub.Tracer().Len(); n > 0 {
-		fmt.Printf("  (%d traces retained; see /debug/traces with -debug-addr)\n", n)
+		fmt.Fprintf(w, "  (%d traces retained; see /debug/traces with -debug-addr)\n", n)
+	}
+	if sl := hub.SlowLog(); sl.Enabled() {
+		fmt.Fprintf(w, "  (%d slow queries over %s; see /debug/slow)\n",
+			sl.Total(), sl.Threshold())
 	}
 }
 
@@ -211,6 +236,9 @@ func dispatch(e *core.Engine, line string) error {
 	if cmd == "simperiod" {
 		return runSimPeriod(e, rest)
 	}
+	if cmd == "explain" {
+		return runExplain(e, rest, os.Stdout)
+	}
 	k := 5
 	variant := ""
 	if len(rest) > 0 {
@@ -231,6 +259,7 @@ func dispatch(e *core.Engine, line string) error {
   periods <query>           significant periods (99.99% confidence)
   bursts  <query> [short]   detected bursts (long-term default)
   qbb     <query> [k]       query-by-burst: similar burst patterns
+  explain similar|qbb <query> [k]  run the search with a full EXPLAIN report
   simperiod <query> <days>  similarity restricted to one period band (±5%)
   common  <query> [k]       periods shared by the query's k nearest neighbours
   sql     <statement>       e.g. sql SELECT * FROM bursts WHERE startDate < 300 AND endDate > 280
@@ -365,6 +394,54 @@ func dispatch(e *core.Engine, line string) error {
 	default:
 		return fmt.Errorf("unknown command %q (try 'help')", cmd)
 	}
+	return nil
+}
+
+// runExplain handles `explain similar|qbb <query> [k]`: it runs the search
+// through the explained engine entry point and renders the report (per-level
+// traversal, per-bound prune attribution, phase wall times). The report is
+// also retained at /debug/explain/last.
+func runExplain(e *core.Engine, args []string, w io.Writer) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: explain similar|qbb <query> [k]")
+	}
+	sub := args[0]
+	rest := args[1:]
+	k := 5
+	if v, err := strconv.Atoi(rest[len(rest)-1]); err == nil {
+		k = v
+		rest = rest[:len(rest)-1]
+	}
+	name := strings.Join(rest, " ")
+	id, ok := e.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown query %q (try 'list')", name)
+	}
+	var rep *core.ExplainReport
+	var err error
+	switch sub {
+	case "similar":
+		var res []core.Neighbor
+		res, rep, err = e.SimilarToIDExplained(id, k)
+		if err != nil {
+			return err
+		}
+		for i, r := range res {
+			fmt.Fprintf(w, "  %2d. %-24s dist=%.2f\n", i+1, r.Name, r.Dist)
+		}
+	case "qbb":
+		var matches []core.BurstMatch
+		matches, rep, err = e.QueryByBurstOfExplained(id, k, core.Long)
+		if err != nil {
+			return err
+		}
+		for i, m := range matches {
+			fmt.Fprintf(w, "  %2d. %-24s BSim=%.3f\n", i+1, m.Name, m.Score)
+		}
+	default:
+		return fmt.Errorf("explain supports 'similar' and 'qbb', not %q", sub)
+	}
+	rep.Render(w)
 	return nil
 }
 

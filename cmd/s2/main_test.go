@@ -1,9 +1,13 @@
 package main
 
 import (
+	"sort"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/querylog"
 )
 
@@ -83,5 +87,74 @@ func TestCommonCommand(t *testing.T) {
 	}
 	if err := dispatch(e, "common nosuchquery"); err == nil {
 		t.Error("expected error for unknown query")
+	}
+}
+
+func TestExplainCommand(t *testing.T) {
+	e := testEngine(t)
+	for _, line := range []string{
+		"explain similar cinema 3",
+		"explain qbb halloween 3",
+		"explain similar full moon",
+	} {
+		if err := dispatch(e, line); err != nil {
+			t.Errorf("dispatch(%q): %v", line, err)
+		}
+	}
+
+	var buf strings.Builder
+	if err := runExplain(e, []string{"similar", "cinema", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EXPLAIN similar_to_id", "prune attribution", "[ok]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+
+	for _, bad := range []string{
+		"explain",
+		"explain similar",
+		"explain bursts cinema",
+		"explain similar nonexistent-query",
+	} {
+		if err := dispatch(e, bad); err == nil {
+			t.Errorf("dispatch(%q) should fail", bad)
+		}
+	}
+}
+
+// TestWriteStatsDeterministic checks the stats listing is one globally
+// name-sorted block, identical across repeated snapshots.
+func TestWriteStatsDeterministic(t *testing.T) {
+	hub := obs.NewHub()
+	hub.Metrics.Counter("zz_total", "").Inc()
+	hub.Metrics.Gauge("aa_gauge", "").Set(1)
+	hub.Metrics.Timer("mm_latency_seconds", "").Observe(time.Millisecond)
+	hub.Metrics.Counter("bb_total", "").Inc()
+
+	var first, second strings.Builder
+	writeStats(&first, hub)
+	writeStats(&second, hub)
+	if first.String() != second.String() {
+		t.Errorf("stats output not stable:\n%s\nvs\n%s", first.String(), second.String())
+	}
+	var order []int
+	for _, name := range []string{"aa_gauge", "bb_total", "mm_latency_seconds", "zz_total"} {
+		idx := strings.Index(first.String(), name)
+		if idx < 0 {
+			t.Fatalf("stats output missing %s:\n%s", name, first.String())
+		}
+		order = append(order, idx)
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("stats not globally name-sorted (offsets %v):\n%s", order, first.String())
+	}
+
+	var empty strings.Builder
+	writeStats(&empty, obs.NewHub())
+	if !strings.Contains(empty.String(), "no metrics recorded yet") {
+		t.Errorf("empty stats output: %s", empty.String())
 	}
 }

@@ -1,0 +1,336 @@
+package benchutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/querylog"
+)
+
+// BenchSchemaVersion versions the BENCH_<label>.json shape. Bump when
+// renaming or re-meaning fields so stored records from older commits are
+// rejected rather than silently misread.
+const BenchSchemaVersion = 1
+
+// BenchWorkload pins every knob that shapes a benchmark run, so two records
+// are only ever compared like for like.
+type BenchWorkload struct {
+	// Series and Queries size the corpus (database sequences and held-out
+	// query sequences).
+	Series  int `json:"series"`
+	Queries int `json:"queries"`
+	// Days is the sequence length.
+	Days int `json:"days"`
+	// Seed fixes the corpus generator.
+	Seed int64 `json:"seed"`
+	// Budget and K parameterize the index (coefficient budget) and the
+	// searches (neighbour count).
+	Budget int `json:"budget"`
+	K      int `json:"k"`
+}
+
+// DefaultBenchWorkload is the standardized workload `make bench-record`
+// runs: big enough that pruning behaviour is representative, small enough
+// to finish in seconds.
+func DefaultBenchWorkload() BenchWorkload {
+	return BenchWorkload{Series: 512, Queries: 16, Days: 512, Seed: 1, Budget: 16, K: 5}
+}
+
+// SmokeBenchWorkload is the tiny workload CI's bench-smoke job runs; it
+// validates the record pipeline structurally without gating on performance.
+func SmokeBenchWorkload() BenchWorkload {
+	return BenchWorkload{Series: 64, Queries: 4, Days: 128, Seed: 1, Budget: 8, K: 3}
+}
+
+func (w BenchWorkload) validate() error {
+	if w.Series < 2 || w.Queries < 1 || w.Days < 8 || w.Budget < 1 || w.K < 1 {
+		return fmt.Errorf("benchutil: implausible workload %+v", w)
+	}
+	return nil
+}
+
+// LatencySummary is exact (sorted-sample) percentiles over one operation's
+// per-call wall times.
+type LatencySummary struct {
+	Samples int     `json:"samples"`
+	MeanMS  float64 `json:"mean_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P90MS   float64 `json:"p90_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+func summarize(samples []float64) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	pct := func(q float64) float64 {
+		rank := int(math.Ceil(q * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		return sorted[rank-1]
+	}
+	return LatencySummary{
+		Samples: len(sorted),
+		MeanMS:  sum / float64(len(sorted)),
+		P50MS:   pct(0.5),
+		P90MS:   pct(0.9),
+		P99MS:   pct(0.99),
+		MaxMS:   sorted[len(sorted)-1],
+	}
+}
+
+// SearchBench summarizes the similarity-search half of the workload.
+type SearchBench struct {
+	Latency LatencySummary `json:"latency"`
+	// NodesVisited and Candidates are per-query averages.
+	NodesVisited float64 `json:"nodes_visited"`
+	Candidates   float64 `json:"candidates"`
+	// PruneRatio is the fraction of collected candidates discarded without
+	// a full retrieval (higher is better — table 2's pruning power).
+	PruneRatio float64 `json:"prune_ratio"`
+	// FractionExamined is average full retrievals over database size (lower
+	// is better — fig. 16's fraction of DB examined).
+	FractionExamined float64 `json:"fraction_examined"`
+}
+
+// QBBBench summarizes the query-by-burst half of the workload.
+type QBBBench struct {
+	Latency LatencySummary `json:"latency"`
+	// RowsScanned is the per-query average overlap-scan work.
+	RowsScanned float64 `json:"rows_scanned"`
+}
+
+// BenchRecord is one schema-versioned performance snapshot, written as
+// BENCH_<label>.json and compared across commits to track the perf
+// trajectory.
+type BenchRecord struct {
+	Schema    int    `json:"schema"`
+	Label     string `json:"label"`
+	CreatedAt string `json:"created_at"` // RFC 3339
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	Workload BenchWorkload `json:"workload"`
+
+	// BuildMS is engine construction (standardize + spectra + index +
+	// burst databases); TreeHeight sanity-checks index balance.
+	BuildMS    float64 `json:"build_ms"`
+	TreeHeight int     `json:"tree_height"`
+
+	Search SearchBench `json:"search"`
+	QBB    QBBBench    `json:"qbb"`
+
+	// Counters is the final observability-registry counter snapshot, so a
+	// record carries the same totals /debug/metrics would have exported.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// RunBench executes the workload and returns the filled record. The engine
+// is built fresh with its own observability hub so counters start at zero.
+func RunBench(w BenchWorkload, label string) (*BenchRecord, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	g := querylog.NewGenerator(querylog.DefaultStart, w.Days, w.Seed)
+	data := append(g.Exemplars(), g.Dataset(w.Series)...)
+	queries := g.Queries(w.Queries)
+
+	hub := obs.NewHub()
+	buildStart := time.Now()
+	e, err := core.NewEngine(data, core.Config{Budget: w.Budget, Seed: w.Seed, Obs: hub})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	rec := &BenchRecord{
+		Schema:    BenchSchemaVersion,
+		Label:     label,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Workload:  w,
+		BuildMS:   float64(time.Since(buildStart)) / float64(time.Millisecond),
+	}
+	rec.TreeHeight = e.Tree().Height()
+
+	// Similarity-search workload: held-out queries, k neighbours each.
+	var lat []float64
+	var nodes, cands, lbPrunes, fulls int
+	for _, q := range queries {
+		start := time.Now()
+		_, st, err := e.SimilarQueries(q.Values, w.K)
+		if err != nil {
+			return nil, fmt.Errorf("benchutil: search %q: %w", q.Name, err)
+		}
+		lat = append(lat, float64(time.Since(start))/float64(time.Millisecond))
+		nodes += st.NodesVisited
+		cands += st.Candidates + st.LBPrunes
+		lbPrunes += st.LBPrunes
+		fulls += st.FullRetrievals
+	}
+	n := float64(len(queries))
+	rec.Search = SearchBench{
+		Latency:      summarize(lat),
+		NodesVisited: float64(nodes) / n,
+		Candidates:   float64(cands) / n,
+	}
+	if cands > 0 {
+		rec.Search.PruneRatio = float64(cands-fulls) / float64(cands)
+	}
+	rec.Search.FractionExamined = float64(fulls) / n / float64(e.Len())
+
+	// Query-by-burst workload: one QBB per query-count indexed series.
+	var qbbLat []float64
+	var rows int
+	for id := 0; id < w.Queries && id < e.Len(); id++ {
+		start := time.Now()
+		_, rep, err := e.QueryByBurstOfExplained(id, w.K, core.Long)
+		if err != nil {
+			return nil, fmt.Errorf("benchutil: qbb id %d: %w", id, err)
+		}
+		qbbLat = append(qbbLat, float64(time.Since(start))/float64(time.Millisecond))
+		rows += rep.Burst.RowsScanned
+	}
+	rec.QBB = QBBBench{
+		Latency:     summarize(qbbLat),
+		RowsScanned: float64(rows) / float64(len(qbbLat)),
+	}
+
+	rec.Counters = map[string]int64{}
+	for _, c := range hub.Registry().Snapshot().Counters {
+		rec.Counters[c.Name] = c.Value
+	}
+	return rec, nil
+}
+
+// Validate checks a record's structural integrity: schema version, workload
+// plausibility, sample counts and percentile monotonicity. It deliberately
+// does NOT gate on performance numbers.
+func (r *BenchRecord) Validate() error {
+	if r.Schema != BenchSchemaVersion {
+		return fmt.Errorf("benchutil: record schema %d, this binary reads %d", r.Schema, BenchSchemaVersion)
+	}
+	if r.Label == "" {
+		return fmt.Errorf("benchutil: record has no label")
+	}
+	if _, err := time.Parse(time.RFC3339, r.CreatedAt); err != nil {
+		return fmt.Errorf("benchutil: bad created_at %q: %w", r.CreatedAt, err)
+	}
+	if err := r.Workload.validate(); err != nil {
+		return err
+	}
+	if r.BuildMS <= 0 {
+		return fmt.Errorf("benchutil: build_ms = %v", r.BuildMS)
+	}
+	if r.TreeHeight < 1 {
+		return fmt.Errorf("benchutil: tree_height = %d", r.TreeHeight)
+	}
+	for name, l := range map[string]LatencySummary{"search": r.Search.Latency, "qbb": r.QBB.Latency} {
+		if l.Samples < 1 {
+			return fmt.Errorf("benchutil: %s latency has no samples", name)
+		}
+		if !(l.P50MS <= l.P90MS && l.P90MS <= l.P99MS && l.P99MS <= l.MaxMS) {
+			return fmt.Errorf("benchutil: %s percentiles not monotone: %+v", name, l)
+		}
+		if l.MeanMS <= 0 {
+			return fmt.Errorf("benchutil: %s mean latency = %v", name, l.MeanMS)
+		}
+	}
+	if r.Search.PruneRatio < 0 || r.Search.PruneRatio > 1 {
+		return fmt.Errorf("benchutil: prune_ratio = %v outside [0,1]", r.Search.PruneRatio)
+	}
+	if r.Search.FractionExamined < 0 || r.Search.FractionExamined > 1 {
+		return fmt.Errorf("benchutil: fraction_examined = %v outside [0,1]", r.Search.FractionExamined)
+	}
+	if len(r.Counters) == 0 {
+		return fmt.Errorf("benchutil: record carries no counters")
+	}
+	return nil
+}
+
+// WriteRecord writes the record as indented JSON to path.
+func WriteRecord(r *BenchRecord, path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadRecord reads and validates a record from path.
+func LoadRecord(path string) (*BenchRecord, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchRecord
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("benchutil: parse %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("benchutil: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Regression is one metric that moved in the bad direction beyond the
+// comparison tolerance.
+type Regression struct {
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Delta is the relative change, signed so that positive is always
+	// "worse" regardless of the metric's good direction.
+	Delta float64 `json:"delta"`
+}
+
+// CompareBenchRecords diffs two records of the same workload and returns
+// every metric that regressed by more than tol (relative, e.g. 0.15 = 15 %).
+// Latency and scan work regress upward; pruning power regresses downward.
+func CompareBenchRecords(old, new *BenchRecord, tol float64) ([]Regression, error) {
+	if old.Workload != new.Workload {
+		return nil, fmt.Errorf("benchutil: workloads differ (%+v vs %+v); records are not comparable",
+			old.Workload, new.Workload)
+	}
+	var regs []Regression
+	// higherIsWorse: delta = (new-old)/old.
+	check := func(metric string, o, n float64, higherIsWorse bool) {
+		if o <= 0 {
+			return // nothing to normalize against
+		}
+		delta := (n - o) / o
+		if !higherIsWorse {
+			delta = -delta
+		}
+		if delta > tol {
+			regs = append(regs, Regression{Metric: metric, Old: o, New: n, Delta: delta})
+		}
+	}
+	check("build_ms", old.BuildMS, new.BuildMS, true)
+	check("search.latency.p50_ms", old.Search.Latency.P50MS, new.Search.Latency.P50MS, true)
+	check("search.latency.p90_ms", old.Search.Latency.P90MS, new.Search.Latency.P90MS, true)
+	check("search.nodes_visited", old.Search.NodesVisited, new.Search.NodesVisited, true)
+	check("search.prune_ratio", old.Search.PruneRatio, new.Search.PruneRatio, false)
+	check("search.fraction_examined", old.Search.FractionExamined, new.Search.FractionExamined, true)
+	check("qbb.latency.p50_ms", old.QBB.Latency.P50MS, new.QBB.Latency.P50MS, true)
+	check("qbb.rows_scanned", old.QBB.RowsScanned, new.QBB.RowsScanned, true)
+	sort.Slice(regs, func(a, b int) bool { return regs[a].Metric < regs[b].Metric })
+	return regs, nil
+}

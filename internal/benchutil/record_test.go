@@ -1,0 +1,149 @@
+package benchutil
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func smokeRecord(t *testing.T) *BenchRecord {
+	t.Helper()
+	rec, err := RunBench(SmokeBenchWorkload(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRunBenchValidates(t *testing.T) {
+	rec := smokeRecord(t)
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("fresh record invalid: %v", err)
+	}
+	if rec.Schema != BenchSchemaVersion {
+		t.Errorf("schema = %d", rec.Schema)
+	}
+	w := SmokeBenchWorkload()
+	if rec.Search.Latency.Samples != w.Queries {
+		t.Errorf("search samples = %d, want %d", rec.Search.Latency.Samples, w.Queries)
+	}
+	if rec.Search.PruneRatio <= 0 {
+		t.Errorf("prune ratio = %v, want > 0 (pruning should do something)", rec.Search.PruneRatio)
+	}
+	if rec.Counters["engine_similar_total"] != int64(w.Queries) {
+		t.Errorf("engine_similar_total = %d, want %d", rec.Counters["engine_similar_total"], w.Queries)
+	}
+	if _, err := RunBench(BenchWorkload{}, "zero"); err == nil {
+		t.Error("zero workload should be rejected")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := smokeRecord(t)
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteRecord(rec, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != rec.Workload || back.Label != rec.Label {
+		t.Errorf("round trip changed record: %+v vs %+v", back, rec)
+	}
+	if back.Search != rec.Search || back.QBB != rec.QBB {
+		t.Errorf("round trip changed summaries")
+	}
+}
+
+func TestValidateRejectsCorruptRecords(t *testing.T) {
+	base := smokeRecord(t)
+	mutate := func(f func(*BenchRecord)) *BenchRecord {
+		c := *base
+		c.Counters = map[string]int64{"x": 1}
+		f(&c)
+		return &c
+	}
+	cases := map[string]*BenchRecord{
+		"schema":     mutate(func(r *BenchRecord) { r.Schema = 99 }),
+		"label":      mutate(func(r *BenchRecord) { r.Label = "" }),
+		"created_at": mutate(func(r *BenchRecord) { r.CreatedAt = "yesterday" }),
+		"workload":   mutate(func(r *BenchRecord) { r.Workload.Series = 0 }),
+		"build":      mutate(func(r *BenchRecord) { r.BuildMS = 0 }),
+		"percentile": mutate(func(r *BenchRecord) { r.Search.Latency.P50MS = r.Search.Latency.MaxMS * 2 }),
+		"ratio":      mutate(func(r *BenchRecord) { r.Search.PruneRatio = 1.5 }),
+		"counters":   mutate(func(r *BenchRecord) { r.Counters = nil }),
+	}
+	for name, rec := range cases {
+		if err := rec.Validate(); err == nil {
+			t.Errorf("corrupt record %q passed validation", name)
+		}
+	}
+}
+
+func TestCompareBenchRecords(t *testing.T) {
+	old := smokeRecord(t)
+	// Identical records never regress.
+	same := *old
+	regs, err := CompareBenchRecords(old, &same, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("self-comparison flagged regressions: %v", regs)
+	}
+
+	// Injected regressions in each direction are caught.
+	bad := *old
+	bad.Search.Latency.P50MS = old.Search.Latency.P50MS * 2 // latency up = worse
+	bad.Search.PruneRatio = old.Search.PruneRatio * 0.5     // pruning down = worse
+	regs, err = CompareBenchRecords(old, &bad, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics []string
+	for _, r := range regs {
+		metrics = append(metrics, r.Metric)
+		if r.Delta <= 0.10 {
+			t.Errorf("regression %s has delta %v <= tol", r.Metric, r.Delta)
+		}
+	}
+	joined := strings.Join(metrics, ",")
+	for _, want := range []string{"search.latency.p50_ms", "search.prune_ratio"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("regressions %v missing %s", metrics, want)
+		}
+	}
+
+	// An improvement in the good direction is not a regression.
+	good := *old
+	good.Search.Latency.P50MS = old.Search.Latency.P50MS * 0.5
+	good.Search.PruneRatio = min(1, old.Search.PruneRatio*1.05)
+	regs, err = CompareBenchRecords(old, &good, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("improvement flagged as regression: %v", regs)
+	}
+
+	// Records of different workloads refuse to compare.
+	other := *old
+	other.Workload.Series++
+	if _, err := CompareBenchRecords(old, &other, 0.10); err == nil {
+		t.Error("different workloads compared without error")
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	s := summarize([]float64{5, 1, 4, 2, 3, 6, 7, 8, 9, 10})
+	if s.Samples != 10 || s.P50MS != 5 || s.P90MS != 9 || s.P99MS != 10 || s.MaxMS != 10 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MeanMS != 5.5 {
+		t.Errorf("mean = %v", s.MeanMS)
+	}
+	if z := summarize(nil); z.Samples != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}

@@ -360,6 +360,46 @@ type Match struct {
 // exclude (optional, may be -1) drops one sequence ID from the results —
 // typically the query itself when it is already in the database.
 func (db *DB) QueryByBurst(query []burst.Burst, k int, exclude int64, plan Plan) ([]Match, ScanStats, error) {
+	return db.queryByBurst(query, k, exclude, plan, nil)
+}
+
+// BurstScanExplain is one query burst's overlap scan in an explained
+// query-by-burst: the burst's span plus the work its fig. 18 query did.
+type BurstScanExplain struct {
+	// QueryStart and QueryEnd are the query burst's day span (inclusive).
+	QueryStart int64 `json:"query_start"`
+	QueryEnd   int64 `json:"query_end"`
+	// Plan is the plan the optimizer executed for this burst.
+	Plan string `json:"plan"`
+	// RowsScanned and RowsMatched are the scan's work counters; for the two
+	// index plans RowsScanned equals the B-tree entries probed.
+	RowsScanned int `json:"rows_scanned"`
+	RowsMatched int `json:"rows_matched"`
+}
+
+// QBBExplain is the structured report of one explained query-by-burst.
+type QBBExplain struct {
+	// PerBurst holds one overlap-scan report per query burst.
+	PerBurst []BurstScanExplain `json:"per_burst"`
+	// BTreeProbes totals index entries followed across all bursts (0 when
+	// every burst ran a full scan).
+	BTreeProbes int `json:"btree_probes"`
+	// Candidates counts distinct sequences located by the overlap scans;
+	// Matches counts those with BSim > 0.
+	Candidates int `json:"candidates"`
+	Matches    int `json:"matches"`
+}
+
+// QueryByBurstExplain runs QueryByBurst while collecting a per-burst
+// explain report. Results and aggregate stats are identical to the plain
+// call.
+func (db *DB) QueryByBurstExplain(query []burst.Burst, k int, exclude int64, plan Plan) ([]Match, ScanStats, *QBBExplain, error) {
+	exp := &QBBExplain{}
+	matches, agg, err := db.queryByBurst(query, k, exclude, plan, exp)
+	return matches, agg, exp, err
+}
+
+func (db *DB) queryByBurst(query []burst.Burst, k int, exclude int64, plan Plan, exp *QBBExplain) ([]Match, ScanStats, error) {
 	var agg ScanStats
 	if k < 1 {
 		return nil, agg, errors.New("burstdb: k must be >= 1")
@@ -373,6 +413,18 @@ func (db *DB) QueryByBurst(query []burst.Burst, k int, exclude int64, plan Plan)
 		agg.Plan = st.Plan
 		agg.RowsScanned += st.RowsScanned
 		agg.RowsMatched += st.RowsMatched
+		if exp != nil {
+			exp.PerBurst = append(exp.PerBurst, BurstScanExplain{
+				QueryStart:  int64(qb.Start),
+				QueryEnd:    int64(qb.End),
+				Plan:        st.Plan.String(),
+				RowsScanned: st.RowsScanned,
+				RowsMatched: st.RowsMatched,
+			})
+			if st.Plan == PlanIndexStart || st.Plan == PlanIndexEnd {
+				exp.BTreeProbes += st.RowsScanned
+			}
+		}
 		for _, r := range rows {
 			if r.SeqID != exclude {
 				candidates[r.SeqID] = true
@@ -388,6 +440,10 @@ func (db *DB) QueryByBurst(query []burst.Burst, k int, exclude int64, plan Plan)
 		}
 	}
 	db.metrics.Matches.Add(int64(len(matches)))
+	if exp != nil {
+		exp.Candidates = len(candidates)
+		exp.Matches = len(matches)
+	}
 	sort.Slice(matches, func(a, b int) bool {
 		if matches[a].Score != matches[b].Score {
 			return matches[a].Score > matches[b].Score

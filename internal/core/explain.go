@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/burst"
+	"repro/internal/burstdb"
+	"repro/internal/obs"
+	"repro/internal/vptree"
+)
+
+// ExplainSchemaVersion versions the JSON shape of ExplainReport. Bump when
+// renaming or re-meaning fields so stored reports stay interpretable.
+const ExplainSchemaVersion = 1
+
+// Phase is one timed stage of an explained query.
+type Phase struct {
+	Name string  `json:"name"`
+	MS   float64 `json:"ms"`
+}
+
+// IndexExplain describes the index side of an explained similarity search.
+type IndexExplain struct {
+	// Kind is the index implementation ("vptree" or "mvptree").
+	Kind string `json:"kind"`
+	// Stats is the flat per-search work summary (both index kinds).
+	Stats vptree.Stats `json:"stats"`
+	// Detail is the per-level traversal and prune-attribution report
+	// (VP-tree only; nil for the multi-vantage-point index).
+	Detail *vptree.Explain `json:"detail,omitempty"`
+}
+
+// BurstExplain describes the burst-database side of an explained
+// query-by-burst.
+type BurstExplain struct {
+	// Window is the moving-average window the query ran against.
+	Window string `json:"window"`
+	// QueryBursts is the number of bursts in the query's pattern.
+	QueryBursts int `json:"query_bursts"`
+	// Plan is the last plan the optimizer picked (see Detail for per-burst
+	// plans), RowsScanned/RowsMatched the aggregate scan work.
+	Plan        string `json:"plan"`
+	RowsScanned int    `json:"rows_scanned"`
+	RowsMatched int    `json:"rows_matched"`
+	// Detail is the per-burst overlap-scan report including B-tree probes.
+	Detail *burstdb.QBBExplain `json:"detail,omitempty"`
+}
+
+// ExplainReport is the structured account of one explained query: what ran,
+// how long each phase took, and — for index searches — where every
+// collected candidate went (pruned by which bound, skipped, or examined).
+type ExplainReport struct {
+	Schema int `json:"schema"`
+	// Op is the engine entry point ("similar_queries", "similar_to_id",
+	// "query_by_burst").
+	Op string `json:"op"`
+	// Query names the query series when it is an indexed one.
+	Query string `json:"query,omitempty"`
+	K     int    `json:"k"`
+	// Results is the number of neighbours / matches returned.
+	Results int           `json:"results"`
+	TotalMS float64       `json:"total_ms"`
+	Phases  []Phase       `json:"phases"`
+	Index   *IndexExplain `json:"index,omitempty"`
+	Burst   *BurstExplain `json:"burst,omitempty"`
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+// recordExplain attaches the report to the query's trace (so a slow query
+// retains it) and commits it to the hub's explain ring.
+func (e *Engine) recordExplain(tr *obs.Trace, rep *ExplainReport) {
+	tr.Attach(rep)
+	e.hub.ExplainStore().Record(rep)
+}
+
+// Render writes the report as the human-readable text the `explain` REPL
+// command prints.
+func (r *ExplainReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "EXPLAIN %s", r.Op)
+	if r.Query != "" {
+		fmt.Fprintf(w, " query=%q", r.Query)
+	}
+	fmt.Fprintf(w, " k=%d results=%d\n", r.K, r.Results)
+	fmt.Fprintf(w, "  total %.3f ms", r.TotalMS)
+	if len(r.Phases) > 0 {
+		fmt.Fprint(w, "  (")
+		for i, p := range r.Phases {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%s %.3f", p.Name, p.MS)
+		}
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintln(w)
+	if r.Index != nil {
+		r.Index.render(w)
+	}
+	if r.Burst != nil {
+		r.Burst.render(w)
+	}
+}
+
+func (x *IndexExplain) render(w io.Writer) {
+	d := x.Detail
+	if d == nil {
+		fmt.Fprintf(w, "  index: %s  nodes=%d bounds=%d candidates=%d retrievals=%d\n",
+			x.Kind, x.Stats.NodesVisited, x.Stats.BoundsComputed,
+			x.Stats.Candidates, x.Stats.FullRetrievals)
+		return
+	}
+	fmt.Fprintf(w, "  index: %s method=%s budget=%d size=%d height=%d sigma_ub=%.3f\n",
+		x.Kind, d.Method, d.Budget, d.TreeSize, d.TreeHeight, d.SigmaUB)
+	fmt.Fprintf(w, "  %5s %8s %6s %6s %6s %8s %8s %6s\n",
+		"level", "internal", "leaves", "bounds", "cands", "lb-prune", "ub-prune", "guided")
+	for _, l := range d.Levels {
+		fmt.Fprintf(w, "  %5d %8d %6d %6d %6d %8d %8d %6d\n",
+			l.Depth, l.InternalNodes, l.Leaves, l.BoundsComputed,
+			l.Candidates, l.LBSubtreePrunes, l.UBSubtreePrunes, l.GuidedDescentHits)
+	}
+	lbSub, ubSub := d.TotalSubtreePrunes()
+	fmt.Fprintf(w, "  subtree prunes: %d by lower bound (%s), %d by upper bound; guided descent reordered %d nodes\n",
+		lbSub, d.Method, ubSub, d.Stats.GuidedDescentHits)
+	fmt.Fprintf(w, "  prune attribution over %d collected candidates:\n", d.Collected)
+	fmt.Fprintf(w, "    pruned by %s lower bound (final sigma_ub filter) %6d\n", d.Method, d.FilterLBPrunes)
+	fmt.Fprintf(w, "    skipped by lower-bound cutoff during refinement   %6d\n", d.CutoffSkips)
+	fmt.Fprintf(w, "    examined (full sequences retrieved)               %6d\n", d.FullRetrievals)
+	sum := d.FilterLBPrunes + d.CutoffSkips + d.FullRetrievals
+	check := "ok"
+	if !d.Balanced() {
+		check = "MISMATCH"
+	}
+	fmt.Fprintf(w, "    sum %d + %d + %d = %d of %d collected [%s]\n",
+		d.FilterLBPrunes, d.CutoffSkips, d.FullRetrievals, sum, d.Collected, check)
+	fmt.Fprintf(w, "  refinement: %d exact distances, %d early abandons\n",
+		d.ExactDistances, d.EarlyAbandons)
+	fmt.Fprintf(w, "  phase wall: traverse %.3f ms, filter %.3f ms, refine %.3f ms\n",
+		d.TraverseMS, d.FilterMS, d.RefineMS)
+}
+
+func (b *BurstExplain) render(w io.Writer) {
+	fmt.Fprintf(w, "  burstdb: window=%s query_bursts=%d plan=%s rows_scanned=%d rows_matched=%d\n",
+		b.Window, b.QueryBursts, b.Plan, b.RowsScanned, b.RowsMatched)
+	if d := b.Detail; d != nil {
+		fmt.Fprintf(w, "  %5s %7s %7s %14s %9s %9s\n",
+			"burst", "start", "end", "plan", "scanned", "matched")
+		for i, s := range d.PerBurst {
+			fmt.Fprintf(w, "  %5d %7d %7d %14s %9d %9d\n",
+				i, s.QueryStart, s.QueryEnd, s.Plan, s.RowsScanned, s.RowsMatched)
+		}
+		fmt.Fprintf(w, "  b-tree probes %d; %d candidate sequences, %d with BSim > 0\n",
+			d.BTreeProbes, d.Candidates, d.Matches)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Explained entry points
+
+// searchIndexExplain is searchIndex with an explain collector. The
+// multi-vantage-point index reports flat stats only (Detail stays nil).
+func (e *Engine) searchIndexExplain(z []float64, k int) ([]vptree.Result, vptree.Stats, *vptree.Explain, error) {
+	if e.mvp != nil {
+		res, st, err := e.searchIndex(z, k)
+		return res, st, nil, err
+	}
+	return e.tree.SearchExplain(z, k, e.features, e.store)
+}
+
+func (e *Engine) indexExplain(vexp *vptree.Explain, st vptree.Stats) *IndexExplain {
+	x := &IndexExplain{Kind: e.cfg.Index.String(), Stats: st, Detail: vexp}
+	return x
+}
+
+// SimilarQueriesExplained is SimilarQueries returning, alongside the
+// neighbours, a structured explain report that is also committed to the
+// hub's explain ring and attached to the query's trace.
+func (e *Engine) SimilarQueriesExplained(values []float64, k int) ([]Neighbor, *ExplainReport, error) {
+	defer e.met.similarLat.Start()()
+	e.met.similarTotal.Inc()
+	e.met.similarK.Observe(float64(k))
+	total := time.Now()
+	tr := e.tracer.StartTrace("similar_queries")
+	defer tr.Finish()
+	tr.Annotate("k", fmt.Sprint(k))
+	tr.Annotate("explain", "true")
+
+	phaseStart := time.Now()
+	sp := tr.Span("standardize")
+	z, err := e.standardizeQuery(values)
+	sp.Finish()
+	stdMS := msSince(phaseStart)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp = tr.Span("index_search")
+	res, st, vexp, err := e.searchIndexExplain(z, k)
+	sp.Finish()
+	annotateSearch(sp, st)
+	e.met.recordSearch(st)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.met.similarResults.Add(int64(len(res)))
+
+	rep := &ExplainReport{
+		Schema: ExplainSchemaVersion, Op: "similar_queries", K: k,
+		Results: len(res),
+		Phases:  []Phase{{Name: "standardize", MS: stdMS}},
+		Index:   e.indexExplain(vexp, st),
+	}
+	rep.appendIndexPhases(vexp)
+	rep.TotalMS = msSince(total)
+	e.recordExplain(tr, rep)
+	return e.toNeighbors(res), rep, nil
+}
+
+// SimilarToIDExplained is SimilarToID with an explain report (see
+// SimilarQueriesExplained).
+func (e *Engine) SimilarToIDExplained(id, k int) ([]Neighbor, *ExplainReport, error) {
+	defer e.met.similarLat.Start()()
+	e.met.similarTotal.Inc()
+	e.met.similarK.Observe(float64(k))
+	total := time.Now()
+	tr := e.tracer.StartTrace("similar_to_id")
+	defer tr.Finish()
+	tr.Annotate("id", fmt.Sprint(id))
+	tr.Annotate("k", fmt.Sprint(k))
+	tr.Annotate("explain", "true")
+
+	phaseStart := time.Now()
+	sp := tr.Span("fetch_standardized")
+	z, err := e.store.Get(id)
+	sp.Finish()
+	fetchMS := msSince(phaseStart)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp = tr.Span("index_search")
+	res, st, vexp, err := e.searchIndexExplain(z, k+1)
+	sp.Finish()
+	annotateSearch(sp, st)
+	e.met.recordSearch(st)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]vptree.Result, 0, k)
+	for _, r := range res {
+		if r.ID != id {
+			out = append(out, r)
+		}
+		if len(out) == k {
+			break
+		}
+	}
+	e.met.similarResults.Add(int64(len(out)))
+
+	rep := &ExplainReport{
+		Schema: ExplainSchemaVersion, Op: "similar_to_id",
+		Query: e.Name(id), K: k, Results: len(out),
+		Phases: []Phase{{Name: "fetch_standardized", MS: fetchMS}},
+		Index:  e.indexExplain(vexp, st),
+	}
+	rep.appendIndexPhases(vexp)
+	rep.TotalMS = msSince(total)
+	e.recordExplain(tr, rep)
+	return e.toNeighbors(out), rep, nil
+}
+
+func (r *ExplainReport) appendIndexPhases(vexp *vptree.Explain) {
+	if vexp == nil {
+		return
+	}
+	r.Phases = append(r.Phases,
+		Phase{Name: "traverse", MS: vexp.TraverseMS},
+		Phase{Name: "filter", MS: vexp.FilterMS},
+		Phase{Name: "refine", MS: vexp.RefineMS},
+	)
+}
+
+// QueryByBurstExplained is QueryByBurst with an explain report covering
+// burst detection and the per-burst overlap scans.
+func (e *Engine) QueryByBurstExplained(values []float64, k int, w BurstWindow) ([]BurstMatch, *ExplainReport, error) {
+	total := time.Now()
+	det, err := e.Bursts(values, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	detectMS := msSince(total)
+	matches, rep, err := e.queryBurstsExplained(e.filterBursts(det), k, -1, w, total)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Phases = append([]Phase{{Name: "burst_detect", MS: detectMS}}, rep.Phases...)
+	return matches, rep, nil
+}
+
+// QueryByBurstOfExplained is QueryByBurstOf with an explain report.
+func (e *Engine) QueryByBurstOfExplained(id, k int, w BurstWindow) ([]BurstMatch, *ExplainReport, error) {
+	total := time.Now()
+	matches, rep, err := e.queryBurstsExplained(e.BurstsOf(id, w), k, int64(id), w, total)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Query = e.Name(id)
+	return matches, rep, nil
+}
+
+func (e *Engine) queryBurstsExplained(q []burst.Burst, k int, exclude int64, w BurstWindow, total time.Time) ([]BurstMatch, *ExplainReport, error) {
+	defer e.met.qbbLat.Start()()
+	e.met.qbbTotal.Inc()
+	tr := e.tracer.StartTrace("query_by_burst")
+	defer tr.Finish()
+	tr.Annotate("window", w.String())
+	tr.Annotate("query_bursts", fmt.Sprint(len(q)))
+	tr.Annotate("explain", "true")
+
+	scanStart := time.Now()
+	matches, st, qexp, err := e.burstDB(w).QueryByBurstExplain(q, k, exclude, burstdb.PlanAuto)
+	if err != nil {
+		return nil, nil, err
+	}
+	scanMS := msSince(scanStart)
+	tr.Annotate("plan", st.Plan.String())
+	tr.Annotate("rows_scanned", fmt.Sprint(st.RowsScanned))
+	tr.Annotate("rows_matched", fmt.Sprint(st.RowsMatched))
+	e.met.qbbResults.Add(int64(len(matches)))
+	out := make([]BurstMatch, len(matches))
+	for i, m := range matches {
+		out[i] = BurstMatch{ID: int(m.SeqID), Name: e.Name(int(m.SeqID)), Score: m.Score}
+	}
+
+	rep := &ExplainReport{
+		Schema: ExplainSchemaVersion, Op: "query_by_burst", K: k,
+		Results: len(out),
+		Phases:  []Phase{{Name: "overlap_scan", MS: scanMS}},
+		Burst: &BurstExplain{
+			Window:      w.String(),
+			QueryBursts: len(q),
+			Plan:        st.Plan.String(),
+			RowsScanned: st.RowsScanned,
+			RowsMatched: st.RowsMatched,
+			Detail:      qexp,
+		},
+	}
+	rep.TotalMS = msSince(total)
+	e.recordExplain(tr, rep)
+	return out, rep, nil
+}

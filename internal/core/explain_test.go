@@ -1,0 +1,212 @@
+package core
+
+import (
+	"io"
+	"log/slog"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSimilarQueriesExplained checks that the explained entry point returns
+// the same neighbours as the plain one, that the prune attribution balances,
+// and that the report lands in the hub's explain ring.
+func TestSimilarQueriesExplained(t *testing.T) {
+	hub := obs.NewHub()
+	e, g := buildEngine(t, 60, Config{Budget: 12, Obs: hub}, 7)
+	q := g.Queries(1)[0]
+
+	plain, _, err := e.SimilarQueries(q.Values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := e.SimilarQueriesExplained(q.Values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("nil explain report")
+	}
+	if len(res) != len(plain) {
+		t.Fatalf("explained returned %d neighbours, plain %d", len(res), len(plain))
+	}
+	for i := range res {
+		if res[i].ID != plain[i].ID || math.Abs(res[i].Dist-plain[i].Dist) > 1e-12 {
+			t.Errorf("rank %d: %v vs plain %v", i, res[i], plain[i])
+		}
+	}
+
+	if rep.Schema != ExplainSchemaVersion || rep.Op != "similar_queries" || rep.K != 3 {
+		t.Errorf("report header: %+v", rep)
+	}
+	if rep.Results != len(res) {
+		t.Errorf("Results = %d, want %d", rep.Results, len(res))
+	}
+	if rep.Index == nil || rep.Index.Detail == nil {
+		t.Fatal("VP-tree engine produced no index detail")
+	}
+	d := rep.Index.Detail
+	if !d.Balanced() {
+		t.Errorf("prune attribution does not balance: collected %d != %d+%d+%d",
+			d.Collected, d.FilterLBPrunes, d.CutoffSkips, d.FullRetrievals)
+	}
+	if len(rep.Phases) == 0 {
+		t.Error("no phases recorded")
+	}
+
+	// The report must be retrievable from the hub.
+	entry, ok := hub.ExplainStore().Last()
+	if !ok {
+		t.Fatal("explain ring is empty")
+	}
+	if got, ok := entry.Report.(*ExplainReport); !ok || got != rep {
+		t.Errorf("ring holds %T %v, want the returned report", entry.Report, entry.Report)
+	}
+
+	// Rendering must show the balanced attribution line.
+	var sb strings.Builder
+	rep.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"EXPLAIN similar_queries", "prune attribution", "[ok]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Errorf("rendered report flags a mismatch:\n%s", out)
+	}
+}
+
+// TestSimilarToIDExplained checks self-exclusion and the query name field.
+func TestSimilarToIDExplained(t *testing.T) {
+	hub := obs.NewHub()
+	e, _ := buildEngine(t, 40, Config{Budget: 10, Obs: hub}, 9)
+	res, rep, err := e.SimilarToIDExplained(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res {
+		if n.ID == 0 {
+			t.Error("explained SimilarToID returned the query itself")
+		}
+	}
+	if rep.Op != "similar_to_id" || rep.Query != e.Name(0) {
+		t.Errorf("report header: op=%q query=%q", rep.Op, rep.Query)
+	}
+	if rep.Index == nil || rep.Index.Detail == nil || !rep.Index.Detail.Balanced() {
+		t.Error("index detail missing or unbalanced")
+	}
+}
+
+// TestQueryByBurstExplained checks the burst side of the report.
+func TestQueryByBurstExplained(t *testing.T) {
+	hub := obs.NewHub()
+	e, _ := buildEngine(t, 40, Config{Budget: 10, Obs: hub}, 4)
+	plain, err := e.QueryByBurstOf(0, 5, Long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, rep, err := e.QueryByBurstOfExplained(0, 5, Long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != len(plain) {
+		t.Fatalf("explained returned %d matches, plain %d", len(matches), len(plain))
+	}
+	if rep.Op != "query_by_burst" || rep.Burst == nil {
+		t.Fatalf("report: %+v", rep)
+	}
+	b := rep.Burst
+	if b.Window != Long.String() {
+		t.Errorf("Window = %q", b.Window)
+	}
+	if b.Detail == nil {
+		t.Fatal("no burst detail")
+	}
+	if len(b.Detail.PerBurst) != b.QueryBursts {
+		t.Errorf("PerBurst rows %d, QueryBursts %d", len(b.Detail.PerBurst), b.QueryBursts)
+	}
+	if rep.Query != e.Name(0) {
+		t.Errorf("Query = %q, want %q", rep.Query, e.Name(0))
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	if !strings.Contains(sb.String(), "burstdb:") {
+		t.Errorf("rendered report missing burstdb section:\n%s", sb.String())
+	}
+}
+
+// TestExplainedSlowQueryRetention checks that with a (tiny) slow threshold,
+// an explained query is retained in the slow log with its report attached.
+func TestExplainedSlowQueryRetention(t *testing.T) {
+	hub := obs.NewHub()
+	hub.Slow.SetThreshold(time.Nanosecond) // everything is slow
+	hub.Slow.SetLogger(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	e, g := buildEngine(t, 40, Config{Budget: 10, Obs: hub}, 5)
+	q := g.Queries(1)[0]
+	_, rep, err := e.SimilarQueriesExplained(q.Values, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := hub.SlowLog().Snapshot()
+	if len(entries) == 0 {
+		t.Fatal("slow log is empty despite 1ns threshold")
+	}
+	found := false
+	for _, en := range entries {
+		if got, ok := en.Explain.(*ExplainReport); ok && got == rep {
+			found = true
+			if en.Trace.Root.Name != "similar_queries" {
+				t.Errorf("slow entry trace = %q", en.Trace.Root.Name)
+			}
+		}
+	}
+	if !found {
+		t.Error("slow log did not retain the explain report")
+	}
+}
+
+// TestExplainWithoutObs checks the nil path: explained calls on an engine
+// with no hub still work and still return reports.
+func TestExplainWithoutObs(t *testing.T) {
+	e, g := buildEngine(t, 30, Config{Budget: 8}, 6)
+	q := g.Queries(1)[0]
+	res, rep, err := e.SimilarQueriesExplained(q.Values, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || rep == nil || rep.Index == nil {
+		t.Fatalf("nil-obs explained call: %d results, rep %v", len(res), rep)
+	}
+	if _, rep, err = e.QueryByBurstOfExplained(0, 3, Short); err != nil || rep == nil {
+		t.Fatalf("nil-obs QueryByBurstOfExplained: %v %v", rep, err)
+	}
+}
+
+// TestExplainMVPFallback checks that the multi-vantage-point engine serves
+// explained searches with flat stats and no per-level detail.
+func TestExplainMVPFallback(t *testing.T) {
+	e, g := buildEngine(t, 40, Config{Budget: 10, Index: IndexMVPTree}, 12)
+	q := g.Queries(1)[0]
+	res, rep, err := e.SimilarQueriesExplained(q.Values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if rep.Index == nil || rep.Index.Detail != nil {
+		t.Errorf("MVP index explain: %+v", rep.Index)
+	}
+	if rep.Index.Stats.NodesVisited == 0 {
+		t.Error("MVP explain has empty stats")
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	if !strings.Contains(sb.String(), "index:") {
+		t.Errorf("rendered MVP report missing index line:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ExplainEntry is one retained explain report.
+type ExplainEntry struct {
+	// ID is a monotonically increasing sequence number.
+	ID uint64 `json:"id"`
+	// Time is when the report was recorded.
+	Time time.Time `json:"time"`
+	// Report is the explain payload (JSON-marshalable; the engine stores a
+	// *core.ExplainReport here — obs stays dependency-free by holding any).
+	Report any `json:"report"`
+}
+
+// ExplainStore rings the last N explain reports so /debug/explain can serve
+// them after the fact. All methods are nil-safe.
+type ExplainStore struct {
+	mu     sync.Mutex
+	ring   []ExplainEntry
+	next   int
+	filled bool
+	seq    atomic.Uint64
+}
+
+// NewExplainStore creates a store retaining the last `capacity` reports
+// (default 16 when capacity <= 0).
+func NewExplainStore(capacity int) *ExplainStore {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &ExplainStore{ring: make([]ExplainEntry, capacity)}
+}
+
+// Record retains one report, evicting the oldest when full (no-op on a nil
+// store or a nil report).
+func (s *ExplainStore) Record(report any) {
+	if s == nil || report == nil {
+		return
+	}
+	entry := ExplainEntry{ID: s.seq.Add(1), Time: time.Now(), Report: report}
+	s.mu.Lock()
+	s.ring[s.next] = entry
+	s.next = (s.next + 1) % len(s.ring)
+	if s.next == 0 {
+		s.filled = true
+	}
+	s.mu.Unlock()
+}
+
+// Last returns the most recent report, if any.
+func (s *ExplainStore) Last() (ExplainEntry, bool) {
+	if s == nil {
+		return ExplainEntry{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.filled && s.next == 0 {
+		return ExplainEntry{}, false
+	}
+	idx := (s.next - 1 + len(s.ring)) % len(s.ring)
+	return s.ring[idx], true
+}
+
+// Snapshot returns the retained reports, most recent first (nil on a nil
+// store).
+func (s *ExplainStore) Snapshot() []ExplainEntry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.next
+	if s.filled {
+		total = len(s.ring)
+	}
+	out := make([]ExplainEntry, 0, total)
+	for i := 0; i < total; i++ {
+		idx := (s.next - 1 - i + len(s.ring)) % len(s.ring)
+		out = append(out, s.ring[idx])
+	}
+	return out
+}
+
+// Len returns the number of retained reports.
+func (s *ExplainStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.filled {
+		return len(s.ring)
+	}
+	return s.next
+}

@@ -1,0 +1,54 @@
+package obs
+
+import "testing"
+
+func TestExplainStoreRing(t *testing.T) {
+	t.Parallel()
+	s := NewExplainStore(3)
+	if _, ok := s.Last(); ok {
+		t.Error("empty store reported a last entry")
+	}
+	if len(s.Snapshot()) != 0 || s.Len() != 0 {
+		t.Error("empty store not empty")
+	}
+
+	s.Record(nil) // nil reports are ignored
+	if s.Len() != 0 {
+		t.Error("nil report was recorded")
+	}
+
+	for i := 1; i <= 5; i++ {
+		s.Record(i)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	last, ok := s.Last()
+	if !ok || last.Report != 5 {
+		t.Errorf("Last = %+v %v", last, ok)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 3 || snap[0].Report != 5 || snap[1].Report != 4 || snap[2].Report != 3 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	// IDs are monotone so clients can detect new reports.
+	if !(snap[0].ID > snap[1].ID && snap[1].ID > snap[2].ID) {
+		t.Errorf("IDs not monotone: %+v", snap)
+	}
+}
+
+func TestExplainStoreNilSafety(t *testing.T) {
+	t.Parallel()
+	var s *ExplainStore
+	s.Record(1)
+	if _, ok := s.Last(); ok {
+		t.Error("nil store has a last entry")
+	}
+	if s.Snapshot() != nil || s.Len() != 0 {
+		t.Error("nil store misbehaved")
+	}
+	var h *Hub
+	if h.ExplainStore() != nil {
+		t.Error("nil hub ExplainStore() should be nil")
+	}
+}

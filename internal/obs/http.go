@@ -14,10 +14,13 @@ import (
 
 // Handler returns the debug HTTP surface for a hub:
 //
-//	/debug/vars     expvar-style JSON snapshot of every metric
-//	/debug/metrics  Prometheus text exposition (hand-rolled, format 0.0.4)
-//	/debug/traces   recent query traces as JSON (most recent first)
-//	/debug/pprof/*  the standard runtime profiles
+//	/debug/vars          expvar-style JSON snapshot of every metric
+//	/debug/metrics       Prometheus text exposition (hand-rolled, format 0.0.4)
+//	/debug/traces        recent query traces as JSON (most recent first)
+//	/debug/explain       recent query explain reports (most recent first)
+//	/debug/explain/last  the most recent explain report
+//	/debug/slow          retained slow queries (span tree + explain report)
+//	/debug/pprof/*       the standard runtime profiles
 //
 // The handler tolerates a nil hub (every endpoint serves empty data), so it
 // can be mounted before observability is wired up.
@@ -48,6 +51,36 @@ func Handler(h *Hub) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(traces) //nolint:errcheck // best-effort debug output
 	})
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v) //nolint:errcheck // best-effort debug output
+	}
+	mux.HandleFunc("/debug/explain", func(w http.ResponseWriter, _ *http.Request) {
+		entries := h.ExplainStore().Snapshot()
+		if entries == nil {
+			entries = []ExplainEntry{}
+		}
+		writeJSON(w, entries)
+	})
+	mux.HandleFunc("/debug/explain/last", func(w http.ResponseWriter, _ *http.Request) {
+		entry, ok := h.ExplainStore().Last()
+		if !ok {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintln(w, `{"error": "no explain reports recorded yet"}`)
+			return
+		}
+		writeJSON(w, entry)
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, _ *http.Request) {
+		entries := h.SlowLog().Snapshot()
+		if entries == nil {
+			entries = []SlowEntry{}
+		}
+		writeJSON(w, entries)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -70,7 +103,7 @@ func Serve(addr string, h *Hub) (*http.Server, string, error) {
 }
 
 // varsPayload flattens a snapshot into an expvar-style name->value map.
-// Histograms become {count, sum, avg, p50, p99} summaries.
+// Histograms become {count, sum, avg, p50, p90, p99} summaries.
 func varsPayload(r *Registry) map[string]any {
 	out := map[string]any{}
 	s := r.Snapshot()
@@ -85,6 +118,7 @@ func varsPayload(r *Registry) map[string]any {
 		if h.Count > 0 {
 			summary["avg"] = h.Sum / float64(h.Count)
 			summary["p50"] = quantileFromSnapshot(h, 0.5)
+			summary["p90"] = quantileFromSnapshot(h, 0.9)
 			summary["p99"] = quantileFromSnapshot(h, 0.99)
 		}
 		out[h.Name] = summary
@@ -113,7 +147,9 @@ func quantileFromSnapshot(h HistogramSnapshot, q float64) float64 {
 
 // WritePrometheus renders a snapshot in the Prometheus text exposition
 // format: counters get a `_total`-as-named value, histograms emit cumulative
-// `_bucket{le=...}` series plus `_sum` and `_count`.
+// `_bucket{le=...}` series plus `_sum`, `_count` and summary-style
+// `{quantile=...}` series for p50/p90/p99 (bucket-upper-bound estimates, so
+// dashboards get quantiles without reconstructing them from buckets).
 func WritePrometheus(w io.Writer, s Snapshot) {
 	for _, c := range s.Counters {
 		writeHeader(w, c.Name, c.Help, "counter")
@@ -132,6 +168,12 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		}
 		cum += h.Overflow
 		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum)
+		if h.Count > 0 {
+			for _, q := range [...]float64{0.5, 0.9, 0.99} {
+				fmt.Fprintf(w, "%s{quantile=%q} %s\n",
+					h.Name, formatFloat(q), formatFloat(quantileFromSnapshot(h, q)))
+			}
+		}
 		fmt.Fprintf(w, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
 		fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count)
 	}

@@ -235,8 +235,9 @@ func (t *Timer) Histogram() *Histogram {
 
 // Registry is a named collection of instruments. Get-or-create accessors
 // are idempotent: asking twice for the same name returns the same
-// instrument. Registering one name as two different kinds panics (a
-// programming error, like a duplicate expvar).
+// instrument. Registering one name as two different kinds, with a name that
+// is not Prometheus-legal, or as a histogram with a conflicting bucket
+// layout panics (a programming error, like a duplicate expvar).
 type Registry struct {
 	mu       sync.RWMutex
 	kinds    map[string]string // name -> "counter"|"gauge"|"histogram"
@@ -244,6 +245,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	histOpts map[string]HistogramOpts // filled layout each histogram was created with
 }
 
 // NewRegistry creates an empty registry.
@@ -254,10 +256,34 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		histOpts: map[string]HistogramOpts{},
 	}
 }
 
+// ValidMetricName reports whether name matches the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 func (r *Registry) claim(name, kind, help string) {
+	if !ValidMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
 	if got, ok := r.kinds[name]; ok && got != kind {
 		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, got, kind))
 	}
@@ -301,12 +327,14 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 }
 
 // Histogram returns the histogram registered under name, creating it with
-// the given bucket layout on first use (later calls reuse the original
-// layout).
+// the given bucket layout on first use. Re-registering an existing name with
+// a *different* filled layout panics — a silently reused layout would make
+// one call site's buckets lie about another's observations.
 func (r *Registry) Histogram(name, help string, opts HistogramOpts) *Histogram {
 	if r == nil {
 		return nil
 	}
+	opts.fill()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.claim(name, "histogram", help)
@@ -314,6 +342,9 @@ func (r *Registry) Histogram(name, help string, opts HistogramOpts) *Histogram {
 	if !ok {
 		h = newHistogram(opts)
 		r.hists[name] = h
+		r.histOpts[name] = opts
+	} else if got := r.histOpts[name]; got != opts {
+		panic(fmt.Sprintf("obs: histogram %q registered with layouts %+v and %+v", name, got, opts))
 	}
 	return h
 }
@@ -400,19 +431,33 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// Hub bundles the two observability surfaces an engine threads through its
+// Hub bundles the observability surfaces an engine threads through its
 // components. A nil *Hub disables observability everywhere.
 type Hub struct {
 	// Metrics is the metric registry.
 	Metrics *Registry
 	// Traces is the per-query trace recorder.
 	Traces *Tracer
+	// Slow is the slow-query log. It starts disabled (threshold 0); call
+	// Slow.SetThreshold to turn it on.
+	Slow *SlowLog
+	// Explains rings the most recent query explain reports.
+	Explains *ExplainStore
 }
 
-// NewHub creates a hub with a fresh registry and a tracer keeping the last
-// 128 traces.
+// NewHub creates a hub with a fresh registry, a tracer keeping the last 128
+// traces, a disabled slow-query log holding up to 32 entries, and an
+// explain ring of 16 reports. The tracer feeds finished traces into the
+// slow log automatically.
 func NewHub() *Hub {
-	return &Hub{Metrics: NewRegistry(), Traces: NewTracer(128)}
+	h := &Hub{
+		Metrics:  NewRegistry(),
+		Traces:   NewTracer(128),
+		Slow:     NewSlowLog(32),
+		Explains: NewExplainStore(16),
+	}
+	h.Traces.SetSlowLog(h.Slow)
+	return h
 }
 
 // Registry returns the hub's registry (nil on a nil hub).
@@ -429,4 +474,20 @@ func (h *Hub) Tracer() *Tracer {
 		return nil
 	}
 	return h.Traces
+}
+
+// SlowLog returns the hub's slow-query log (nil on a nil hub).
+func (h *Hub) SlowLog() *SlowLog {
+	if h == nil {
+		return nil
+	}
+	return h.Slow
+}
+
+// ExplainStore returns the hub's explain ring (nil on a nil hub).
+func (h *Hub) ExplainStore() *ExplainStore {
+	if h == nil {
+		return nil
+	}
+	return h.Explains
 }

@@ -15,6 +15,16 @@ type Tracer struct {
 	next   int
 	filled bool
 	seq    atomic.Uint64
+	slow   atomic.Pointer[SlowLog]
+}
+
+// SetSlowLog installs a slow-query log that every finished trace is offered
+// to (nil detaches it; no-op on a nil tracer).
+func (t *Tracer) SetSlowLog(l *SlowLog) {
+	if t == nil {
+		return
+	}
+	t.slow.Store(l)
 }
 
 // NewTracer creates a tracer retaining the last `capacity` traces
@@ -45,9 +55,20 @@ type Span struct {
 
 // Trace is one in-flight query trace rooted at a single span.
 type Trace struct {
-	tracer *Tracer
-	id     uint64
-	root   *Span
+	tracer  *Tracer
+	id      uint64
+	root    *Span
+	explain any
+}
+
+// Attach associates an explain payload with the trace; when the trace
+// finishes slow it is retained alongside the span tree in the slow-query
+// log. No-op on a nil trace. Not safe for concurrent use with Finish.
+func (tr *Trace) Attach(explain any) {
+	if tr == nil {
+		return
+	}
+	tr.explain = explain
 }
 
 // StartTrace begins a trace whose root span has the given name. A nil
@@ -77,8 +98,9 @@ func (tr *Trace) Span(name string) *Span { return tr.Root().Child(name) }
 // Annotate attaches a key/value pair to the root span.
 func (tr *Trace) Annotate(key, value string) { tr.Root().Annotate(key, value) }
 
-// Finish closes the root span and commits the trace to the tracer's ring
-// buffer, evicting the oldest record when full. No-op on a nil trace.
+// Finish closes the root span, commits the trace to the tracer's ring
+// buffer (evicting the oldest record when full), and offers it to the
+// tracer's slow-query log. No-op on a nil trace.
 func (tr *Trace) Finish() {
 	if tr == nil {
 		return
@@ -94,6 +116,12 @@ func (tr *Trace) Finish() {
 		t.filled = true
 	}
 	t.mu.Unlock()
+	if sl := t.slow.Load(); sl != nil {
+		tr.root.mu.Lock()
+		d := tr.root.end.Sub(tr.root.start)
+		tr.root.mu.Unlock()
+		sl.Observe(rec, d, tr.explain)
+	}
 }
 
 // Child opens a sub-span (nil-safe: a nil span returns a nil child).

@@ -12,12 +12,13 @@ type instrumented struct {
 	readBytes  *obs.Counter
 	appends    *obs.Counter
 	writeBytes *obs.Counter
+	errors     *obs.Counter
 }
 
 // Instrument wraps a store so its traffic shows up in reg under
-// seqstore_reads_total, seqstore_read_bytes_total, seqstore_appends_total
-// and seqstore_write_bytes_total. A nil registry returns the store
-// unchanged.
+// seqstore_reads_total, seqstore_read_bytes_total, seqstore_appends_total,
+// seqstore_write_bytes_total and seqstore_errors_total. A nil registry
+// returns the store unchanged.
 func Instrument(s Store, reg *obs.Registry) Store {
 	if reg == nil {
 		return s
@@ -28,6 +29,7 @@ func Instrument(s Store, reg *obs.Registry) Store {
 		readBytes:  reg.Counter("seqstore_read_bytes_total", "bytes of sequence data read (8 bytes per value)"),
 		appends:    reg.Counter("seqstore_appends_total", "sequence records appended to the store"),
 		writeBytes: reg.Counter("seqstore_write_bytes_total", "bytes of sequence data written (8 bytes per value)"),
+		errors:     reg.Counter("seqstore_errors_total", "store operations that returned an error"),
 	}
 }
 
@@ -39,6 +41,8 @@ func (s *instrumented) Append(values []float64) (int, error) {
 	if err == nil {
 		s.appends.Inc()
 		s.writeBytes.Add(s.recordBytes())
+	} else {
+		s.errors.Inc()
 	}
 	return id, err
 }
@@ -49,6 +53,8 @@ func (s *instrumented) Get(id int) ([]float64, error) {
 	if err == nil {
 		s.reads.Inc()
 		s.readBytes.Add(s.recordBytes())
+	} else {
+		s.errors.Inc()
 	}
 	return v, err
 }
@@ -59,6 +65,8 @@ func (s *instrumented) GetInto(id int, dst []float64) error {
 	if err == nil {
 		s.reads.Inc()
 		s.readBytes.Add(s.recordBytes())
+	} else {
+		s.errors.Inc()
 	}
 	return err
 }

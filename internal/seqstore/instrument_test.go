@@ -1,0 +1,129 @@
+package seqstore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// failingStore errors on every operation, to exercise the error paths of
+// the instrumented wrapper.
+type failingStore struct {
+	seqLen int
+}
+
+var errBroken = errors.New("broken store")
+
+func (f *failingStore) Append([]float64) (int, error) { return 0, errBroken }
+func (f *failingStore) Get(int) ([]float64, error)    { return nil, errBroken }
+func (f *failingStore) GetInto(int, []float64) error  { return errBroken }
+func (f *failingStore) Len() int                      { return 0 }
+func (f *failingStore) SeqLen() int                   { return f.seqLen }
+func (f *failingStore) Close() error                  { return nil }
+func (f *failingStore) Reads() int64                  { return 0 }
+func (f *failingStore) ResetReads()                   {}
+
+func counterVal(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	return reg.Counter(name, "").Value()
+}
+
+func TestInstrumentCountsTraffic(t *testing.T) {
+	const seqLen = 4
+	mem, err := NewMemory(seqLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := Instrument(mem, reg)
+
+	id, err := s.Append([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(id); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, seqLen)
+	if err := s.GetInto(id, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, want := range map[string]int64{
+		"seqstore_appends_total":     1,
+		"seqstore_write_bytes_total": 8 * seqLen,
+		"seqstore_reads_total":       2, // Get + GetInto
+		"seqstore_read_bytes_total":  2 * 8 * seqLen,
+		"seqstore_errors_total":      0,
+	} {
+		if got := counterVal(t, reg, name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestInstrumentCountsErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := Instrument(&failingStore{seqLen: 4}, reg)
+
+	if _, err := s.Append([]float64{1}); !errors.Is(err, errBroken) {
+		t.Errorf("Append error = %v", err)
+	}
+	if _, err := s.Get(0); !errors.Is(err, errBroken) {
+		t.Errorf("Get error = %v", err)
+	}
+	if err := s.GetInto(0, nil); !errors.Is(err, errBroken) {
+		t.Errorf("GetInto error = %v", err)
+	}
+
+	if got := counterVal(t, reg, "seqstore_errors_total"); got != 3 {
+		t.Errorf("seqstore_errors_total = %d, want 3", got)
+	}
+	// Failed operations must not inflate the traffic counters.
+	for _, name := range []string{
+		"seqstore_appends_total", "seqstore_write_bytes_total",
+		"seqstore_reads_total", "seqstore_read_bytes_total",
+	} {
+		if got := counterVal(t, reg, name); got != 0 {
+			t.Errorf("%s = %d after errors, want 0", name, got)
+		}
+	}
+	// Errors on an in-range memory store also count: out-of-range reads.
+	mem, err := NewMemory(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := Instrument(mem, reg)
+	if _, err := ms.Get(99); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if got := counterVal(t, reg, "seqstore_errors_total"); got != 4 {
+		t.Errorf("seqstore_errors_total = %d, want 4", got)
+	}
+}
+
+func TestInstrumentNilRegistryPassthrough(t *testing.T) {
+	mem, err := NewMemory(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Instrument(mem, nil); got != Store(mem) {
+		t.Errorf("nil registry should return the store unchanged, got %T", got)
+	}
+}
+
+func TestInstrumentUnwrap(t *testing.T) {
+	mem, err := NewMemory(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Instrument(mem, obs.NewRegistry())
+	u, ok := s.(interface{ Unwrap() Store })
+	if !ok {
+		t.Fatal("instrumented store has no Unwrap")
+	}
+	if u.Unwrap() != Store(mem) {
+		t.Error("Unwrap did not return the backend")
+	}
+}

@@ -1,0 +1,120 @@
+package vptree
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSearchExplainMatchesSearch checks that the explained path returns the
+// exact same neighbours and flat stats as the plain path.
+func TestSearchExplainMatchesSearch(t *testing.T) {
+	fx := buildFixture(t, 80, 256, Options{Budget: 12}, 11)
+	for _, q := range fx.queries {
+		plain, pst, err := fx.tree.Search(q, 5, fx.tree.Features(), fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, est, rep, err := fx.tree.SearchExplain(q, 5, fx.tree.Features(), fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == nil {
+			t.Fatal("SearchExplain returned a nil report")
+		}
+		if len(plain) != len(exp) {
+			t.Fatalf("result counts differ: %d vs %d", len(plain), len(exp))
+		}
+		for i := range plain {
+			if plain[i].ID != exp[i].ID || math.Abs(plain[i].Dist-exp[i].Dist) > 1e-12 {
+				t.Errorf("rank %d: plain %v vs explained %v", i, plain[i], exp[i])
+			}
+		}
+		if pst != est {
+			t.Errorf("stats differ: plain %+v vs explained %+v", pst, est)
+		}
+	}
+}
+
+// TestSearchExplainAccounting checks the candidate-accounting identity and
+// that the per-level rows sum to the flat stats.
+func TestSearchExplainAccounting(t *testing.T) {
+	fx := buildFixture(t, 120, 256, Options{Budget: 12}, 3)
+	for _, q := range fx.queries {
+		_, st, rep, err := fx.tree.SearchExplain(q, 4, fx.tree.Features(), fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Balanced() {
+			t.Errorf("accounting identity broken: collected %d != lb %d + skip %d + full %d",
+				rep.Collected, rep.FilterLBPrunes, rep.CutoffSkips, rep.FullRetrievals)
+		}
+		// Stats.Candidates counts survivors of the σ_UB filter, so the raw
+		// collection count is survivors plus filter prunes.
+		if rep.Collected != st.Candidates+rep.FilterLBPrunes {
+			t.Errorf("Collected = %d, want %d survivors + %d filter prunes",
+				rep.Collected, st.Candidates, rep.FilterLBPrunes)
+		}
+		if rep.FullRetrievals != st.FullRetrievals {
+			t.Errorf("FullRetrievals = %d, Stats.FullRetrievals = %d", rep.FullRetrievals, st.FullRetrievals)
+		}
+		if rep.ExactDistances != st.ExactDistances {
+			t.Errorf("ExactDistances = %d, Stats.ExactDistances = %d", rep.ExactDistances, st.ExactDistances)
+		}
+		if rep.TreeSize != fx.tree.Len() || rep.TreeHeight != fx.tree.Height() {
+			t.Errorf("tree shape %d/%d, want %d/%d",
+				rep.TreeSize, rep.TreeHeight, fx.tree.Len(), fx.tree.Height())
+		}
+		if rep.K != 4 || rep.Method == "" {
+			t.Errorf("report header K=%d Method=%q", rep.K, rep.Method)
+		}
+
+		var nodes, bounds, cands, lbSub, ubSub, guided int
+		for i, l := range rep.Levels {
+			if l.Depth != i {
+				t.Errorf("level %d has Depth %d", i, l.Depth)
+			}
+			nodes += l.InternalNodes + l.Leaves
+			bounds += l.BoundsComputed
+			cands += l.Candidates
+			lbSub += l.LBSubtreePrunes
+			ubSub += l.UBSubtreePrunes
+			guided += l.GuidedDescentHits
+		}
+		if nodes != st.NodesVisited {
+			t.Errorf("per-level nodes = %d, Stats.NodesVisited = %d", nodes, st.NodesVisited)
+		}
+		if bounds != st.BoundsComputed {
+			t.Errorf("per-level bounds = %d, Stats.BoundsComputed = %d", bounds, st.BoundsComputed)
+		}
+		if cands != rep.Collected {
+			t.Errorf("per-level candidates = %d, Collected = %d", cands, rep.Collected)
+		}
+		if guided != st.GuidedDescentHits {
+			t.Errorf("per-level guided hits = %d, Stats.GuidedDescentHits = %d", guided, st.GuidedDescentHits)
+		}
+		gotLB, gotUB := rep.TotalSubtreePrunes()
+		if gotLB != lbSub || gotUB != ubSub {
+			t.Errorf("TotalSubtreePrunes = %d/%d, want %d/%d", gotLB, gotUB, lbSub, ubSub)
+		}
+		if rep.TraverseMS < 0 || rep.FilterMS < 0 || rep.RefineMS < 0 {
+			t.Errorf("negative phase wall: %v %v %v", rep.TraverseMS, rep.FilterMS, rep.RefineMS)
+		}
+	}
+}
+
+// TestSearchExplainSigmaUB checks that the reported threshold actually
+// separates filtered candidates from survivors: every full retrieval's lower
+// bound must be <= sigma_ub.
+func TestSearchExplainSigmaUB(t *testing.T) {
+	fx := buildFixture(t, 100, 256, Options{Budget: 10}, 5)
+	_, _, rep, err := fx.tree.SearchExplain(fx.queries[0], 3, fx.tree.Features(), fx.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SigmaUB <= 0 {
+		t.Errorf("SigmaUB = %v, want > 0", rep.SigmaUB)
+	}
+	if rep.FilterLBPrunes+rep.CutoffSkips+rep.FullRetrievals == 0 {
+		t.Error("explain recorded no candidate dispositions at all")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"slices"
 	"sort"
+	"time"
 
 	"repro/internal/seqstore"
 	"repro/internal/series"
@@ -400,6 +401,29 @@ type candidate struct {
 // features (pass t.Features() for the in-memory configuration or a
 // DiskFeatures for the on-disk one).
 func (t *Tree) Search(query []float64, k int, feats FeatureSource, store seqstore.Store) ([]Result, Stats, error) {
+	return t.search(query, k, feats, store, nil)
+}
+
+// SearchExplain runs Search while additionally collecting a structured
+// explain report: per-level traversal accounting, per-bound prune
+// attribution and phase timings. The result and stats are identical to a
+// plain Search; the extra cost is a nil check per node on the plain path
+// and bookkeeping only when explaining.
+func (t *Tree) SearchExplain(query []float64, k int, feats FeatureSource, store seqstore.Store) ([]Result, Stats, *Explain, error) {
+	exp := &Explain{
+		K:           k,
+		Method:      t.opts.Method.String(),
+		Budget:      t.opts.Budget,
+		PaperBounds: t.opts.PaperBounds,
+		TreeSize:    t.n,
+		TreeHeight:  t.Height(),
+	}
+	res, st, err := t.search(query, k, feats, store, exp)
+	exp.Stats = st
+	return res, st, exp, err
+}
+
+func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstore.Store, exp *Explain) ([]Result, Stats, error) {
 	var st Stats
 	if k < 1 {
 		return nil, st, errors.New("vptree: k must be >= 1")
@@ -412,14 +436,26 @@ func (t *Tree) Search(query []float64, k int, feats FeatureSource, store seqstor
 		return nil, st, err
 	}
 
+	var phase time.Time
+	if exp != nil {
+		phase = time.Now()
+	}
 	// Phase 1: traverse, collecting candidates and shrinking σ_UB.
 	s := &searcher{
-		t: t, hq: hq, k: k, feats: feats, st: &st,
+		t: t, hq: hq, k: k, feats: feats, st: &st, exp: exp,
 		ctx:     spectral.NewQueryContext(hq),
 		sigmaUB: math.Inf(1),
 	}
-	if err := s.visit(t.root); err != nil {
+	if err := s.visit(t.root, 0); err != nil {
 		return nil, st, err
+	}
+
+	if exp != nil {
+		now := time.Now()
+		exp.TraverseMS = float64(now.Sub(phase)) / float64(time.Millisecond)
+		exp.Collected = len(s.cands)
+		exp.SigmaUB = s.sigmaUB
+		phase = now
 	}
 
 	// Phase 2: prune by the k-th smallest upper bound (maintained during
@@ -432,6 +468,9 @@ func (t *Tree) Search(query []float64, k int, feats FeatureSource, store seqstor
 			pruned = append(pruned, c)
 		} else {
 			st.LBPrunes++
+			if exp != nil {
+				exp.FilterLBPrunes++
+			}
 		}
 	}
 	st.Candidates = len(pruned)
@@ -445,11 +484,19 @@ func (t *Tree) Search(query []float64, k int, feats FeatureSource, store seqstor
 			return 0
 		}
 	})
+	if exp != nil {
+		now := time.Now()
+		exp.FilterMS = float64(now.Sub(phase)) / float64(time.Millisecond)
+		phase = now
+	}
 
 	best := newKBest(k)
 	buf := make([]float64, t.seqLen)
-	for _, c := range pruned {
+	for ci, c := range pruned {
 		if best.full() && c.lb > best.worst() {
+			if exp != nil {
+				exp.CutoffSkips = len(pruned) - ci
+			}
 			break // every later candidate has an even larger lower bound
 		}
 		if err := store.GetInto(c.id, buf); err != nil {
@@ -465,9 +512,18 @@ func (t *Tree) Search(query []float64, k int, feats FeatureSource, store seqstor
 		if err != nil {
 			return nil, st, err
 		}
-		if !abandoned {
+		if abandoned {
+			if exp != nil {
+				exp.EarlyAbandons++
+			}
+		} else {
 			best.offer(Result{ID: c.id, Dist: d})
 		}
+	}
+	if exp != nil {
+		exp.FullRetrievals = st.FullRetrievals
+		exp.ExactDistances = st.ExactDistances
+		exp.RefineMS = float64(time.Since(phase)) / float64(time.Millisecond)
 	}
 	return best.sorted(), st, nil
 }
@@ -479,6 +535,7 @@ type searcher struct {
 	k       int
 	feats   FeatureSource
 	st      *Stats
+	exp     *Explain // nil on the plain (non-explained) path
 	cands   []candidate
 	sigmaUB float64
 	ubTop   []float64 // max-heap of the k smallest upper bounds seen
@@ -543,12 +600,25 @@ func siftDownMax(h []float64, i int) {
 	}
 }
 
-func (s *searcher) visit(nd *node) error {
+// lvl returns the explain row for depth (nil off the explained path).
+func (s *searcher) lvl(depth int) *LevelExplain {
+	if s.exp == nil {
+		return nil
+	}
+	return s.exp.level(depth)
+}
+
+func (s *searcher) visit(nd *node, depth int) error {
 	if nd == nil {
 		return nil
 	}
 	s.st.NodesVisited++
 	if nd.leaf != nil {
+		if l := s.lvl(depth); l != nil {
+			l.Leaves++
+			l.BoundsComputed += len(nd.leaf)
+			l.Candidates += len(nd.leaf)
+		}
 		for _, e := range nd.leaf {
 			lb, ub, err := s.bounds(e.ref)
 			if err != nil {
@@ -562,9 +632,16 @@ func (s *searcher) visit(nd *node) error {
 	if err != nil {
 		return err
 	}
+	if l := s.lvl(depth); l != nil {
+		l.InternalNodes++
+		l.BoundsComputed++
+	}
 	// Tombstoned vantage points still route (the median invariant is about
 	// their geometric position) but never appear as candidates.
 	if !nd.vpDeleted {
+		if l := s.lvl(depth); l != nil {
+			l.Candidates++
+		}
 		s.add(nd.vpID, lb, ub)
 	}
 
@@ -572,11 +649,17 @@ func (s *searcher) visit(nd *node) error {
 	case ub < nd.median-s.sigmaUB:
 		// Every right-subtree object is provably farther than σ_UB.
 		s.st.UBPrunes++
-		return s.visit(nd.left)
+		if l := s.lvl(depth); l != nil {
+			l.UBSubtreePrunes++
+		}
+		return s.visit(nd.left, depth+1)
 	case lb > nd.median+s.sigmaUB:
 		// Every left-subtree object is provably farther than σ_UB.
 		s.st.LBPrunes++
-		return s.visit(nd.right)
+		if l := s.lvl(depth); l != nil {
+			l.LBSubtreePrunes++
+		}
+		return s.visit(nd.right, depth+1)
 	default:
 		// Guided descent (§4.1): follow first the child whose region
 		// overlaps the [lb,ub] annulus more.
@@ -587,21 +670,30 @@ func (s *searcher) visit(nd *node) error {
 			if overlapRight > overlapLeft {
 				first, second = nd.right, nd.left
 				s.st.GuidedDescentHits++
+				if l := s.lvl(depth); l != nil {
+					l.GuidedDescentHits++
+				}
 			}
 		}
-		if err := s.visit(first); err != nil {
+		if err := s.visit(first, depth+1); err != nil {
 			return err
 		}
 		// Re-check prunability of the second child with the tightened σ_UB.
 		if second == nd.right && ub < nd.median-s.sigmaUB {
 			s.st.UBPrunes++
+			if l := s.lvl(depth); l != nil {
+				l.UBSubtreePrunes++
+			}
 			return nil
 		}
 		if second == nd.left && lb > nd.median+s.sigmaUB {
 			s.st.LBPrunes++
+			if l := s.lvl(depth); l != nil {
+				l.LBSubtreePrunes++
+			}
 			return nil
 		}
-		return s.visit(second)
+		return s.visit(second, depth+1)
 	}
 }
 
