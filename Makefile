@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-record bench-smoke
+.PHONY: all build test race vet fmt check bench bench-record bench-smoke fuzz-smoke
 
 all: check
 
@@ -22,6 +22,14 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 check: vet fmt race
+
+# fuzz-smoke gives each spectral fuzz target a short budget on top of the
+# checked-in seed corpus (testdata/fuzz/). Long exploratory runs are manual:
+#   go test -run='^$$' -fuzz FuzzSafeBounds -fuzztime 10m ./internal/spectral
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz FuzzSafeBounds -fuzztime $(FUZZTIME) ./internal/spectral
+	$(GO) test -run='^$$' -fuzz FuzzCompressInvariants -fuzztime $(FUZZTIME) ./internal/spectral
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem ./...

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchrec record [-label dev] [-o FILE] [-smoke] [-series N] [-queries Q] [-days D] [-seed S] [-budget B] [-k K]
+//	benchrec record [-label dev] [-o FILE] [-smoke] [-series N] [-queries Q] [-days D] [-seed S] [-budget B] [-k K] [-workers W]
 //	benchrec compare [-tol 0.15] OLD.json NEW.json    # exit 1 on regression
 //	benchrec validate FILE.json                       # exit 1 on structural problems
 package main
@@ -74,12 +74,13 @@ func runRecord(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", def.Seed, "corpus seed")
 	budget := fs.Int("budget", def.Budget, "coefficient budget")
 	k := fs.Int("k", def.K, "neighbours per search")
+	workers := fs.Int("workers", def.Workers, "parallel fan-out for the throughput measurement")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	w := benchutil.BenchWorkload{
 		Series: *series, Queries: *queries, Days: *days,
-		Seed: *seed, Budget: *budget, K: *k,
+		Seed: *seed, Budget: *budget, K: *k, Workers: *workers,
 	}
 	if *smoke {
 		w = benchutil.SmokeBenchWorkload()
@@ -103,6 +104,9 @@ func runRecord(args []string, stdout io.Writer) error {
 		rec.Search.PruneRatio, rec.Search.FractionExamined)
 	fmt.Fprintf(stdout, "  qbb    p50 %.3f ms  rows scanned %.1f\n",
 		rec.QBB.Latency.P50MS, rec.QBB.RowsScanned)
+	fmt.Fprintf(stdout, "  throughput serial %.0f qps  parallel %.0f qps (%d workers)  speedup %.2fx  match=%v\n",
+		rec.Throughput.SerialQPS, rec.Throughput.ParallelQPS,
+		rec.Throughput.Workers, rec.Throughput.Speedup, rec.Throughput.BatchMatchesSerial)
 	return nil
 }
 

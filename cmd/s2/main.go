@@ -17,9 +17,14 @@
 // configurable number of background series. With -debug-addr a debug HTTP
 // server exposes /debug/vars, /debug/metrics (Prometheus text format),
 // /debug/traces, /debug/explain, /debug/slow and /debug/pprof (see
-// docs/observability.md). With -slow-query, queries over the threshold are
-// logged through log/slog and retained with their span tree and explain
-// report at /debug/slow.
+// docs/observability.md), plus a /search JSON endpoint serving similarity
+// and query-by-burst searches concurrently under the engine's read lock.
+// With -slow-query, queries over the threshold are logged through log/slog
+// and retained with their span tree and explain report at /debug/slow.
+//
+// `s2 bench [-parallel N] [workload flags]` skips the REPL and measures
+// serial versus parallel (BatchSearch) search throughput on the standard
+// benchmark workload (see docs/concurrency.md).
 package main
 
 import (
@@ -46,6 +51,13 @@ func main() {
 	// main defers nothing itself: run owns every resource so that error
 	// paths (load failures, save failures) still close the engine instead
 	// of leaking it through os.Exit.
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		if err := runBenchMode(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "s2:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "s2:", err)
 		os.Exit(1)
@@ -67,14 +79,6 @@ func run() error {
 	fmt.Printf("S2 — query-log similarity tool (paper §7.5 reproduction)\n")
 
 	hub := obs.NewHub()
-	if *debugAddr != "" {
-		srv, addr, err := obs.Serve(*debugAddr, hub)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		slog.Info("debug server listening", "url", "http://"+addr+"/debug/metrics")
-	}
 	if *slowQuery > 0 {
 		hub.Slow.SetThreshold(*slowQuery)
 		slog.Info("slow-query log enabled", "threshold", slowQuery.String())
@@ -86,6 +90,21 @@ func run() error {
 	}
 	defer engine.Close()
 
+	// The debug server starts once the engine exists so /search can serve
+	// against it; /search requests run under the engine's read lock, so
+	// they interleave safely with REPL commands.
+	if *debugAddr != "" {
+		srv, addr, err := obs.Serve(*debugAddr, hub,
+			obs.Route{Pattern: "/search", Handler: core.SearchHandler(engine)})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		slog.Info("debug server listening",
+			"metrics", "http://"+addr+"/debug/metrics",
+			"search", "http://"+addr+"/search?q=<query>&k=5")
+	}
+
 	if *save != "" {
 		if err := engine.Save(*save); err != nil {
 			return fmt.Errorf("save: %w", err)
@@ -94,6 +113,44 @@ func run() error {
 	}
 	fmt.Printf("ready: %d series indexed. Type 'help'.\n", engine.Len())
 	repl(engine, hub)
+	return nil
+}
+
+// runBenchMode handles `s2 bench`: it builds the benchmark workload's
+// engine and reports serial versus parallel (BatchSearch) search
+// throughput, exiting non-zero if the parallel results diverge.
+func runBenchMode(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	def := benchutil.DefaultBenchWorkload()
+	series := fs.Int("series", def.Series, "database series")
+	queries := fs.Int("queries", def.Queries, "held-out queries")
+	days := fs.Int("days", def.Days, "days per series")
+	seed := fs.Int64("seed", def.Seed, "corpus seed")
+	budget := fs.Int("budget", def.Budget, "coefficient budget")
+	k := fs.Int("k", def.K, "neighbours per search")
+	parallel := fs.Int("parallel", def.Workers, "BatchSearch worker count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w := benchutil.BenchWorkload{
+		Series: *series, Queries: *queries, Days: *days,
+		Seed: *seed, Budget: *budget, K: *k, Workers: *parallel,
+	}
+	rec, err := benchutil.RunBench(w, "s2-bench")
+	if err != nil {
+		return err
+	}
+	t := rec.Throughput
+	fmt.Printf("workload: %d series x %d days, %d held-out queries, k=%d\n",
+		w.Series, w.Days, w.Queries, w.K)
+	fmt.Printf("build %.1f ms, tree height %d\n", rec.BuildMS, rec.TreeHeight)
+	fmt.Printf("serial   %10.1f qps  (%d searches)\n", t.SerialQPS, t.Queries)
+	fmt.Printf("parallel %10.1f qps  (%d workers)  speedup %.2fx\n",
+		t.ParallelQPS, t.Workers, t.Speedup)
+	if !t.BatchMatchesSerial {
+		return fmt.Errorf("parallel batch results diverged from serial")
+	}
+	fmt.Println("parallel results match serial: ok")
 	return nil
 }
 

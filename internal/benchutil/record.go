@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"reflect"
 	"runtime"
 	"sort"
 	"time"
@@ -17,7 +18,10 @@ import (
 // BenchSchemaVersion versions the BENCH_<label>.json shape. Bump when
 // renaming or re-meaning fields so stored records from older commits are
 // rejected rather than silently misread.
-const BenchSchemaVersion = 1
+//
+// v2 added the workload's worker count and the throughput section
+// (serial vs parallel QPS via BatchSearch).
+const BenchSchemaVersion = 2
 
 // BenchWorkload pins every knob that shapes a benchmark run, so two records
 // are only ever compared like for like.
@@ -34,27 +38,35 @@ type BenchWorkload struct {
 	// searches (neighbour count).
 	Budget int `json:"budget"`
 	K      int `json:"k"`
+	// Workers is the parallel fan-out of the throughput measurement (and
+	// the engine's Config.Workers). Fixed per workload — throughput is only
+	// comparable at equal worker counts.
+	Workers int `json:"workers"`
 }
 
 // DefaultBenchWorkload is the standardized workload `make bench-record`
 // runs: big enough that pruning behaviour is representative, small enough
 // to finish in seconds.
 func DefaultBenchWorkload() BenchWorkload {
-	return BenchWorkload{Series: 512, Queries: 16, Days: 512, Seed: 1, Budget: 16, K: 5}
+	return BenchWorkload{Series: 512, Queries: 16, Days: 512, Seed: 1, Budget: 16, K: 5, Workers: 8}
 }
 
 // SmokeBenchWorkload is the tiny workload CI's bench-smoke job runs; it
 // validates the record pipeline structurally without gating on performance.
 func SmokeBenchWorkload() BenchWorkload {
-	return BenchWorkload{Series: 64, Queries: 4, Days: 128, Seed: 1, Budget: 8, K: 3}
+	return BenchWorkload{Series: 64, Queries: 4, Days: 128, Seed: 1, Budget: 8, K: 3, Workers: 4}
 }
 
 func (w BenchWorkload) validate() error {
-	if w.Series < 2 || w.Queries < 1 || w.Days < 8 || w.Budget < 1 || w.K < 1 {
+	if w.Series < 2 || w.Queries < 1 || w.Days < 8 || w.Budget < 1 || w.K < 1 || w.Workers < 1 {
 		return fmt.Errorf("benchutil: implausible workload %+v", w)
 	}
 	return nil
 }
+
+// throughputMinQueries is the minimum number of searches timed per
+// throughput mode; small workloads repeat their query set to reach it.
+const throughputMinQueries = 128
 
 // LatencySummary is exact (sorted-sample) percentiles over one operation's
 // per-call wall times.
@@ -108,6 +120,25 @@ type SearchBench struct {
 	FractionExamined float64 `json:"fraction_examined"`
 }
 
+// ThroughputBench compares the same query set answered one at a time versus
+// fanned out through core.BatchSearch with the workload's worker count.
+type ThroughputBench struct {
+	// Workers is the BatchSearch fan-out (mirrors workload.workers).
+	Workers int `json:"workers"`
+	// Queries is the total number of searches timed per mode (the workload
+	// query set, repeated over enough rounds for a stable wall-clock).
+	Queries int `json:"queries"`
+	// SerialQPS / ParallelQPS are completed searches per second.
+	SerialQPS   float64 `json:"serial_qps"`
+	ParallelQPS float64 `json:"parallel_qps"`
+	// Speedup is ParallelQPS / SerialQPS.
+	Speedup float64 `json:"speedup"`
+	// BatchMatchesSerial records whether BatchSearch returned exactly the
+	// neighbours the serial loop did — a correctness bit carried alongside
+	// the numbers so a "fast but wrong" run is self-incriminating.
+	BatchMatchesSerial bool `json:"batch_matches_serial"`
+}
+
 // QBBBench summarizes the query-by-burst half of the workload.
 type QBBBench struct {
 	Latency LatencySummary `json:"latency"`
@@ -133,8 +164,9 @@ type BenchRecord struct {
 	BuildMS    float64 `json:"build_ms"`
 	TreeHeight int     `json:"tree_height"`
 
-	Search SearchBench `json:"search"`
-	QBB    QBBBench    `json:"qbb"`
+	Search     SearchBench     `json:"search"`
+	Throughput ThroughputBench `json:"throughput"`
+	QBB        QBBBench        `json:"qbb"`
 
 	// Counters is the final observability-registry counter snapshot, so a
 	// record carries the same totals /debug/metrics would have exported.
@@ -153,7 +185,7 @@ func RunBench(w BenchWorkload, label string) (*BenchRecord, error) {
 
 	hub := obs.NewHub()
 	buildStart := time.Now()
-	e, err := core.NewEngine(data, core.Config{Budget: w.Budget, Seed: w.Seed, Obs: hub})
+	e, err := core.NewEngine(data, core.Config{Budget: w.Budget, Seed: w.Seed, Workers: w.Workers, Obs: hub})
 	if err != nil {
 		return nil, err
 	}
@@ -195,6 +227,47 @@ func RunBench(w BenchWorkload, label string) (*BenchRecord, error) {
 		rec.Search.PruneRatio = float64(cands-fulls) / float64(cands)
 	}
 	rec.Search.FractionExamined = float64(fulls) / n / float64(e.Len())
+
+	// Throughput workload: the same query set answered serially versus
+	// fanned out through BatchSearch, repeated over enough rounds that the
+	// wall-clock is measurable on small workloads.
+	qvals := make([][]float64, len(queries))
+	for i, q := range queries {
+		qvals[i] = q.Values
+	}
+	rounds := (throughputMinQueries + len(qvals) - 1) / len(qvals)
+	serial := make([][]core.Neighbor, len(qvals))
+	serialStart := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i, v := range qvals {
+			nbs, _, err := e.SimilarQueries(v, w.K)
+			if err != nil {
+				return nil, fmt.Errorf("benchutil: serial throughput query %d: %w", i, err)
+			}
+			serial[i] = nbs
+		}
+	}
+	serialSec := time.Since(serialStart).Seconds()
+	var batch [][]core.Neighbor
+	parallelStart := time.Now()
+	for r := 0; r < rounds; r++ {
+		batch, _, err = e.BatchSearch(qvals, w.K)
+		if err != nil {
+			return nil, fmt.Errorf("benchutil: batch throughput: %w", err)
+		}
+	}
+	parallelSec := time.Since(parallelStart).Seconds()
+	total := rounds * len(qvals)
+	rec.Throughput = ThroughputBench{
+		Workers:            w.Workers,
+		Queries:            total,
+		SerialQPS:          float64(total) / serialSec,
+		ParallelQPS:        float64(total) / parallelSec,
+		BatchMatchesSerial: reflect.DeepEqual(batch, serial),
+	}
+	if rec.Throughput.SerialQPS > 0 {
+		rec.Throughput.Speedup = rec.Throughput.ParallelQPS / rec.Throughput.SerialQPS
+	}
 
 	// Query-by-burst workload: one QBB per query-count indexed series.
 	var qbbLat []float64
@@ -258,6 +331,25 @@ func (r *BenchRecord) Validate() error {
 	}
 	if r.Search.FractionExamined < 0 || r.Search.FractionExamined > 1 {
 		return fmt.Errorf("benchutil: fraction_examined = %v outside [0,1]", r.Search.FractionExamined)
+	}
+	if r.Throughput.Workers < 1 {
+		return fmt.Errorf("benchutil: throughput workers = %d", r.Throughput.Workers)
+	}
+	if r.Throughput.Queries < 1 {
+		return fmt.Errorf("benchutil: throughput ran no queries")
+	}
+	if r.Throughput.SerialQPS <= 0 || r.Throughput.ParallelQPS <= 0 {
+		return fmt.Errorf("benchutil: throughput qps = %v serial / %v parallel",
+			r.Throughput.SerialQPS, r.Throughput.ParallelQPS)
+	}
+	// Speedup is informational (machine-dependent, so no >1 gate here), but
+	// it must at least be consistent with the recorded rates.
+	if ratio := r.Throughput.ParallelQPS / r.Throughput.SerialQPS; math.Abs(ratio-r.Throughput.Speedup) > 1e-6*ratio {
+		return fmt.Errorf("benchutil: throughput speedup %v inconsistent with qps ratio %v",
+			r.Throughput.Speedup, ratio)
+	}
+	if !r.Throughput.BatchMatchesSerial {
+		return fmt.Errorf("benchutil: batch search results diverged from serial")
 	}
 	if len(r.Counters) == 0 {
 		return fmt.Errorf("benchutil: record carries no counters")
@@ -329,6 +421,8 @@ func CompareBenchRecords(old, new *BenchRecord, tol float64) ([]Regression, erro
 	check("search.nodes_visited", old.Search.NodesVisited, new.Search.NodesVisited, true)
 	check("search.prune_ratio", old.Search.PruneRatio, new.Search.PruneRatio, false)
 	check("search.fraction_examined", old.Search.FractionExamined, new.Search.FractionExamined, true)
+	check("throughput.serial_qps", old.Throughput.SerialQPS, new.Throughput.SerialQPS, false)
+	check("throughput.parallel_qps", old.Throughput.ParallelQPS, new.Throughput.ParallelQPS, false)
 	check("qbb.latency.p50_ms", old.QBB.Latency.P50MS, new.QBB.Latency.P50MS, true)
 	check("qbb.rows_scanned", old.QBB.RowsScanned, new.QBB.RowsScanned, true)
 	sort.Slice(regs, func(a, b int) bool { return regs[a].Metric < regs[b].Metric })

@@ -30,8 +30,20 @@ func TestRunBenchValidates(t *testing.T) {
 	if rec.Search.PruneRatio <= 0 {
 		t.Errorf("prune ratio = %v, want > 0 (pruning should do something)", rec.Search.PruneRatio)
 	}
-	if rec.Counters["engine_similar_total"] != int64(w.Queries) {
-		t.Errorf("engine_similar_total = %d, want %d", rec.Counters["engine_similar_total"], w.Queries)
+	// The latency loop runs each query once; the serial throughput loop
+	// replays the set for `rounds` more passes before counters are read.
+	rounds := (throughputMinQueries + w.Queries - 1) / w.Queries
+	if want := int64(w.Queries * (1 + rounds)); rec.Counters["engine_similar_total"] != want {
+		t.Errorf("engine_similar_total = %d, want %d", rec.Counters["engine_similar_total"], want)
+	}
+	if rec.Throughput.Workers != w.Workers {
+		t.Errorf("throughput workers = %d, want %d", rec.Throughput.Workers, w.Workers)
+	}
+	if rec.Throughput.Queries != w.Queries*rounds {
+		t.Errorf("throughput queries = %d, want %d", rec.Throughput.Queries, w.Queries*rounds)
+	}
+	if !rec.Throughput.BatchMatchesSerial {
+		t.Error("batch search diverged from serial")
 	}
 	if _, err := RunBench(BenchWorkload{}, "zero"); err == nil {
 		t.Error("zero workload should be rejected")
@@ -51,7 +63,7 @@ func TestRecordRoundTrip(t *testing.T) {
 	if back.Workload != rec.Workload || back.Label != rec.Label {
 		t.Errorf("round trip changed record: %+v vs %+v", back, rec)
 	}
-	if back.Search != rec.Search || back.QBB != rec.QBB {
+	if back.Search != rec.Search || back.QBB != rec.QBB || back.Throughput != rec.Throughput {
 		t.Errorf("round trip changed summaries")
 	}
 }
@@ -72,6 +84,9 @@ func TestValidateRejectsCorruptRecords(t *testing.T) {
 		"build":      mutate(func(r *BenchRecord) { r.BuildMS = 0 }),
 		"percentile": mutate(func(r *BenchRecord) { r.Search.Latency.P50MS = r.Search.Latency.MaxMS * 2 }),
 		"ratio":      mutate(func(r *BenchRecord) { r.Search.PruneRatio = 1.5 }),
+		"qps":        mutate(func(r *BenchRecord) { r.Throughput.ParallelQPS = 0 }),
+		"speedup":    mutate(func(r *BenchRecord) { r.Throughput.Speedup *= 2 }),
+		"mismatch":   mutate(func(r *BenchRecord) { r.Throughput.BatchMatchesSerial = false }),
 		"counters":   mutate(func(r *BenchRecord) { r.Counters = nil }),
 	}
 	for name, rec := range cases {

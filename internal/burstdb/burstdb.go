@@ -102,6 +102,14 @@ type Metrics struct {
 }
 
 // DB is the burst-feature database.
+//
+// Concurrency contract: DB has no internal locking. Reads (Overlapping,
+// QueryByBurst, BurstsOf, Len) are safe to run concurrently with each
+// other — they only walk the heap table and B-trees, and the obs metric
+// counters they bump are atomic — but Insert/InsertBursts/Delete mutate
+// those structures and must be serialized against all other access by the
+// caller. core.Engine enforces this with its single-writer RWMutex: Add
+// holds the write lock across burst inserts, searches hold the read lock.
 type DB struct {
 	rows    []Record
 	live    []bool

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vptree"
+)
+
+// BatchSearch answers one similarity search per query in queries, fanning
+// the batch across a pool of Config.Workers goroutines. out[i] holds the k
+// nearest neighbours of queries[i] — exactly what SimilarQueries returns
+// for the same input, regardless of the worker count or scheduling order.
+// Per-worker vptree.Stats are merged into one batch total. On error the
+// first failing query (by batch position) determines the returned error;
+// the merged stats still account for all work done.
+//
+// The whole batch runs under one read lock, so it observes a single
+// consistent snapshot of the engine even with a concurrent writer queued.
+func (e *Engine) BatchSearch(queries [][]float64, k int) ([][]Neighbor, vptree.Stats, error) {
+	if k < 1 {
+		return nil, vptree.Stats{}, errors.New("core: k must be >= 1")
+	}
+	if len(queries) == 0 {
+		return nil, vptree.Stats{}, nil
+	}
+	defer e.met.batchLat.Start()()
+	e.met.batchTotal.Inc()
+	e.met.batchQueries.Add(int64(len(queries)))
+	tr := e.tracer.StartTrace("batch_search")
+	defer tr.Finish()
+	tr.Annotate("queries", strconv.Itoa(len(queries)))
+	tr.Annotate("k", strconv.Itoa(k))
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	workers := e.cfg.Workers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	tr.Annotate("workers", strconv.Itoa(workers))
+
+	out := make([][]Neighbor, len(queries))
+	errs := make([]error, len(queries))
+	stats := make([]vptree.Stats, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				var st vptree.Stats
+				out[i], st, errs[i] = e.searchOneLocked(queries[i], k)
+				stats[w].Add(st)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var merged vptree.Stats
+	for _, st := range stats {
+		merged.Add(st)
+	}
+	e.met.recordSearch(merged)
+	for _, err := range errs { // first error by batch position, deterministically
+		if err != nil {
+			return nil, merged, err
+		}
+	}
+	return out, merged, nil
+}
+
+// searchOneLocked is one query of a batch: standardize, search the index,
+// resolve names. Caller holds the read lock.
+func (e *Engine) searchOneLocked(values []float64, k int) ([]Neighbor, vptree.Stats, error) {
+	z, err := e.standardizeQuery(values)
+	if err != nil {
+		return nil, vptree.Stats{}, err
+	}
+	res, st, err := e.searchIndex(z, k)
+	if err != nil {
+		return nil, st, err
+	}
+	return e.toNeighborsLocked(res), st, nil
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/querylog"
+	"repro/internal/seqstore"
+	"repro/internal/spectral"
+	"repro/internal/vptree"
+)
+
+// TestConcurrentEngineStress exercises the single-writer/many-reader
+// discipline end to end: one goroutine Adds new series into a DynamicIndex
+// engine while reader goroutines run every search family and an HTTP client
+// scrapes the /debug and /search surfaces. The test's value is under
+// `go test -race` (CI runs it there); without the race detector it is a
+// liveness smoke test.
+func TestConcurrentEngineStress(t *testing.T) {
+	hub := obs.NewHub()
+	g := querylog.NewGenerator(querylog.DefaultStart, 128, 7)
+	data := append(g.Exemplars(), g.Dataset(16)...)
+	e, err := NewEngine(data, Config{Budget: 8, Seed: 7, DynamicIndex: true, Workers: 4, Obs: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	srv := httptest.NewServer(obs.Handler(hub,
+		obs.Route{Pattern: "/search", Handler: SearchHandler(e)}))
+	defer srv.Close()
+
+	// Fresh series for the writer, from a differently-seeded generator so
+	// their shapes (not necessarily names) differ from the indexed set.
+	extra := querylog.NewGenerator(querylog.DefaultStart, 128, 99).Queries(8)
+	qvals := g.Queries(2)
+	probe := qvals[0].Values
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // single writer
+		defer wg.Done()
+		for _, s := range extra {
+			if _, err := e.Add(s); err != nil {
+				t.Errorf("concurrent Add(%q): %v", s.Name, err)
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ { // readers
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				switch (r + i) % 5 {
+				case 0:
+					if _, _, err := e.SimilarQueries(probe, 3); err != nil {
+						t.Errorf("SimilarQueries: %v", err)
+					}
+				case 1:
+					if _, _, err := e.SimilarToID(i%e.Len(), 3); err != nil {
+						t.Errorf("SimilarToID: %v", err)
+					}
+				case 2:
+					if _, err := e.QueryByBurst(probe, 3, Long); err != nil {
+						t.Errorf("QueryByBurst: %v", err)
+					}
+				case 3:
+					if _, err := e.LinearScan(probe, 3); err != nil {
+						t.Errorf("LinearScan: %v", err)
+					}
+				case 4:
+					batch := [][]float64{probe, qvals[1].Values}
+					if _, _, err := e.BatchSearch(batch, 3); err != nil {
+						t.Errorf("BatchSearch: %v", err)
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() { // HTTP scraper
+		defer wg.Done()
+		urls := []string{
+			srv.URL + "/debug/vars",
+			srv.URL + "/debug/metrics",
+			srv.URL + "/search?q=" + querylog.Cinema + "&k=3",
+			srv.URL + "/search?q=" + querylog.Cinema + "&k=2&mode=qbb",
+		}
+		for i := 0; i < 10; i++ {
+			for _, u := range urls {
+				resp, err := http.Get(u)
+				if err != nil {
+					t.Errorf("GET %s: %v", u, err)
+					continue
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					t.Errorf("read %s: %v", u, err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: status %d", u, resp.StatusCode)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := e.Len(); got != len(data)+len(extra) {
+		t.Errorf("engine holds %d series after stress, want %d", got, len(data)+len(extra))
+	}
+	// The engine must still answer consistently after the churn.
+	if _, _, err := e.SimilarQueries(probe, 5); err != nil {
+		t.Errorf("post-stress search: %v", err)
+	}
+}
+
+// TestBatchSearchMatchesSerialProperty is the tentpole determinism
+// property: across randomized engines (size, budget, worker count, k),
+// parallel BatchSearch returns exactly what a serial SimilarQueries loop
+// returns — same neighbours, same order, same distances — and its merged
+// stats equal the per-query sum.
+func TestBatchSearchMatchesSerialProperty(t *testing.T) {
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		days := 64 << rng.Intn(2) // 64 or 128
+		nSeries := 8 + rng.Intn(24)
+		k := 1 + rng.Intn(6)
+		workers := 2 + rng.Intn(7)
+
+		g := querylog.NewGenerator(querylog.DefaultStart, days, int64(1000+trial))
+		e, err := NewEngine(g.Dataset(nSeries), Config{
+			Budget:  4 + rng.Intn(12),
+			Seed:    int64(trial),
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		queries := g.Queries(1 + rng.Intn(5))
+		qvals := make([][]float64, len(queries))
+		serial := make([][]Neighbor, len(queries))
+		var serialStats vptree.Stats
+		for i, q := range queries {
+			qvals[i] = q.Values
+			nbs, st, err := e.SimilarQueries(q.Values, k)
+			if err != nil {
+				t.Fatalf("trial %d: serial query %d: %v", trial, i, err)
+			}
+			serial[i] = nbs
+			serialStats.Add(st)
+		}
+
+		batch, batchStats, err := e.BatchSearch(qvals, k)
+		if err != nil {
+			t.Fatalf("trial %d: BatchSearch: %v", trial, err)
+		}
+		if !reflect.DeepEqual(batch, serial) {
+			t.Errorf("trial %d (workers=%d, k=%d): batch results differ from serial\nbatch:  %v\nserial: %v",
+				trial, workers, k, batch, serial)
+		}
+		if batchStats != serialStats {
+			t.Errorf("trial %d: merged batch stats %+v != summed serial stats %+v",
+				trial, batchStats, serialStats)
+		}
+		e.Close()
+	}
+}
+
+// TestLinearScanShardedMatchesSerial: the sharded parallel scan must be
+// byte-identical to the single-threaded scan — including the order of
+// equal-distance ties — for any worker count.
+func TestLinearScanShardedMatchesSerial(t *testing.T) {
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(2000 + trial)))
+		g := querylog.NewGenerator(querylog.DefaultStart, 64, int64(3000+trial))
+		e, err := NewEngine(g.Dataset(6+rng.Intn(30)), Config{Budget: 6, Seed: 1})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		q := g.Queries(1)[0].Values
+		k := 1 + rng.Intn(8)
+
+		e.cfg.Workers = 1
+		want, err := e.LinearScan(q, k)
+		if err != nil {
+			t.Fatalf("trial %d: serial scan: %v", trial, err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			e.cfg.Workers = workers
+			got, err := e.LinearScan(q, k)
+			if err != nil {
+				t.Fatalf("trial %d: sharded scan (%d workers): %v", trial, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("trial %d: %d-worker scan differs from serial\ngot:  %v\nwant: %v",
+					trial, workers, got, want)
+			}
+		}
+		e.Close()
+	}
+}
+
+// TestBatchSearchEdgeCases pins the non-happy paths: empty batch, and a
+// malformed query failing the whole batch with the first error by batch
+// position (not by completion order).
+func TestBatchSearchEdgeCases(t *testing.T) {
+	e, g := buildEngine(t, 8, Config{Workers: 4}, 31)
+	out, _, err := e.BatchSearch(nil, 3)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v, %v", out, err)
+	}
+	good := g.Queries(1)[0].Values
+	bad := make([]float64, 7) // wrong length
+	_, _, err = e.BatchSearch([][]float64{good, bad, bad[:3]}, 3)
+	if !errors.Is(err, spectral.ErrMismatch) {
+		t.Errorf("batch with malformed query: err = %v, want ErrMismatch", err)
+	}
+}
+
+// TestAddRollbackOnInsertFailure forces the index insert inside Add to
+// fail (by pre-occupying the next sequence ID directly in the tree) and
+// verifies the store rollback: the engine's state is exactly as before,
+// and it keeps serving queries.
+func TestAddRollbackOnInsertFailure(t *testing.T) {
+	g := querylog.NewGenerator(querylog.DefaultStart, 128, 3)
+	e, err := NewEngine(g.Dataset(12), Config{Budget: 8, DynamicIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	extra := querylog.NewGenerator(querylog.DefaultStart, 128, 77).Queries(2)
+	// Sabotage: occupy the ID the next Add will be assigned, so the
+	// engine's own tree.Insert hits ErrDuplicateID after the store append.
+	nextID := e.Len()
+	h, err := spectral.FromValues(extra[0].Standardized().Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.tree.Insert(h, nextID); err != nil {
+		t.Fatal(err)
+	}
+	// Mirror what a real Insert does to the engine: refresh the feature
+	// cache (the direct tree access above bypassed Add's bookkeeping).
+	e.features = e.tree.Features()
+
+	storeLen := e.store.Len()
+	names := len(e.names)
+	for i := 0; i < 3; i++ { // repeated failures must not accumulate state
+		if _, err := e.Add(extra[i%2]); !errors.Is(err, vptree.ErrDuplicateID) {
+			t.Fatalf("Add #%d: err = %v, want ErrDuplicateID", i, err)
+		}
+		if got := e.store.Len(); got != storeLen {
+			t.Fatalf("Add #%d: store length %d after failed add, want %d (rollback)", i, got, storeLen)
+		}
+		if e.Len() != names || len(e.names) != names {
+			t.Fatalf("Add #%d: engine length changed after failed add", i)
+		}
+	}
+	// Remove the sabotage entry; with it gone the engine must be exactly
+	// as consistent as before the failed Adds: searches work and a fresh
+	// Add succeeds with the same ID the failed attempts were assigned.
+	if ok, err := e.tree.Delete(nextID); err != nil || !ok {
+		t.Fatalf("deleting sabotage entry: %v (ok=%v)", err, ok)
+	}
+	nbs, _, err := e.SimilarToID(0, 3)
+	if err != nil || len(nbs) == 0 {
+		t.Fatalf("post-failure search: %v (%d results)", err, len(nbs))
+	}
+	for _, n := range nbs {
+		if n.ID >= names {
+			t.Errorf("search returned rolled-back ID %d", n.ID)
+		}
+	}
+	id, err := e.Add(extra[1])
+	if err == nil && id != nextID {
+		t.Errorf("recovered Add got ID %d, want %d", id, nextID)
+	}
+	if err != nil && !errors.Is(err, vptree.ErrDuplicateID) {
+		t.Fatalf("recovered Add: %v", err)
+	}
+}
+
+// TestAddRollbackStoreFailure covers the rollback's own error path: if the
+// store cannot truncate, Add must surface both failures.
+func TestAddRollbackStoreFailure(t *testing.T) {
+	g := querylog.NewGenerator(querylog.DefaultStart, 128, 4)
+	e, err := NewEngine(g.Dataset(6), Config{Budget: 8, DynamicIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	extra := querylog.NewGenerator(querylog.DefaultStart, 128, 78).Queries(1)[0]
+	nextID := e.Len()
+	h, err := spectral.FromValues(extra.Standardized().Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.tree.Insert(h, nextID); err != nil {
+		t.Fatal(err)
+	}
+	e.store = failTruncateStore{e.store}
+	_, err = e.Add(extra)
+	if err == nil || !errors.Is(err, vptree.ErrDuplicateID) {
+		t.Fatalf("err = %v, want wrapped ErrDuplicateID", err)
+	}
+	if !errors.Is(err, errTruncateBroken) {
+		t.Fatalf("err = %v, want wrapped rollback failure", err)
+	}
+}
+
+var errTruncateBroken = errors.New("truncate broken")
+
+// failTruncateStore delegates to a real store but refuses to truncate,
+// simulating a store whose rollback path fails.
+type failTruncateStore struct{ seqstore.Store }
+
+func (f failTruncateStore) Truncate(int) error { return errTruncateBroken }

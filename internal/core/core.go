@@ -17,7 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"slices"
 	"strconv"
+	"sync"
 
 	"repro/internal/burst"
 	"repro/internal/burstdb"
@@ -70,6 +73,12 @@ type Config struct {
 	// query terms continuously). Costs the retained spectra and is
 	// incompatible with IndexMVPTree and FeaturesPath.
 	DynamicIndex bool
+	// Workers bounds the goroutines used for parallel query execution —
+	// the BatchSearch fan-out and the sharded LinearScan — and for index
+	// construction (default runtime.GOMAXPROCS(0)). Set to 1 to force every
+	// path serial; results are identical either way (see
+	// docs/concurrency.md).
+	Workers int
 	// Obs, when non-nil, turns on the observability layer: every hot path
 	// updates metrics in Obs.Metrics (see docs/observability.md for the
 	// names) and records a per-query span trace into Obs.Traces. Nil
@@ -112,6 +121,12 @@ func (c *Config) fill() {
 	if c.PeriodConfidence == 0 {
 		c.PeriodConfidence = periods.DefaultConfidence
 	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
 }
 
 // BurstWindow selects the short- or long-term burst database.
@@ -143,7 +158,17 @@ type Neighbor struct {
 }
 
 // Engine is the assembled system.
+//
+// Concurrency: the engine follows a single-writer / many-reader discipline.
+// Add takes mu exclusively; every search and lookup entry point takes the
+// read lock, so any number of queries run in parallel and a writer waits
+// for in-flight readers (and vice versa). Internal helpers suffixed
+// "Locked" assume the caller holds mu (in either mode) — public methods
+// take the lock exactly once and only ever call Locked internals, never
+// each other, which would re-enter the RWMutex and deadlock behind a
+// queued writer. See docs/concurrency.md.
 type Engine struct {
+	mu       sync.RWMutex
 	cfg      Config
 	names    []string
 	byName   map[string]int
@@ -265,12 +290,13 @@ func NewEngine(data []*series.Series, cfg Config) (*Engine, error) {
 			return nil, errors.New("core: DynamicIndex is incompatible with FeaturesPath")
 		}
 		e.tree, err = vptree.Build(specs, ids, vptree.Options{
-			Method:      cfg.Method,
-			Budget:      cfg.Budget,
-			LeafSize:    cfg.LeafSize,
-			Seed:        cfg.Seed,
-			PaperBounds: cfg.PaperBounds,
-			Dynamic:     cfg.DynamicIndex,
+			Method:       cfg.Method,
+			Budget:       cfg.Budget,
+			LeafSize:     cfg.LeafSize,
+			Seed:         cfg.Seed,
+			PaperBounds:  cfg.PaperBounds,
+			Dynamic:      cfg.DynamicIndex,
+			BuildWorkers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -290,6 +316,12 @@ func NewEngine(data []*series.Series, cfg Config) (*Engine, error) {
 // Add ingests one new series into a DynamicIndex engine: the standardized
 // values go to the store, the spectrum into the VP-tree, and the burst
 // features into both burst databases. The new sequence ID is returned.
+//
+// Add is atomic: every fallible derivation (spectrum, burst detection)
+// runs before any engine state is touched, and if the index insert fails
+// the already-appended store row is truncated back out, so a failed Add
+// leaves the engine exactly as it was. It is also the engine's single
+// write path and takes the write lock for the whole mutation.
 func (e *Engine) Add(s *series.Series) (int, error) {
 	if !e.cfg.DynamicIndex {
 		return 0, errors.New("core: engine built without DynamicIndex")
@@ -297,18 +329,37 @@ func (e *Engine) Add(s *series.Series) (int, error) {
 	if s.Len() != e.SeqLen() {
 		return 0, spectral.ErrMismatch
 	}
+	// Derive everything fallible up front, before mutating any state.
 	z := s.Standardized()
-	id, err := e.store.Append(z.Values)
-	if err != nil {
-		return 0, err
-	}
 	h, err := spectral.FromValues(z.Values)
 	if err != nil {
 		return 0, err
 	}
-	if err := e.tree.Insert(h, id); err != nil {
+	dets := make([]*burst.Detection, 2)
+	for _, w := range []BurstWindow{Short, Long} {
+		dets[w], err = burst.Detect(z.Values, burst.Options{
+			Window: e.windowDays(w), Cutoff: e.cfg.BurstCutoff,
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id, err := e.store.Append(z.Values)
+	if err != nil {
 		return 0, err
 	}
+	if err := e.tree.Insert(h, id); err != nil {
+		// Roll the store back to its pre-Add length; the tree was left
+		// untouched by the failed insert.
+		if terr := e.store.Truncate(id); terr != nil {
+			return 0, fmt.Errorf("core: add failed (%w) and store rollback failed: %w", err, terr)
+		}
+		return 0, err
+	}
+	// Everything below is infallible bookkeeping.
 	// The feature table may have been reallocated by the insert.
 	e.features = e.tree.Features()
 	e.raw = append(e.raw, s)
@@ -317,13 +368,7 @@ func (e *Engine) Add(s *series.Series) (int, error) {
 		e.byName[s.Name] = id
 	}
 	for _, w := range []BurstWindow{Short, Long} {
-		det, err := burst.Detect(z.Values, burst.Options{
-			Window: e.windowDays(w), Cutoff: e.cfg.BurstCutoff,
-		})
-		if err != nil {
-			return 0, err
-		}
-		e.burstDB(w).InsertBursts(int64(id), e.filterBursts(det))
+		e.burstDB(w).InsertBursts(int64(id), e.filterBursts(dets[w]))
 	}
 	e.met.seriesIngested.Inc()
 	return id, nil
@@ -379,13 +424,23 @@ func (e *Engine) burstDB(w BurstWindow) *burstdb.DB {
 }
 
 // Len returns the number of indexed series.
-func (e *Engine) Len() int { return len(e.names) }
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.names)
+}
 
-// SeqLen returns the series length.
+// SeqLen returns the series length (fixed at construction).
 func (e *Engine) SeqLen() int { return e.store.SeqLen() }
 
 // Name returns the query term of sequence id.
 func (e *Engine) Name(id int) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.nameLocked(id)
+}
+
+func (e *Engine) nameLocked(id int) string {
 	if id < 0 || id >= len(e.names) {
 		return ""
 	}
@@ -394,12 +449,20 @@ func (e *Engine) Name(id int) string {
 
 // Lookup returns the sequence ID for a query term.
 func (e *Engine) Lookup(name string) (int, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	id, ok := e.byName[name]
 	return id, ok
 }
 
 // Series returns the original (unstandardized) series of sequence id.
 func (e *Engine) Series(id int) (*series.Series, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.seriesLocked(id)
+}
+
+func (e *Engine) seriesLocked(id int) (*series.Series, error) {
 	if id < 0 || id >= len(e.raw) {
 		return nil, fmt.Errorf("core: no series %d", id)
 	}
@@ -414,11 +477,17 @@ func (e *Engine) StandardizedValues(id int) ([]float64, error) {
 // Store exposes the sequence store (for experiment instrumentation).
 func (e *Engine) Store() seqstore.Store { return e.store }
 
-// Tree exposes the VP-tree (for experiment instrumentation).
+// Tree exposes the VP-tree (for experiment instrumentation). Do not call
+// mutating tree methods directly while other goroutines use the engine —
+// route updates through Add, which holds the engine's write lock.
 func (e *Engine) Tree() *vptree.Tree { return e.tree }
 
 // Features exposes the active feature source (memory or disk).
-func (e *Engine) Features() vptree.FeatureSource { return e.features }
+func (e *Engine) Features() vptree.FeatureSource {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.features
+}
 
 // ---------------------------------------------------------------------------
 // Similarity search
@@ -448,6 +517,8 @@ func (e *Engine) SimilarQueries(values []float64, k int) ([]Neighbor, vptree.Sta
 	if err != nil {
 		return nil, vptree.Stats{}, err
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	sp = tr.Span("index_search")
 	res, st, err := e.searchIndex(z, k)
 	sp.Finish()
@@ -457,7 +528,7 @@ func (e *Engine) SimilarQueries(values []float64, k int) ([]Neighbor, vptree.Sta
 		return nil, st, err
 	}
 	e.met.similarResults.Add(int64(len(res)))
-	return e.toNeighbors(res), st, nil
+	return e.toNeighborsLocked(res), st, nil
 }
 
 // SimilarToID returns the k nearest neighbours of an indexed series,
@@ -471,6 +542,8 @@ func (e *Engine) SimilarToID(id, k int) ([]Neighbor, vptree.Stats, error) {
 	tr.Annotate("id", strconv.Itoa(id))
 	tr.Annotate("k", strconv.Itoa(k))
 
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	sp := tr.Span("fetch_standardized")
 	z, err := e.store.Get(id)
 	sp.Finish()
@@ -495,19 +568,23 @@ func (e *Engine) SimilarToID(id, k int) ([]Neighbor, vptree.Stats, error) {
 		}
 	}
 	e.met.similarResults.Add(int64(len(out)))
-	return e.toNeighbors(out), st, nil
+	return e.toNeighborsLocked(out), st, nil
 }
 
-func (e *Engine) toNeighbors(res []vptree.Result) []Neighbor {
+// toNeighborsLocked resolves result IDs to names; caller holds mu.
+func (e *Engine) toNeighborsLocked(res []vptree.Result) []Neighbor {
 	out := make([]Neighbor, len(res))
 	for i, r := range res {
-		out[i] = Neighbor{ID: r.ID, Name: e.Name(r.ID), Dist: r.Dist}
+		out[i] = Neighbor{ID: r.ID, Name: e.nameLocked(r.ID), Dist: r.Dist}
 	}
 	return out
 }
 
 // LinearScan is the exact full-scan baseline with early abandoning (§7.4).
-// It returns the k nearest neighbours of the raw query values.
+// It returns the k nearest neighbours of the raw query values. With
+// Config.Workers > 1 the scan is sharded across contiguous ID ranges; the
+// merged result is identical to the serial ascending-ID scan, including
+// tie order.
 func (e *Engine) LinearScan(values []float64, k int) ([]Neighbor, error) {
 	if k < 1 {
 		return nil, errors.New("core: k must be >= 1")
@@ -521,13 +598,31 @@ func (e *Engine) LinearScan(values []float64, k int) ([]Neighbor, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.linearScanStandardized(z, k)
 }
 
 func (e *Engine) linearScanStandardized(z []float64, k int) ([]Neighbor, error) {
+	n := e.store.Len()
+	workers := e.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return e.linearScanRange(z, k, 0, n)
+	}
+	return e.linearScanSharded(z, k, n, workers)
+}
+
+// linearScanRange is the serial §7.4 scan over the half-open ID range
+// [lo, hi). The early-abandon bound is the range-local k-th best — always
+// at least as loose as the global bound, so no global top-k member is
+// ever abandoned by a shard.
+func (e *Engine) linearScanRange(z []float64, k, lo, hi int) ([]Neighbor, error) {
 	best := make([]Neighbor, 0, k+1)
 	buf := make([]float64, e.SeqLen())
-	for id := 0; id < e.store.Len(); id++ {
+	for id := lo; id < hi; id++ {
 		if err := e.store.GetInto(id, buf); err != nil {
 			return nil, err
 		}
@@ -542,9 +637,50 @@ func (e *Engine) linearScanStandardized(z []float64, k int) ([]Neighbor, error) 
 		if abandoned {
 			continue
 		}
-		best = insertNeighbor(best, Neighbor{ID: id, Name: e.Name(id), Dist: d}, k)
+		best = insertNeighbor(best, Neighbor{ID: id, Name: e.nameLocked(id), Dist: d}, k)
 	}
 	return best, nil
+}
+
+// linearScanSharded fans the scan over contiguous ID shards. Each shard
+// keeps its local top-k (ordered by distance, then ascending ID — the same
+// order insertNeighbor gives the serial scan); concatenating the shards in
+// ID order and stable-sorting by distance therefore reproduces the serial
+// result byte for byte, ties included.
+func (e *Engine) linearScanSharded(z []float64, k, n, workers int) ([]Neighbor, error) {
+	bests := make([][]Neighbor, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			bests[w], errs[w] = e.linearScanRange(z, k, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	merged := make([]Neighbor, 0, workers*k)
+	for w := range bests {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		merged = append(merged, bests[w]...)
+	}
+	slices.SortStableFunc(merged, func(a, b Neighbor) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		default:
+			return 0
+		}
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, nil
 }
 
 func insertNeighbor(best []Neighbor, n Neighbor, k int) []Neighbor {
@@ -611,6 +747,8 @@ func (e *Engine) SimilarDTW(id, band, k int) ([]Neighbor, error) {
 	}
 	defer e.met.dtwLat.Start()()
 	e.met.dtwTotal.Inc()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	z, err := e.store.Get(id)
 	if err != nil {
 		return nil, err
@@ -634,7 +772,7 @@ func (e *Engine) SimilarDTW(id, band, k int) ([]Neighbor, error) {
 	}
 	out := make([]Neighbor, len(res))
 	for i, r := range res {
-		out[i] = Neighbor{ID: ids[r.Index], Name: e.Name(ids[r.Index]), Dist: r.Dist}
+		out[i] = Neighbor{ID: ids[r.Index], Name: e.nameLocked(ids[r.Index]), Dist: r.Dist}
 	}
 	return out, nil
 }
@@ -652,7 +790,7 @@ func (e *Engine) Periods(values []float64) (*periods.Detection, error) {
 
 // PeriodsOf runs the period detector on an indexed series.
 func (e *Engine) PeriodsOf(id int) (*periods.Detection, error) {
-	s, err := e.Series(id)
+	s, err := e.Series(id) // takes the read lock; Periods below is stateless
 	if err != nil {
 		return nil, err
 	}
@@ -666,13 +804,16 @@ func (e *Engine) PeriodsOfSet(ids []int) (*periods.Detection, error) {
 	defer e.met.periodsLat.Start()()
 	e.met.periodsTotal.Inc()
 	set := make([][]float64, 0, len(ids))
+	e.mu.RLock()
 	for _, id := range ids {
-		s, err := e.Series(id)
+		s, err := e.seriesLocked(id)
 		if err != nil {
+			e.mu.RUnlock()
 			return nil, err
 		}
 		set = append(set, s.Values)
 	}
+	e.mu.RUnlock()
 	return periods.DetectSet(set, e.cfg.PeriodConfidence)
 }
 
@@ -688,6 +829,8 @@ func (e *Engine) SimilarByPeriods(id int, periodDays []float64, relTol float64, 
 	if relTol <= 0 {
 		relTol = 0.05
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	z, err := e.store.Get(id)
 	if err != nil {
 		return nil, err
@@ -717,7 +860,7 @@ func (e *Engine) SimilarByPeriods(id int, periodDays []float64, relTol float64, 
 		if err != nil {
 			return nil, err
 		}
-		best = insertNeighbor(best, Neighbor{ID: other, Name: e.Name(other), Dist: d}, k)
+		best = insertNeighbor(best, Neighbor{ID: other, Name: e.nameLocked(other), Dist: d}, k)
 	}
 	return best, nil
 }
@@ -735,6 +878,12 @@ func (e *Engine) Bursts(values []float64, w BurstWindow) (*burst.Detection, erro
 
 // BurstsOf returns the stored burst features of an indexed series.
 func (e *Engine) BurstsOf(id int, w BurstWindow) []burst.Burst {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.burstsOfLocked(id, w)
+}
+
+func (e *Engine) burstsOfLocked(id int, w BurstWindow) []burst.Burst {
 	return e.burstDB(w).BurstsOf(int64(id))
 }
 
@@ -750,16 +899,20 @@ type BurstMatch struct {
 // QueryByBurst detects bursts in the given raw values and returns the k
 // indexed series with the most similar burst patterns (§6.3).
 func (e *Engine) QueryByBurst(values []float64, k int, w BurstWindow) ([]BurstMatch, error) {
-	det, err := e.Bursts(values, w)
+	det, err := e.Bursts(values, w) // stateless, runs before taking the lock
 	if err != nil {
 		return nil, err
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.queryBursts(e.filterBursts(det), k, -1, w)
 }
 
 // QueryByBurstOf runs query-by-burst for an indexed series, excluding itself.
 func (e *Engine) QueryByBurstOf(id, k int, w BurstWindow) ([]BurstMatch, error) {
-	return e.queryBursts(e.BurstsOf(id, w), k, int64(id), w)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.queryBursts(e.burstsOfLocked(id, w), k, int64(id), w)
 }
 
 // filterBursts applies the BurstMinPeak intensity floor: the burst's moving
@@ -775,6 +928,7 @@ func (e *Engine) filterBursts(det *burst.Detection) []burst.Burst {
 	return out
 }
 
+// queryBursts runs the §6.3 overlap query; caller holds mu.
 func (e *Engine) queryBursts(q []burst.Burst, k int, exclude int64, w BurstWindow) ([]BurstMatch, error) {
 	defer e.met.qbbLat.Start()()
 	e.met.qbbTotal.Inc()
@@ -792,11 +946,12 @@ func (e *Engine) queryBursts(q []burst.Burst, k int, exclude int64, w BurstWindo
 	e.met.qbbResults.Add(int64(len(matches)))
 	out := make([]BurstMatch, len(matches))
 	for i, m := range matches {
-		out[i] = BurstMatch{ID: int(m.SeqID), Name: e.Name(int(m.SeqID)), Score: m.Score}
+		out[i] = BurstMatch{ID: int(m.SeqID), Name: e.nameLocked(int(m.SeqID)), Score: m.Score}
 	}
 	return out, nil
 }
 
 // BurstDB exposes the underlying burst database for a window (for
-// experiment instrumentation).
+// experiment instrumentation). The database is not internally
+// synchronized; do not mutate it while the engine serves queries.
 func (e *Engine) BurstDB(w BurstWindow) *burstdb.DB { return e.burstDB(w) }

@@ -197,6 +197,8 @@ func (e *Engine) SimilarQueriesExplained(values []float64, k int) ([]Neighbor, *
 	if err != nil {
 		return nil, nil, err
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	sp = tr.Span("index_search")
 	res, st, vexp, err := e.searchIndexExplain(z, k)
 	sp.Finish()
@@ -216,7 +218,7 @@ func (e *Engine) SimilarQueriesExplained(values []float64, k int) ([]Neighbor, *
 	rep.appendIndexPhases(vexp)
 	rep.TotalMS = msSince(total)
 	e.recordExplain(tr, rep)
-	return e.toNeighbors(res), rep, nil
+	return e.toNeighborsLocked(res), rep, nil
 }
 
 // SimilarToIDExplained is SimilarToID with an explain report (see
@@ -232,6 +234,8 @@ func (e *Engine) SimilarToIDExplained(id, k int) ([]Neighbor, *ExplainReport, er
 	tr.Annotate("k", fmt.Sprint(k))
 	tr.Annotate("explain", "true")
 
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	phaseStart := time.Now()
 	sp := tr.Span("fetch_standardized")
 	z, err := e.store.Get(id)
@@ -261,14 +265,14 @@ func (e *Engine) SimilarToIDExplained(id, k int) ([]Neighbor, *ExplainReport, er
 
 	rep := &ExplainReport{
 		Schema: ExplainSchemaVersion, Op: "similar_to_id",
-		Query: e.Name(id), K: k, Results: len(out),
+		Query: e.nameLocked(id), K: k, Results: len(out),
 		Phases: []Phase{{Name: "fetch_standardized", MS: fetchMS}},
 		Index:  e.indexExplain(vexp, st),
 	}
 	rep.appendIndexPhases(vexp)
 	rep.TotalMS = msSince(total)
 	e.recordExplain(tr, rep)
-	return e.toNeighbors(out), rep, nil
+	return e.toNeighborsLocked(out), rep, nil
 }
 
 func (r *ExplainReport) appendIndexPhases(vexp *vptree.Explain) {
@@ -291,6 +295,8 @@ func (e *Engine) QueryByBurstExplained(values []float64, k int, w BurstWindow) (
 		return nil, nil, err
 	}
 	detectMS := msSince(total)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	matches, rep, err := e.queryBurstsExplained(e.filterBursts(det), k, -1, w, total)
 	if err != nil {
 		return nil, nil, err
@@ -302,14 +308,18 @@ func (e *Engine) QueryByBurstExplained(values []float64, k int, w BurstWindow) (
 // QueryByBurstOfExplained is QueryByBurstOf with an explain report.
 func (e *Engine) QueryByBurstOfExplained(id, k int, w BurstWindow) ([]BurstMatch, *ExplainReport, error) {
 	total := time.Now()
-	matches, rep, err := e.queryBurstsExplained(e.BurstsOf(id, w), k, int64(id), w, total)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	matches, rep, err := e.queryBurstsExplained(e.burstsOfLocked(id, w), k, int64(id), w, total)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep.Query = e.Name(id)
+	rep.Query = e.nameLocked(id)
 	return matches, rep, nil
 }
 
+// queryBurstsExplained is queryBursts with an explain report; caller
+// holds mu.
 func (e *Engine) queryBurstsExplained(q []burst.Burst, k int, exclude int64, w BurstWindow, total time.Time) ([]BurstMatch, *ExplainReport, error) {
 	defer e.met.qbbLat.Start()()
 	e.met.qbbTotal.Inc()
@@ -331,7 +341,7 @@ func (e *Engine) queryBurstsExplained(q []burst.Burst, k int, exclude int64, w B
 	e.met.qbbResults.Add(int64(len(matches)))
 	out := make([]BurstMatch, len(matches))
 	for i, m := range matches {
-		out[i] = BurstMatch{ID: int(m.SeqID), Name: e.Name(int(m.SeqID)), Score: m.Score}
+		out[i] = BurstMatch{ID: int(m.SeqID), Name: e.nameLocked(int(m.SeqID)), Score: m.Score}
 	}
 
 	rep := &ExplainReport{

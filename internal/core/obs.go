@@ -23,6 +23,10 @@ type engineMetrics struct {
 	linearTotal *obs.Counter
 	linearLat   *obs.Timer
 
+	batchTotal   *obs.Counter
+	batchQueries *obs.Counter
+	batchLat     *obs.Timer
+
 	periodsTotal *obs.Counter
 	periodsLat   *obs.Timer
 
@@ -60,6 +64,10 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 
 		linearTotal: reg.Counter("engine_linear_scan_total", "linear-scan baseline searches served"),
 		linearLat:   reg.Timer("engine_linear_scan_latency_seconds", "linear-scan latency"),
+
+		batchTotal:   reg.Counter("engine_batch_search_total", "BatchSearch calls served"),
+		batchQueries: reg.Counter("engine_batch_queries_total", "queries fanned out across BatchSearch worker pools"),
+		batchLat:     reg.Timer("engine_batch_search_latency_seconds", "whole-batch BatchSearch latency"),
 
 		periodsTotal: reg.Counter("engine_periods_total", "period detections served"),
 		periodsLat:   reg.Timer("engine_periods_latency_seconds", "period-detection latency"),

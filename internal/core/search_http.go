@@ -1,0 +1,148 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/vptree"
+)
+
+// SearchResponse is the JSON body served by SearchHandler.
+type SearchResponse struct {
+	// Query and ID identify the indexed series the search ran for.
+	Query string `json:"query"`
+	ID    int    `json:"id"`
+	// Mode is "similar", "linear" or "qbb".
+	Mode string `json:"mode"`
+	K    int    `json:"k"`
+	// Window is set for qbb searches ("short(7d)" or "long(30d)").
+	Window  string         `json:"window,omitempty"`
+	Results []SearchResult `json:"results"`
+	// Stats reports the index work of a "similar" search.
+	Stats *vptree.Stats `json:"stats,omitempty"`
+}
+
+// SearchResult is one neighbour or burst match in a SearchResponse.
+type SearchResult struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	// Dist is the Euclidean distance (similar/linear modes).
+	Dist float64 `json:"dist,omitempty"`
+	// Score is the BSim similarity (qbb mode).
+	Score float64 `json:"score,omitempty"`
+}
+
+// SearchHandler serves similarity and query-by-burst searches over HTTP,
+// intended to be mounted at /search on the obs debug surface (see
+// cmd/s2 -debug-addr). Parameters:
+//
+//	q       query term (required; must be an indexed series)
+//	k       neighbours to return (default 5)
+//	mode    similar (default) | linear | qbb
+//	window  short (default) | long   (qbb only)
+//
+// Every request runs through the engine's public entry points, so requests
+// are served concurrently under the engine's read lock and interleave
+// safely with Add.
+func SearchHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		name := r.URL.Query().Get("q")
+		if name == "" {
+			httpError(w, http.StatusBadRequest, "missing q parameter")
+			return
+		}
+		id, ok := e.Lookup(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown query %q", name))
+			return
+		}
+		k := 5
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			v, err := strconv.Atoi(ks)
+			if err != nil || v < 1 {
+				httpError(w, http.StatusBadRequest, "k must be a positive integer")
+				return
+			}
+			k = v
+		}
+		resp := &SearchResponse{Query: name, ID: id, K: k}
+		mode := r.URL.Query().Get("mode")
+		if mode == "" {
+			mode = "similar"
+		}
+		resp.Mode = mode
+		switch mode {
+		case "similar":
+			nbs, st, err := e.SimilarToID(id, k)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			resp.Stats = &st
+			for _, n := range nbs {
+				resp.Results = append(resp.Results, SearchResult{ID: n.ID, Name: n.Name, Dist: n.Dist})
+			}
+		case "linear":
+			s, err := e.Series(id)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			nbs, err := e.LinearScan(s.Values, k+1)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			for _, n := range nbs {
+				if n.ID == id {
+					continue
+				}
+				if len(resp.Results) == k {
+					break
+				}
+				resp.Results = append(resp.Results, SearchResult{ID: n.ID, Name: n.Name, Dist: n.Dist})
+			}
+		case "qbb":
+			win := Short
+			switch r.URL.Query().Get("window") {
+			case "", "short":
+			case "long":
+				win = Long
+			default:
+				httpError(w, http.StatusBadRequest, "window must be short or long")
+				return
+			}
+			resp.Window = win.String()
+			matches, err := e.QueryByBurstOf(id, k, win)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			for _, m := range matches {
+				resp.Results = append(resp.Results, SearchResult{ID: m.ID, Name: m.Name, Score: m.Score})
+			}
+		default:
+			httpError(w, http.StatusBadRequest, "mode must be similar, linear or qbb")
+			return
+		}
+		if resp.Results == nil {
+			resp.Results = []SearchResult{}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp) //nolint:errcheck // best-effort debug output
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
+}

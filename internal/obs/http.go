@@ -12,6 +12,16 @@ import (
 	"strconv"
 )
 
+// Route mounts an application handler onto the debug surface, so callers
+// can co-host serving endpoints (e.g. core's /search) with the built-in
+// /debug routes without obs importing them.
+type Route struct {
+	// Pattern is the http.ServeMux pattern, e.g. "/search".
+	Pattern string
+	// Handler serves the pattern.
+	Handler http.Handler
+}
+
 // Handler returns the debug HTTP surface for a hub:
 //
 //	/debug/vars          expvar-style JSON snapshot of every metric
@@ -22,10 +32,14 @@ import (
 //	/debug/slow          retained slow queries (span tree + explain report)
 //	/debug/pprof/*       the standard runtime profiles
 //
-// The handler tolerates a nil hub (every endpoint serves empty data), so it
-// can be mounted before observability is wired up.
-func Handler(h *Hub) http.Handler {
+// plus any extra application routes. The handler tolerates a nil hub
+// (every endpoint serves empty data), so it can be mounted before
+// observability is wired up.
+func Handler(h *Hub, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
@@ -91,13 +105,14 @@ func Handler(h *Hub) http.Handler {
 
 // Serve starts the debug server on addr (e.g. "localhost:6060"; use port 0
 // for an ephemeral port) and returns the server plus the bound address. The
-// server runs until Close/Shutdown is called.
-func Serve(addr string, h *Hub) (*http.Server, string, error) {
+// server runs until Close/Shutdown is called. Extra routes are mounted
+// alongside the /debug surface (see Handler).
+func Serve(addr string, h *Hub, extra ...Route) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(h)}
+	srv := &http.Server{Handler: Handler(h, extra...)}
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
 	return srv, ln.Addr().String(), nil
 }

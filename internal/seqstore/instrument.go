@@ -71,6 +71,15 @@ func (s *instrumented) GetInto(id int, dst []float64) error {
 	return err
 }
 
+// Truncate implements Store.
+func (s *instrumented) Truncate(n int) error {
+	err := s.Store.Truncate(n)
+	if err != nil {
+		s.errors.Inc()
+	}
+	return err
+}
+
 // Unwrap returns the underlying backend (for callers needing a concrete
 // *Disk, e.g. to Sync).
 func (s *instrumented) Unwrap() Store { return s.Store }

@@ -19,6 +19,7 @@ func (f *failingStore) Append([]float64) (int, error) { return 0, errBroken }
 func (f *failingStore) Get(int) ([]float64, error)    { return nil, errBroken }
 func (f *failingStore) GetInto(int, []float64) error  { return errBroken }
 func (f *failingStore) Len() int                      { return 0 }
+func (f *failingStore) Truncate(int) error            { return errBroken }
 func (f *failingStore) SeqLen() int                   { return f.seqLen }
 func (f *failingStore) Close() error                  { return nil }
 func (f *failingStore) Reads() int64                  { return 0 }

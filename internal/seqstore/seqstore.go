@@ -8,6 +8,14 @@
 //
 // The disk backend is a flat file: an 8-byte header (magic + record length)
 // followed by records of n float64 values each, addressed by sequence ID.
+//
+// Concurrency: both backends support a single writer (Append/Truncate)
+// running concurrently with any number of readers (Get/GetInto/Len/Reads).
+// Readers never take an exclusive lock — Memory reads run under an RLock
+// and Disk reads use positioned ReadAt with pooled buffers — so parallel
+// search workers are not serialized on store I/O. Concurrent writers must
+// be serialized by the caller (core.Engine holds its write lock across
+// mutation).
 package seqstore
 
 import (
@@ -18,6 +26,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // Store is random-access storage of equal-length float64 sequences by ID.
@@ -32,6 +41,11 @@ type Store interface {
 	Len() int
 	// SeqLen returns the per-sequence length.
 	SeqLen() int
+	// Truncate discards every sequence with ID >= n, restoring the store
+	// to exactly n records. It is the rollback primitive for multi-step
+	// inserts (core.Engine.Add appends the row first and truncates it back
+	// out if a later step fails). Truncating beyond Len is an error.
+	Truncate(n int) error
 	// Reads returns the number of Get/GetInto calls served (the random-I/O
 	// counter the experiments report).
 	Reads() int64
@@ -47,6 +61,10 @@ var ErrNotFound = errors.New("seqstore: sequence not found")
 // ErrBadLength is returned when a sequence's length does not match the store.
 var ErrBadLength = errors.New("seqstore: sequence length mismatch")
 
+// ErrBadTruncate is returned when Truncate is asked to grow the store or
+// shrink it below zero records.
+var ErrBadTruncate = errors.New("seqstore: truncate out of range")
+
 // ---------------------------------------------------------------------------
 // In-memory backend
 
@@ -55,7 +73,7 @@ type Memory struct {
 	mu     sync.RWMutex
 	seqLen int
 	data   [][]float64
-	reads  int64
+	reads  atomic.Int64
 }
 
 // NewMemory creates an in-memory store for sequences of length seqLen.
@@ -93,14 +111,16 @@ func (m *Memory) GetInto(id int, dst []float64) error {
 	if len(dst) != m.seqLen {
 		return ErrBadLength
 	}
-	m.mu.Lock()
-	m.reads++
+	m.reads.Add(1)
+	m.mu.RLock()
 	if id < 0 || id >= len(m.data) {
-		m.mu.Unlock()
+		m.mu.RUnlock()
 		return ErrNotFound
 	}
 	src := m.data[id]
-	m.mu.Unlock()
+	m.mu.RUnlock()
+	// src is immutable once appended (Append stores a private copy), so the
+	// copy may run outside the lock.
 	copy(dst, src)
 	return nil
 }
@@ -115,19 +135,25 @@ func (m *Memory) Len() int {
 // SeqLen implements Store.
 func (m *Memory) SeqLen() int { return m.seqLen }
 
-// Reads implements Store.
-func (m *Memory) Reads() int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.reads
-}
-
-// ResetReads implements Store.
-func (m *Memory) ResetReads() {
+// Truncate implements Store.
+func (m *Memory) Truncate(n int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.reads = 0
+	if n < 0 || n > len(m.data) {
+		return ErrBadTruncate
+	}
+	for i := n; i < len(m.data); i++ {
+		m.data[i] = nil
+	}
+	m.data = m.data[:n]
+	return nil
 }
+
+// Reads implements Store.
+func (m *Memory) Reads() int64 { return m.reads.Load() }
+
+// ResetReads implements Store.
+func (m *Memory) ResetReads() { m.reads.Store(0) }
 
 // Close implements Store.
 func (m *Memory) Close() error { return nil }
@@ -140,14 +166,28 @@ const (
 	headerSize = 8                  // magic + uint32 record length
 )
 
-// Disk is the file-backed Store backend.
+// Disk is the file-backed Store backend. Reads are positioned (ReadAt) on
+// pooled scratch buffers and never block each other; the record count is
+// published atomically only after the record's bytes are fully written, so
+// a concurrent reader can never observe a half-written row.
 type Disk struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // serializes Append/Truncate
 	f      *os.File
 	seqLen int
-	count  int
-	reads  int64
-	buf    []byte // scratch record buffer, guarded by mu
+	count  atomic.Int64
+	reads  atomic.Int64
+	bufs   sync.Pool // *[]byte record scratch buffers
+}
+
+func newDisk(f *os.File, seqLen, count int) *Disk {
+	d := &Disk{f: f, seqLen: seqLen}
+	d.count.Store(int64(count))
+	recBytes := 8 * seqLen
+	d.bufs.New = func() any {
+		b := make([]byte, recBytes)
+		return &b
+	}
+	return d
 }
 
 // Create creates (or truncates) a disk store at path for sequences of
@@ -167,7 +207,7 @@ func Create(path string, seqLen int) (*Disk, error) {
 		f.Close()
 		return nil, fmt.Errorf("seqstore: write header: %w", err)
 	}
-	return &Disk{f: f, seqLen: seqLen, buf: make([]byte, 8*seqLen)}, nil
+	return newDisk(f, seqLen, 0), nil
 }
 
 // Open opens an existing disk store.
@@ -201,7 +241,7 @@ func Open(path string) (*Disk, error) {
 		f.Close()
 		return nil, errors.New("seqstore: truncated record data")
 	}
-	return &Disk{f: f, seqLen: seqLen, count: int(body / recBytes), buf: make([]byte, recBytes)}, nil
+	return newDisk(f, seqLen, int(body/recBytes)), nil
 }
 
 // Append implements Store.
@@ -209,17 +249,23 @@ func (d *Disk) Append(values []float64) (int, error) {
 	if len(values) != d.seqLen {
 		return 0, ErrBadLength
 	}
+	bp := d.bufs.Get().(*[]byte)
+	buf := *bp
+	for i, v := range values {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for i, v := range values {
-		binary.LittleEndian.PutUint64(d.buf[8*i:], math.Float64bits(v))
-	}
-	off := int64(headerSize) + int64(d.count)*int64(len(d.buf))
-	if _, err := d.f.WriteAt(d.buf, off); err != nil {
+	id := int(d.count.Load())
+	off := int64(headerSize) + int64(id)*int64(len(buf))
+	if _, err := d.f.WriteAt(buf, off); err != nil {
+		d.bufs.Put(bp)
 		return 0, fmt.Errorf("seqstore: append: %w", err)
 	}
-	id := d.count
-	d.count++
+	d.bufs.Put(bp)
+	// Publish the row only after its bytes are durably in the file so a
+	// concurrent reader racing on id never sees a partial record.
+	d.count.Store(int64(id) + 1)
 	return id, nil
 }
 
@@ -237,45 +283,55 @@ func (d *Disk) GetInto(id int, dst []float64) error {
 	if len(dst) != d.seqLen {
 		return ErrBadLength
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.reads++
-	if id < 0 || id >= d.count {
+	d.reads.Add(1)
+	if id < 0 || id >= int(d.count.Load()) {
 		return ErrNotFound
 	}
-	off := int64(headerSize) + int64(id)*int64(len(d.buf))
-	if _, err := d.f.ReadAt(d.buf, off); err != nil {
+	bp := d.bufs.Get().(*[]byte)
+	defer d.bufs.Put(bp)
+	buf := *bp
+	off := int64(headerSize) + int64(id)*int64(len(buf))
+	if _, err := d.f.ReadAt(buf, off); err != nil {
 		return fmt.Errorf("seqstore: read record %d: %w", id, err)
 	}
 	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.buf[8*i:]))
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
 	}
 	return nil
 }
 
 // Len implements Store.
-func (d *Disk) Len() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.count
-}
+func (d *Disk) Len() int { return int(d.count.Load()) }
 
 // SeqLen implements Store.
 func (d *Disk) SeqLen() int { return d.seqLen }
 
-// Reads implements Store.
-func (d *Disk) Reads() int64 {
+// Truncate implements Store.
+func (d *Disk) Truncate(n int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.reads
+	cur := int(d.count.Load())
+	if n < 0 || n > cur {
+		return ErrBadTruncate
+	}
+	if n == cur {
+		return nil
+	}
+	// Unpublish the rows before shrinking the file so no reader holds an
+	// ID that points past EOF mid-truncate.
+	d.count.Store(int64(n))
+	size := int64(headerSize) + int64(n)*int64(8*d.seqLen)
+	if err := d.f.Truncate(size); err != nil {
+		return fmt.Errorf("seqstore: truncate: %w", err)
+	}
+	return nil
 }
 
+// Reads implements Store.
+func (d *Disk) Reads() int64 { return d.reads.Load() }
+
 // ResetReads implements Store.
-func (d *Disk) ResetReads() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.reads = 0
-}
+func (d *Disk) ResetReads() { d.reads.Store(0) }
 
 // Close implements Store.
 func (d *Disk) Close() error { return d.f.Close() }

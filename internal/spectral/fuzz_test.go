@@ -1,0 +1,207 @@
+package spectral
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// fuzzSeries derives a deterministic pair of length-n series from fuzz
+// input bytes: every byte pattern maps to some pair, so the fuzzer never
+// wastes executions on rejected inputs.
+func fuzzSeries(data []byte, n int) (a, b []float64) {
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(int8(data[i%len(data)]))
+		b[i] = float64(int8(data[(i*7+3)%len(data)]))
+	}
+	return a, b
+}
+
+// FuzzSafeBounds fuzzes the bound algebra of every compression method
+// against the exact spectral distance:
+//
+//	0 ≤ lb ≤ exact ≤ ub    (SafeBounds is provably sound)
+//	fast bounds ≡ slow     (QueryContext path agrees with the reference)
+//	BestError ⊆ BestMinError at equal k: the two methods keep identical
+//	positions (same selectBest, neither spends a double on the Nyquist
+//	bin), and BestMinError stores strictly more information (minPower on
+//	top of the omitted energy), so its interval can only be tighter.
+//
+// Note this is deliberately NOT the paper's literal fig. 21 chain
+// LB_BestMin ≤ LB_BestError ≤ LB_BestMinError: BestMin spends its spare
+// double on the middle (Nyquist) coefficient, so at equal budget its
+// stored positions differ from the error-storing methods and the per-pair
+// ordering is not an invariant — only the equal-position comparison is.
+func FuzzSafeBounds(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte("periodic-query-demand"))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x7f, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		const n = 32
+		av, bv := fuzzSeries(data, n)
+		ha, err := FromValues(av)
+		if err != nil {
+			t.Fatalf("FromValues(a): %v", err)
+		}
+		hb, err := FromValues(bv)
+		if err != nil {
+			t.Fatalf("FromValues(b): %v", err)
+		}
+		exact, err := Distance(ha, hb)
+		if err != nil {
+			t.Fatalf("Distance: %v", err)
+		}
+		k := 1 + int(data[0])%6
+		ctx := NewQueryContext(hb)
+		// All comparisons happen in the SQUARED domain: the bound algebra
+		// accumulates weighted squared magnitudes (scale ~ the spectra's
+		// energy) and takes a final sqrt, so float residue of eps·energy
+		// under the sqrt becomes sqrt(eps·energy) near zero — a plain
+		// relative tolerance on the bounds themselves misfires there.
+		energy := 1 + ha.Energy() + hb.Energy()
+		sqTol := 1e-9 * energy
+		// The fast path needs more slack still: it derives omitted-bin
+		// aggregates subtractively (total minus stored bins), so a quantity
+		// that is exactly zero in the reference — e.g. qErr when the query's
+		// energy all sits in stored bins — comes back as residue ε, and the
+		// interval algebra turns √ε into a cross term 2·√ε·√energy, of order
+		// √eps·energy rather than eps·energy.
+		fastTol := 1e-6 * energy
+		type interval struct{ lb, ub float64 }
+		got := map[Method]interval{}
+		checkSound := func(label string, m Method, lb, ub, tol float64) {
+			if lb < 0 {
+				t.Errorf("%v (%s): negative lower bound %v", m, label, lb)
+			}
+			if lb*lb > exact*exact+tol {
+				t.Errorf("%v (%s): lb %v exceeds exact distance %v", m, label, lb, exact)
+			}
+			if !math.IsInf(ub, 1) && ub*ub < exact*exact-tol {
+				t.Errorf("%v (%s): ub %v below exact distance %v", m, label, ub, exact)
+			}
+			if !math.IsInf(ub, 1) && lb*lb > ub*ub+tol {
+				t.Errorf("%v (%s): lb %v exceeds ub %v", m, label, lb, ub)
+			}
+		}
+		for _, m := range Methods() {
+			c, err := compressK(ha, m, k)
+			if err != nil {
+				t.Fatalf("%v: compressK(k=%d): %v", m, k, err)
+			}
+			lb, ub, err := c.SafeBounds(hb)
+			if err != nil {
+				t.Fatalf("%v: SafeBounds: %v", m, err)
+			}
+			checkSound("slow", m, lb, ub, sqTol)
+			flb, fub, err := c.SafeBoundsFast(ctx)
+			if err != nil {
+				t.Fatalf("%v: SafeBoundsFast: %v", m, err)
+			}
+			checkSound("fast", m, flb, fub, fastTol)
+			if math.IsInf(ub, 1) != math.IsInf(fub, 1) {
+				t.Errorf("%v: fast ub inf-ness differs: %v vs %v", m, fub, ub)
+			}
+			// A query bin whose magnitude ties the minPower threshold can
+			// land on either side of the strict > comparison in the two
+			// implementations (cmplx.Abs vs absFast differ by an ulp),
+			// moving that bin's whole energy between the case aggregates.
+			// Both results stay sound; only away from ties must they agree.
+			tied := false
+			for b := 0; b < hb.Bins(); b++ {
+				qm := cmplx.Abs(hb.Coeffs[b])
+				if math.Abs(qm-c.MinPower) <= 1e-9*(1+qm+c.MinPower) {
+					tied = true
+					break
+				}
+			}
+			if !tied {
+				if math.Abs(flb*flb-lb*lb) > fastTol {
+					t.Errorf("%v: fast lb %v != slow lb %v", m, flb, lb)
+				}
+				if !math.IsInf(ub, 1) && !math.IsInf(fub, 1) && math.Abs(fub*fub-ub*ub) > fastTol {
+					t.Errorf("%v: fast ub %v != slow ub %v", m, fub, ub)
+				}
+			}
+			got[m] = interval{lb, ub}
+		}
+		be, bme := got[BestError], got[BestMinError]
+		if be.lb*be.lb > bme.lb*bme.lb+sqTol {
+			t.Errorf("BestMinError lb %v looser than BestError lb %v", bme.lb, be.lb)
+		}
+		if bme.ub*bme.ub > be.ub*be.ub+sqTol {
+			t.Errorf("BestMinError ub %v looser than BestError ub %v", bme.ub, be.ub)
+		}
+	})
+}
+
+// FuzzCompressInvariants fuzzes the structural invariants of the stored
+// representation: positions sorted/unique/in-range, matching coefficient
+// values, non-negative stored error and minPower, and a Reconstruct output
+// of the original length.
+func FuzzCompressInvariants(f *testing.F) {
+	f.Add([]byte{7, 7, 7})
+	f.Add([]byte("holiday-burst"))
+	f.Add([]byte{0x01, 0xfe, 0x10, 0xef})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		const n = 32
+		av, _ := fuzzSeries(data, n)
+		h, err := FromValues(av)
+		if err != nil {
+			t.Fatalf("FromValues: %v", err)
+		}
+		// Budget starts at 2: best-coefficient methods keep ⌊c/1.125⌋
+		// coefficients, so budget 1 is validly rejected with ErrBudget.
+		budget := 2 + int(data[len(data)-1])%9
+		for _, m := range Methods() {
+			c, err := Compress(h, m, budget)
+			if err != nil {
+				t.Fatalf("%v: Compress(budget=%d): %v", m, budget, err)
+			}
+			if len(c.Positions) != len(c.Coeffs) {
+				t.Fatalf("%v: %d positions vs %d coeffs", m, len(c.Positions), len(c.Coeffs))
+			}
+			for i, p := range c.Positions {
+				if p < 0 || p >= h.Bins() {
+					t.Errorf("%v: position %d out of range [0,%d)", m, p, h.Bins())
+				}
+				if i > 0 && c.Positions[i-1] >= p {
+					t.Errorf("%v: positions not strictly ascending: %v", m, c.Positions)
+				}
+				if c.Coeffs[i] != h.Coeffs[p] {
+					t.Errorf("%v: stored coeff %d differs from spectrum bin %d", m, i, p)
+				}
+			}
+			if c.Err < 0 {
+				t.Errorf("%v: negative stored error %v", m, c.Err)
+			}
+			if c.MinPower < 0 {
+				t.Errorf("%v: negative minPower %v", m, c.MinPower)
+			}
+			if c.MemoryDoubles() <= 0 {
+				t.Errorf("%v: memory accounting %v", m, c.MemoryDoubles())
+			}
+			rec, err := c.Reconstruct()
+			if err != nil {
+				t.Fatalf("%v: Reconstruct: %v", m, err)
+			}
+			if len(rec) != n {
+				t.Errorf("%v: reconstruction length %d, want %d", m, len(rec), n)
+			}
+			for i, v := range rec {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%v: reconstruction[%d] = %v", m, i, v)
+					break
+				}
+			}
+		}
+	})
+}

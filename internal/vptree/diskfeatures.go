@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/spectral"
 )
@@ -24,12 +24,15 @@ import (
 //	float64 minPower
 //	float64 err
 //	k × { uint16 position, float64 re, float64 im }
+//
+// The offset/size tables are immutable after WriteFeatures and every read
+// is a positioned ReadAt into a per-call buffer, so Feature never takes a
+// lock: parallel search workers fetch features without serializing.
 type DiskFeatures struct {
-	mu      sync.Mutex
 	f       *os.File
 	offsets []int64
 	sizes   []int32
-	reads   int64
+	reads   atomic.Int64
 }
 
 const featMagic = uint32(0x53514654) // "SQFT"
@@ -113,9 +116,7 @@ func decodeFeature(rec []byte) (*spectral.Compressed, error) {
 
 // Feature implements FeatureSource.
 func (d *DiskFeatures) Feature(ref int) (*spectral.Compressed, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.reads++
+	d.reads.Add(1)
 	if ref < 0 || ref >= len(d.offsets) {
 		return nil, fmt.Errorf("vptree: feature ref %d out of range", ref)
 	}
@@ -130,11 +131,7 @@ func (d *DiskFeatures) Feature(ref int) (*spectral.Compressed, error) {
 func (d *DiskFeatures) NumFeatures() int { return len(d.offsets) }
 
 // Reads returns the number of feature reads served.
-func (d *DiskFeatures) Reads() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.reads
-}
+func (d *DiskFeatures) Reads() int64 { return d.reads.Load() }
 
 // Close releases the underlying file.
 func (d *DiskFeatures) Close() error { return d.f.Close() }

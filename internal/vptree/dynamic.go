@@ -2,7 +2,6 @@ package vptree
 
 import (
 	"errors"
-	"math/rand"
 
 	"repro/internal/spectral"
 )
@@ -93,13 +92,7 @@ func (t *Tree) insertNode(nd *node, spec *spectral.HalfSpectrum, id int) (*node,
 // fixed Budget or, when EnergyFraction is set, the §8 variable-coefficient
 // scheme.
 func (t *Tree) compressSpec(spec *spectral.HalfSpectrum) (int, error) {
-	var c *spectral.Compressed
-	var err error
-	if t.opts.EnergyFraction > 0 {
-		c, err = spectral.CompressEnergy(spec, t.opts.EnergyFraction)
-	} else {
-		c, err = spectral.Compress(spec, t.opts.Method, t.opts.Budget)
-	}
+	c, err := compressOne(spec, t.opts)
 	if err != nil {
 		return 0, err
 	}
@@ -109,9 +102,14 @@ func (t *Tree) compressSpec(spec *spectral.HalfSpectrum) (int, error) {
 
 // rebuildLeaf converts an overflowing leaf (which already contains the new
 // entry) into a subtree built with the standard construction algorithm.
+// Existing feature refs are reused — the entries' compressed forms do not
+// change, only the routing structure above them — so a rebuild never grows
+// the feature table. Rebuilds run serially: they sit under the engine's
+// write lock and leaves are small.
 func (t *Tree) rebuildLeaf(nd *node, newSpec *spectral.HalfSpectrum, newID int) (*node, error) {
 	specs := make([]*spectral.HalfSpectrum, 0, len(nd.leaf))
 	ids := make([]int, 0, len(nd.leaf))
+	refs := make([]int, 0, len(nd.leaf))
 	for _, e := range nd.leaf {
 		s, ok := t.specByID[e.id]
 		if !ok {
@@ -123,13 +121,14 @@ func (t *Tree) rebuildLeaf(nd *node, newSpec *spectral.HalfSpectrum, newID int) 
 		}
 		specs = append(specs, s)
 		ids = append(ids, e.id)
+		refs = append(refs, e.ref)
 	}
 	idx := make([]int, len(specs))
 	for i := range idx {
 		idx[i] = i
 	}
-	rng := rand.New(rand.NewSource(t.opts.Seed + int64(len(t.features))))
-	return t.build(specs, ids, idx, rng)
+	b := &builder{t: t, specs: specs, ids: ids, refs: refs, salt: uint64(len(t.features))}
+	return b.build(idx, rootPath)
 }
 
 // Delete removes the object with the given id from a dynamic tree and

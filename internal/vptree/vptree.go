@@ -21,8 +21,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/seqstore"
@@ -63,6 +66,11 @@ type Options struct {
 	// always visits the left child first (ablation knob; results are
 	// unchanged, work may increase).
 	NoGuidedDescent bool
+	// BuildWorkers bounds the goroutines used during construction (default
+	// GOMAXPROCS). The tree is deterministic for a given Seed regardless of
+	// the worker count: every node derives its sampling RNG from its
+	// position in the tree rather than from a shared sequential stream.
+	BuildWorkers int
 }
 
 func (o *Options) fill() {
@@ -83,6 +91,12 @@ func (o *Options) fill() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.BuildWorkers == 0 {
+		o.BuildWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.BuildWorkers < 1 {
+		o.BuildWorkers = 1
 	}
 }
 
@@ -198,6 +212,13 @@ type Result struct {
 // ID of specs[i] (it must address the same sequence in the seqstore used at
 // query time). The returned tree owns an in-memory feature table; use
 // Features to obtain it, e.g. for spilling to disk.
+//
+// Construction runs on up to Options.BuildWorkers goroutines: the feature
+// table is compressed in parallel up front (ref = input position) and
+// independent subtrees are dispatched to a bounded pool. The result is
+// bit-identical for every worker count because each node's vantage-point
+// sampling RNG is derived from (Seed, tree path) instead of a shared
+// sequential stream.
 func Build(specs []*spectral.HalfSpectrum, ids []int, opts Options) (*Tree, error) {
 	if len(specs) == 0 {
 		return nil, errors.New("vptree: empty input")
@@ -213,47 +234,138 @@ func Build(specs []*spectral.HalfSpectrum, ids []int, opts Options) (*Tree, erro
 		}
 	}
 	t := &Tree{n: len(specs), seqLen: n, opts: opts}
-	t.features = make(MemoryFeatures, 0, len(specs))
 	if opts.Dynamic {
 		t.specByID = make(map[int]*spectral.HalfSpectrum, len(specs))
 		for i, s := range specs {
 			t.specByID[ids[i]] = s
 		}
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
 
-	// Work items reference the input slice by position.
+	feats, err := compressAll(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	t.features = feats
+	refs := make([]int, len(specs))
 	idx := make([]int, len(specs))
 	for i := range idx {
+		refs[i] = i
 		idx[i] = i
 	}
-	var err error
-	t.root, err = t.build(specs, ids, idx, rng)
+	b := &builder{t: t, specs: specs, ids: ids, refs: refs}
+	if opts.BuildWorkers > 1 {
+		b.sem = make(chan struct{}, opts.BuildWorkers-1)
+	}
+	t.root, err = b.build(idx, rootPath)
 	if err != nil {
 		return nil, err
 	}
 	return t, nil
 }
 
-// compress stores the compressed form of specs[i] and returns its ref.
-func (t *Tree) compress(specs []*spectral.HalfSpectrum, i int) (int, error) {
-	return t.compressSpec(specs[i])
+// compressOne compresses a single spectrum under the tree's options (fixed
+// Budget, or the §8 energy-fraction scheme when configured).
+func compressOne(spec *spectral.HalfSpectrum, opts Options) (*spectral.Compressed, error) {
+	if opts.EnergyFraction > 0 {
+		return spectral.CompressEnergy(spec, opts.EnergyFraction)
+	}
+	return spectral.Compress(spec, opts.Method, opts.Budget)
 }
 
-func (t *Tree) build(specs []*spectral.HalfSpectrum, ids, idx []int, rng *rand.Rand) (*node, error) {
-	if len(idx) <= t.opts.LeafSize {
-		nd := &node{leaf: make([]entry, 0, len(idx))}
-		for _, i := range idx {
-			ref, err := t.compress(specs, i)
-			if err != nil {
+// compressAll builds the feature table up front with feats[i] holding the
+// compressed form of specs[i], fanning the independent compressions across
+// Options.BuildWorkers goroutines.
+func compressAll(specs []*spectral.HalfSpectrum, opts Options) (MemoryFeatures, error) {
+	feats := make(MemoryFeatures, len(specs))
+	errs := make([]error, len(specs))
+	workers := opts.BuildWorkers
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, s := range specs {
+			var err error
+			if feats[i], err = compressOne(s, opts); err != nil {
 				return nil, err
 			}
-			nd.leaf = append(nd.leaf, entry{id: ids[i], ref: ref})
 		}
-		return nd, nil
+		return feats, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				feats[i], errs[i] = compressOne(specs[i], opts)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs { // first error by input position, deterministically
+		if err != nil {
+			return nil, err
+		}
+	}
+	return feats, nil
+}
+
+// builder carries one construction pass (a full Build or a dynamic leaf
+// rebuild). refs[i] is the feature-table ref of specs[i], resolved before
+// the recursion starts, so build itself is read-only over shared state and
+// sibling subtrees may run concurrently.
+type builder struct {
+	t     *Tree
+	specs []*spectral.HalfSpectrum
+	ids   []int
+	refs  []int
+	salt  uint64        // decorrelates independent passes (leaf rebuilds)
+	sem   chan struct{} // spare worker slots; nil ⇒ fully serial
+}
+
+// rootPath is the path label of a pass's root node; children are labelled
+// 2p (left) and 2p+1 (right), uniquely addressing every tree position.
+const rootPath uint64 = 1
+
+// parallelSubtreeMin is the smallest subtree worth a goroutine handoff.
+const parallelSubtreeMin = 32
+
+// splitmix64 is the SplitMix64 finalizer, used to turn (seed, salt, path)
+// into well-separated RNG streams.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// rng returns the sampling RNG for the node at path. Deriving it from the
+// tree position rather than threading one stream through the DFS is what
+// makes parallel construction deterministic.
+func (b *builder) rng(path uint64) *rand.Rand {
+	h := splitmix64(uint64(b.t.opts.Seed) ^ splitmix64(b.salt) ^ splitmix64(path))
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+func (b *builder) leafNode(idx []int) *node {
+	nd := &node{leaf: make([]entry, 0, len(idx))}
+	for _, i := range idx {
+		nd.leaf = append(nd.leaf, entry{id: b.ids[i], ref: b.refs[i]})
+	}
+	return nd
+}
+
+func (b *builder) build(idx []int, path uint64) (*node, error) {
+	if len(idx) <= b.t.opts.LeafSize {
+		return b.leafNode(idx), nil
 	}
 
-	vpPos, err := t.selectVP(specs, idx, rng)
+	vpPos, err := b.t.selectVP(b.specs, idx, b.rng(path))
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +378,7 @@ func (t *Tree) build(specs []*spectral.HalfSpectrum, ids, idx []int, rng *rand.R
 	// representations, §4.1).
 	dists := make([]float64, len(rest))
 	for i, j := range rest {
-		d, err := spectral.Distance(specs[vp], specs[j])
+		d, err := spectral.Distance(b.specs[vp], b.specs[j])
 		if err != nil {
 			return nil, err
 		}
@@ -286,26 +398,45 @@ func (t *Tree) build(specs []*spectral.HalfSpectrum, ids, idx []int, rng *rand.R
 	// guarantee progress.
 	if len(leftIdx) == 0 || len(rightIdx) == 0 {
 		all := append(append([]int{vp}, leftIdx...), rightIdx...)
-		nd := &node{leaf: make([]entry, 0, len(all))}
-		for _, i := range all {
-			ref, err := t.compress(specs, i)
-			if err != nil {
-				return nil, err
-			}
-			nd.leaf = append(nd.leaf, entry{id: ids[i], ref: ref})
-		}
-		return nd, nil
+		return b.leafNode(all), nil
 	}
 
-	ref, err := t.compress(specs, vp)
-	if err != nil {
+	nd := &node{vpID: b.ids[vp], vpRef: b.refs[vp], median: median}
+
+	// Hand the right subtree to a pooled goroutine when a slot is free and
+	// the subtree is big enough to amortize the handoff; otherwise recurse
+	// serially. Either way the result is the same tree.
+	if b.sem != nil && len(rightIdx) >= parallelSubtreeMin {
+		select {
+		case b.sem <- struct{}{}:
+			var (
+				wg   sync.WaitGroup
+				rnd  *node
+				rerr error
+			)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-b.sem }()
+				rnd, rerr = b.build(rightIdx, 2*path+1)
+			}()
+			lnd, lerr := b.build(leftIdx, 2*path)
+			wg.Wait()
+			if lerr != nil {
+				return nil, lerr
+			}
+			if rerr != nil {
+				return nil, rerr
+			}
+			nd.left, nd.right = lnd, rnd
+			return nd, nil
+		default:
+		}
+	}
+	if nd.left, err = b.build(leftIdx, 2*path); err != nil {
 		return nil, err
 	}
-	nd := &node{vpID: ids[vp], vpRef: ref, median: median}
-	if nd.left, err = t.build(specs, ids, leftIdx, rng); err != nil {
-		return nil, err
-	}
-	if nd.right, err = t.build(specs, ids, rightIdx, rng); err != nil {
+	if nd.right, err = b.build(rightIdx, 2*path+1); err != nil {
 		return nil, err
 	}
 	return nd, nil
