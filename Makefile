@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-record bench-smoke fuzz-smoke
+.PHONY: all build test race vet vet-lostcancel api-check fmt check bench bench-record bench-smoke fuzz-smoke
 
 all: check
 
@@ -16,12 +16,24 @@ race:
 vet:
 	$(GO) vet ./...
 
+# vet-lostcancel runs only the lostcancel analyzer (dropped WithCancel /
+# WithTimeout cancel funcs leak contexts). It needs its own target because
+# passing an analyzer flag to `go vet` disables the default suite.
+vet-lostcancel:
+	$(GO) vet -lostcancel ./...
+
+# api-check enforces the context-first query API: exported Engine query
+# methods take ctx as their first parameter, modulo a frozen allowlist of
+# deprecated pre-context wrappers. See scripts/api_check.sh.
+api-check:
+	sh scripts/api_check.sh
+
 # fmt fails (and lists the offenders) if any file is not gofmt-clean.
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-check: vet fmt race
+check: vet vet-lostcancel api-check fmt race
 
 # fuzz-smoke gives each spectral fuzz target a short budget on top of the
 # checked-in seed corpus (testdata/fuzz/). Long exploratory runs are manual:

@@ -17,8 +17,10 @@
 // configurable number of background series. With -debug-addr a debug HTTP
 // server exposes /debug/vars, /debug/metrics (Prometheus text format),
 // /debug/traces, /debug/explain, /debug/slow and /debug/pprof (see
-// docs/observability.md), plus a /search JSON endpoint serving similarity
-// and query-by-burst searches concurrently under the engine's read lock.
+// docs/observability.md), plus a /v1/search JSON endpoint (and its
+// deprecated /search alias) serving every search family concurrently under
+// the engine's read lock, behind admission control (-max-inflight,
+// -max-queue, -queue-wait) that sheds load with 429/503 when saturated.
 // With -slow-query, queries over the threshold are logged through log/slog
 // and retained with their span tree and explain report at /debug/slow.
 //
@@ -38,7 +40,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/admit"
 	"repro/internal/benchutil"
 	"repro/internal/core"
 	"repro/internal/minisql"
@@ -74,6 +78,9 @@ func run() error {
 	save := flag.String("save", "", "after building, save the engine state to this directory")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/{vars,metrics,traces,explain,slow,pprof} on this address (e.g. localhost:6060)")
 	slowQuery := flag.Duration("slow-query", 0, "log and retain queries slower than this (e.g. 50ms; 0 disables)")
+	maxInFlight := flag.Int("max-inflight", 64, "search requests served concurrently before queueing")
+	maxQueue := flag.Int("max-queue", 0, "search requests allowed to queue for a slot (default 2x -max-inflight)")
+	queueWait := flag.Duration("queue-wait", time.Second, "longest a queued search request waits before being shed with 503")
 	flag.Parse()
 
 	fmt.Printf("S2 — query-log similarity tool (paper §7.5 reproduction)\n")
@@ -90,19 +97,25 @@ func run() error {
 	}
 	defer engine.Close()
 
-	// The debug server starts once the engine exists so /search can serve
-	// against it; /search requests run under the engine's read lock, so
-	// they interleave safely with REPL commands.
+	// The debug server starts once the engine exists so the search
+	// endpoints can serve against it; search requests run under the
+	// engine's read lock, so they interleave safely with REPL commands.
+	// Both routes share one admission controller: the legacy /search alias
+	// competes for the same slots as /v1/search.
 	if *debugAddr != "" {
+		ac := admit.New(admit.Options{
+			MaxInFlight: *maxInFlight, MaxQueue: *maxQueue, MaxWait: *queueWait,
+		}, hub.Registry())
 		srv, addr, err := obs.Serve(*debugAddr, hub,
-			obs.Route{Pattern: "/search", Handler: core.SearchHandler(engine)})
+			obs.Route{Pattern: "/v1/search", Handler: admit.Middleware(ac, core.V1SearchHandler(engine))},
+			obs.Route{Pattern: "/search", Handler: admit.Middleware(ac, core.SearchHandler(engine))})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		slog.Info("debug server listening",
 			"metrics", "http://"+addr+"/debug/metrics",
-			"search", "http://"+addr+"/search?q=<query>&k=5")
+			"search", "http://"+addr+"/v1/search?q=<query>&k=5")
 	}
 
 	if *save != "" {

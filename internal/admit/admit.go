@@ -1,0 +1,165 @@
+// Package admit implements admission control for the engine's serving
+// path: a bounded in-flight slot pool fronted by a bounded wait queue.
+//
+// A request either gets a slot immediately, waits (up to MaxWait) in the
+// queue for one, or is shed. Shedding distinguishes two failure modes so
+// HTTP fronts can map them to distinct status codes:
+//
+//   - ErrQueueFull — the queue itself is at capacity; retrying immediately
+//     is pointless (HTTP 429 Too Many Requests).
+//   - ErrWaitTimeout — the request queued but no slot freed within MaxWait;
+//     the server is saturated (HTTP 503 Service Unavailable).
+//
+// The controller reports queue depth, in-flight count, admissions,
+// rejections and wait latency through an obs.Registry, so saturation is
+// visible in the /debug Prometheus output next to the engine's own
+// abort/truncation counters.
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	// ErrQueueFull reports that the wait queue is at capacity.
+	ErrQueueFull = errors.New("admit: wait queue full")
+	// ErrWaitTimeout reports that no slot freed within Options.MaxWait.
+	ErrWaitTimeout = errors.New("admit: timed out waiting for a slot")
+)
+
+// Options shapes a Controller. The zero value of any field picks the
+// documented default.
+type Options struct {
+	// MaxInFlight is the number of requests served concurrently
+	// (default 64).
+	MaxInFlight int
+	// MaxQueue is the number of requests allowed to wait for a slot beyond
+	// the in-flight pool (default 2×MaxInFlight).
+	MaxQueue int
+	// MaxWait bounds how long a queued request waits for a slot before
+	// being shed with ErrWaitTimeout (default 1s).
+	MaxWait time.Duration
+}
+
+func (o *Options) fill() {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 2 * o.MaxInFlight
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = time.Second
+	}
+}
+
+// Controller is a bounded-concurrency admission gate. A nil Controller
+// admits everything instantly, so serving paths can wire one in
+// unconditionally.
+type Controller struct {
+	opts Options
+	// sem holds one token per in-flight request; sending acquires a slot,
+	// receiving releases it.
+	sem chan struct{}
+	// waiting counts requests queued for a slot; bounded by opts.MaxQueue.
+	waiting atomic.Int64
+
+	admitted *obs.Counter
+	rejected *obs.Counter
+	timeouts *obs.Counter
+	inFlight *obs.Gauge
+	depth    *obs.Gauge
+	waitLat  *obs.Timer
+}
+
+// New builds a Controller and registers its instruments on reg (nil reg
+// disables metrics; obs instruments are nil-safe).
+func New(opts Options, reg *obs.Registry) *Controller {
+	opts.fill()
+	return &Controller{
+		opts:     opts,
+		sem:      make(chan struct{}, opts.MaxInFlight),
+		admitted: reg.Counter("admission_admitted_total", "requests granted an in-flight slot"),
+		rejected: reg.Counter("admission_rejected_total", "requests shed because the wait queue was full"),
+		timeouts: reg.Counter("admission_timeout_total", "queued requests shed after waiting MaxWait without a slot"),
+		inFlight: reg.Gauge("admission_in_flight", "requests currently holding a slot"),
+		depth:    reg.Gauge("admission_queue_depth", "requests currently waiting for a slot"),
+		waitLat:  reg.Timer("admission_wait_seconds", "time requests spent queued before admission"),
+	}
+}
+
+// Acquire obtains an in-flight slot, waiting up to MaxWait if the pool is
+// busy. On success it returns a release func (call exactly once, when the
+// request finishes) and the time spent queued. On failure it returns
+// ErrQueueFull, ErrWaitTimeout, or ctx's error — whichever ended the wait.
+func (c *Controller) Acquire(ctx context.Context) (release func(), wait time.Duration, err error) {
+	if c == nil {
+		return func() {}, 0, nil
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case c.sem <- struct{}{}:
+		c.admitted.Inc()
+		c.inFlight.Set(float64(len(c.sem)))
+		return c.release, 0, nil
+	default:
+	}
+	// Slow path: take a queue position or shed.
+	if c.waiting.Add(1) > int64(c.opts.MaxQueue) {
+		c.waiting.Add(-1)
+		c.rejected.Inc()
+		return nil, 0, ErrQueueFull
+	}
+	c.depth.Set(float64(c.waiting.Load()))
+	start := time.Now()
+	timer := time.NewTimer(c.opts.MaxWait)
+	defer timer.Stop()
+	defer func() {
+		c.waiting.Add(-1)
+		c.depth.Set(float64(c.waiting.Load()))
+	}()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case c.sem <- struct{}{}:
+		wait = time.Since(start)
+		c.admitted.Inc()
+		c.inFlight.Set(float64(len(c.sem)))
+		c.waitLat.Observe(wait)
+		return c.release, wait, nil
+	case <-timer.C:
+		c.timeouts.Inc()
+		return nil, time.Since(start), ErrWaitTimeout
+	case <-done:
+		return nil, time.Since(start), ctx.Err()
+	}
+}
+
+// release frees one slot.
+func (c *Controller) release() {
+	<-c.sem
+	c.inFlight.Set(float64(len(c.sem)))
+}
+
+// InFlight returns the number of requests currently holding a slot.
+func (c *Controller) InFlight() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.sem)
+}
+
+// Waiting returns the number of requests currently queued for a slot.
+func (c *Controller) Waiting() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.waiting.Load())
+}

@@ -1,0 +1,166 @@
+package admit
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	release, wait, err := c.Acquire(context.Background())
+	if err != nil || wait != 0 {
+		t.Fatalf("nil controller: wait=%v err=%v", wait, err)
+	}
+	release() // must not panic
+	if c.InFlight() != 0 || c.Waiting() != 0 {
+		t.Fatal("nil controller reports occupancy")
+	}
+}
+
+func TestFastPathAdmission(t *testing.T) {
+	c := New(Options{MaxInFlight: 2}, nil)
+	r1, _, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{MaxInFlight: 1, MaxQueue: 1, MaxWait: time.Minute}, reg)
+	release, _, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One waiter fills the queue.
+	queued := make(chan error, 1)
+	go func() {
+		r, _, err := c.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		queued <- err
+	}()
+	waitFor(t, func() bool { return c.Waiting() == 1 })
+
+	// The next request finds the queue full and is shed immediately.
+	if _, _, err := c.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+
+	release() // free the slot so the waiter drains
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire = %v", err)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	c := New(Options{MaxInFlight: 1, MaxQueue: 4, MaxWait: 10 * time.Millisecond}, nil)
+	release, _, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, _, err := c.Acquire(context.Background()); !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("err = %v, want ErrWaitTimeout", err)
+	}
+	if c.Waiting() != 0 {
+		t.Fatal("timed-out waiter still counted")
+	}
+}
+
+func TestAcquireObservesContext(t *testing.T) {
+	c := New(Options{MaxInFlight: 1, MaxQueue: 4, MaxWait: time.Minute}, nil)
+	release, _, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if _, _, err := c.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestConcurrentAcquireReleaseInvariant(t *testing.T) {
+	c := New(Options{MaxInFlight: 4, MaxQueue: 64, MaxWait: time.Second}, nil)
+	var wg sync.WaitGroup
+	var served, shed sync.Map
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			release, _, err := c.Acquire(context.Background())
+			if err != nil {
+				shed.Store(i, err)
+				return
+			}
+			if got := c.InFlight(); got > 4 {
+				t.Errorf("InFlight = %d exceeds MaxInFlight", got)
+			}
+			time.Sleep(time.Millisecond)
+			release()
+			served.Store(i, true)
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	served.Range(func(_, _ any) bool { n++; return true })
+	if n == 0 {
+		t.Fatal("no request was served")
+	}
+	if c.InFlight() != 0 || c.Waiting() != 0 {
+		t.Fatalf("leaked occupancy: inflight=%d waiting=%d", c.InFlight(), c.Waiting())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{MaxInFlight: 1, MaxQueue: 1, MaxWait: 5 * time.Millisecond}, reg)
+	release, _, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _ = c.Acquire(context.Background()) // times out (queue has room)
+	release()
+
+	if got := c.admitted.Value(); got != 1 {
+		t.Errorf("admitted = %d, want 1", got)
+	}
+	if got := c.timeouts.Value(); got != 1 {
+		t.Errorf("timeouts = %d, want 1", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,66 @@
+package admit
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// queueWaitKey carries the admission queue wait through a request context.
+type queueWaitKey struct{}
+
+// WithQueueWait returns ctx annotated with the time a request spent queued
+// for admission.
+func WithQueueWait(ctx context.Context, wait time.Duration) context.Context {
+	if wait <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, queueWaitKey{}, wait)
+}
+
+// QueueWaitFrom returns the admission queue wait recorded on ctx (0 when
+// the request was admitted instantly or never went through Middleware).
+func QueueWaitFrom(ctx context.Context) time.Duration {
+	if ctx == nil {
+		return 0
+	}
+	wait, _ := ctx.Value(queueWaitKey{}).(time.Duration)
+	return wait
+}
+
+// Middleware gates next behind the controller. Shed requests are answered
+// without ever reaching next:
+//
+//	queue full            → 429 Too Many Requests
+//	wait timed out        → 503 Service Unavailable (Retry-After: 1)
+//	client context ended  → 503 Service Unavailable
+//
+// Admitted requests run with their queue wait recorded on the context (see
+// QueueWaitFrom), so handlers can report admission latency in responses and
+// traces. A nil controller passes everything through untouched.
+func Middleware(c *Controller, next http.Handler) http.Handler {
+	if c == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, wait, err := c.Acquire(r.Context())
+		if err != nil {
+			code := http.StatusServiceUnavailable
+			if errors.Is(err, ErrQueueFull) {
+				code = http.StatusTooManyRequests
+			}
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+			return
+		}
+		defer release()
+		if wait > 0 {
+			r = r.WithContext(WithQueueWait(r.Context(), wait))
+		}
+		next.ServeHTTP(w, r)
+	})
+}

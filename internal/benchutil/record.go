@@ -1,15 +1,19 @@
 package benchutil
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"os"
 	"reflect"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/querylog"
@@ -21,7 +25,11 @@ import (
 //
 // v2 added the workload's worker count and the throughput section
 // (serial vs parallel QPS via BatchSearch).
-const BenchSchemaVersion = 2
+//
+// v3 added the degradation section: aborted (cancelled-context) query
+// counts, budget-truncated query counts, and admission queue wait under a
+// saturated controller.
+const BenchSchemaVersion = 3
 
 // BenchWorkload pins every knob that shapes a benchmark run, so two records
 // are only ever compared like for like.
@@ -139,6 +147,24 @@ type ThroughputBench struct {
 	BatchMatchesSerial bool `json:"batch_matches_serial"`
 }
 
+// DegradationBench exercises the request-lifecycle layer: queries aborted
+// by an already-cancelled context, queries truncated by a one-node budget,
+// and the queue wait observed when the workload is pushed through a
+// single-slot admission controller. The counts are correctness bits — a
+// record where cancellation or budgets stopped working is self-incriminating
+// — while the queue wait tracks admission latency.
+type DegradationBench struct {
+	// Aborted is how many cancelled-context queries aborted with the
+	// context's error (one per workload query; anything less is a bug).
+	Aborted int64 `json:"aborted"`
+	// Truncated is how many one-node-budget queries returned a truncated
+	// partial answer instead of an error (one per workload query).
+	Truncated int64 `json:"truncated"`
+	// QueueWaitMS is the mean admission queue wait over the saturated
+	// phase's admitted queries.
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+}
+
 // QBBBench summarizes the query-by-burst half of the workload.
 type QBBBench struct {
 	Latency LatencySummary `json:"latency"`
@@ -164,9 +190,10 @@ type BenchRecord struct {
 	BuildMS    float64 `json:"build_ms"`
 	TreeHeight int     `json:"tree_height"`
 
-	Search     SearchBench     `json:"search"`
-	Throughput ThroughputBench `json:"throughput"`
-	QBB        QBBBench        `json:"qbb"`
+	Search      SearchBench      `json:"search"`
+	Throughput  ThroughputBench  `json:"throughput"`
+	QBB         QBBBench         `json:"qbb"`
+	Degradation DegradationBench `json:"degradation"`
 
 	// Counters is the final observability-registry counter snapshot, so a
 	// record carries the same totals /debug/metrics would have exported.
@@ -286,6 +313,71 @@ func RunBench(w BenchWorkload, label string) (*BenchRecord, error) {
 		RowsScanned: float64(rows) / float64(len(qbbLat)),
 	}
 
+	// Degradation workload: the lifecycle layer under abuse. Cancelled
+	// contexts must abort, one-node budgets must truncate (not error), and a
+	// single-slot admission controller must queue the fan-out.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, q := range queries {
+		if _, err := e.Query(cancelled, core.Request{Kind: core.KindSimilar, Values: q.Values, K: w.K}); errors.Is(err, context.Canceled) {
+			rec.Degradation.Aborted++
+		} else {
+			return nil, fmt.Errorf("benchutil: cancelled query %d returned %v, want context.Canceled", i, err)
+		}
+	}
+	for i, q := range queries {
+		resp, err := e.Query(context.Background(), core.Request{
+			Kind: core.KindSimilar, Values: q.Values, K: w.K,
+			Budget: core.Budget{MaxNodeVisits: 1},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("benchutil: budgeted query %d: %w", i, err)
+		}
+		if resp.Truncated {
+			rec.Degradation.Truncated++
+		}
+	}
+	// Saturated admission: the workload's queries drain through a
+	// single-slot controller whose slot is held until every request is
+	// queued, so each admitted query's wait measures real queue latency
+	// (scheduler-independent — on one core goroutines otherwise run
+	// back-to-back and never contend).
+	ac := admit.New(admit.Options{MaxInFlight: 1, MaxQueue: len(qvals), MaxWait: time.Minute}, nil)
+	hold, _, err := ac.Acquire(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("benchutil: admission warm-up: %w", err)
+	}
+	var (
+		admitMu   sync.Mutex
+		waitTotal time.Duration
+		admits    int
+		wg        sync.WaitGroup
+	)
+	for i := range qvals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			release, wait, err := ac.Acquire(context.Background())
+			if err != nil {
+				return // shed requests simply don't contribute a wait sample
+			}
+			defer release()
+			_, _, _ = e.SimilarQueries(qvals[i], w.K) //nolint:errcheck // timing-only pass
+			admitMu.Lock()
+			waitTotal += wait
+			admits++
+			admitMu.Unlock()
+		}(i)
+	}
+	for ac.Waiting() < len(qvals) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	hold() // open the gate: the saturated queue drains one query at a time
+	wg.Wait()
+	if admits > 0 {
+		rec.Degradation.QueueWaitMS = float64(waitTotal) / float64(time.Millisecond) / float64(admits)
+	}
+
 	rec.Counters = map[string]int64{}
 	for _, c := range hub.Registry().Snapshot().Counters {
 		rec.Counters[c.Name] = c.Value
@@ -350,6 +442,18 @@ func (r *BenchRecord) Validate() error {
 	}
 	if !r.Throughput.BatchMatchesSerial {
 		return fmt.Errorf("benchutil: batch search results diverged from serial")
+	}
+	if r.Degradation.Aborted < int64(r.Workload.Queries) {
+		return fmt.Errorf("benchutil: only %d/%d cancelled queries aborted",
+			r.Degradation.Aborted, r.Workload.Queries)
+	}
+	if r.Degradation.Truncated < int64(r.Workload.Queries) {
+		return fmt.Errorf("benchutil: only %d/%d one-node-budget queries truncated",
+			r.Degradation.Truncated, r.Workload.Queries)
+	}
+	if r.Degradation.QueueWaitMS <= 0 {
+		return fmt.Errorf("benchutil: queue_wait_ms = %v; the saturated phase must observe queueing",
+			r.Degradation.QueueWaitMS)
 	}
 	if len(r.Counters) == 0 {
 		return fmt.Errorf("benchutil: record carries no counters")
@@ -425,6 +529,7 @@ func CompareBenchRecords(old, new *BenchRecord, tol float64) ([]Regression, erro
 	check("throughput.parallel_qps", old.Throughput.ParallelQPS, new.Throughput.ParallelQPS, false)
 	check("qbb.latency.p50_ms", old.QBB.Latency.P50MS, new.QBB.Latency.P50MS, true)
 	check("qbb.rows_scanned", old.QBB.RowsScanned, new.QBB.RowsScanned, true)
+	check("degradation.queue_wait_ms", old.Degradation.QueueWaitMS, new.Degradation.QueueWaitMS, true)
 	sort.Slice(regs, func(a, b int) bool { return regs[a].Metric < regs[b].Metric })
 	return regs, nil
 }

@@ -31,10 +31,21 @@ func TestRunBenchValidates(t *testing.T) {
 		t.Errorf("prune ratio = %v, want > 0 (pruning should do something)", rec.Search.PruneRatio)
 	}
 	// The latency loop runs each query once; the serial throughput loop
-	// replays the set for `rounds` more passes before counters are read.
+	// replays the set for `rounds` more passes; the degradation phase adds a
+	// budget-truncated pass and an admission-saturated pass (its cancelled
+	// queries abort before reaching the counter).
 	rounds := (throughputMinQueries + w.Queries - 1) / w.Queries
-	if want := int64(w.Queries * (1 + rounds)); rec.Counters["engine_similar_total"] != want {
+	if want := int64(w.Queries * (3 + rounds)); rec.Counters["engine_similar_total"] != want {
 		t.Errorf("engine_similar_total = %d, want %d", rec.Counters["engine_similar_total"], want)
+	}
+	if rec.Degradation.Aborted != int64(w.Queries) || rec.Degradation.Truncated != int64(w.Queries) {
+		t.Errorf("degradation = %+v, want %d aborted and truncated", rec.Degradation, w.Queries)
+	}
+	if got := rec.Counters["engine_query_aborted_total"]; got != int64(w.Queries) {
+		t.Errorf("engine_query_aborted_total = %d, want %d", got, w.Queries)
+	}
+	if got := rec.Counters["engine_query_truncated_total"]; got != int64(w.Queries) {
+		t.Errorf("engine_query_truncated_total = %d, want %d", got, w.Queries)
 	}
 	if rec.Throughput.Workers != w.Workers {
 		t.Errorf("throughput workers = %d, want %d", rec.Throughput.Workers, w.Workers)
@@ -63,7 +74,8 @@ func TestRecordRoundTrip(t *testing.T) {
 	if back.Workload != rec.Workload || back.Label != rec.Label {
 		t.Errorf("round trip changed record: %+v vs %+v", back, rec)
 	}
-	if back.Search != rec.Search || back.QBB != rec.QBB || back.Throughput != rec.Throughput {
+	if back.Search != rec.Search || back.QBB != rec.QBB || back.Throughput != rec.Throughput ||
+		back.Degradation != rec.Degradation {
 		t.Errorf("round trip changed summaries")
 	}
 }
@@ -87,6 +99,9 @@ func TestValidateRejectsCorruptRecords(t *testing.T) {
 		"qps":        mutate(func(r *BenchRecord) { r.Throughput.ParallelQPS = 0 }),
 		"speedup":    mutate(func(r *BenchRecord) { r.Throughput.Speedup *= 2 }),
 		"mismatch":   mutate(func(r *BenchRecord) { r.Throughput.BatchMatchesSerial = false }),
+		"aborted":    mutate(func(r *BenchRecord) { r.Degradation.Aborted = 0 }),
+		"truncated":  mutate(func(r *BenchRecord) { r.Degradation.Truncated-- }),
+		"queue_wait": mutate(func(r *BenchRecord) { r.Degradation.QueueWaitMS = 0 }),
 		"counters":   mutate(func(r *BenchRecord) { r.Counters = nil }),
 	}
 	for name, rec := range cases {

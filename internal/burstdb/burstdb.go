@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/burst"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 )
 
@@ -230,6 +231,15 @@ var ErrBadRange = errors.New("burstdb: query start after query end")
 // (the paper's strict "<"/">" applies to exclusive end dates; spans here are
 // inclusive on both sides).
 func (db *DB) Overlapping(qStart, qEnd int64, plan Plan) ([]Record, ScanStats, error) {
+	return db.overlapping(qStart, qEnd, plan, nil)
+}
+
+// overlapping is Overlapping under an optional request-lifecycle gate: each
+// row touched (index entry followed or heap row read) is one gated scan
+// unit, so cancellation aborts mid-scan with the context's error and budget
+// exhaustion stops the scan early (the gate records the truncation; the
+// rows gathered so far are returned).
+func (db *DB) overlapping(qStart, qEnd int64, plan Plan, g *lifecycle.Gate) ([]Record, ScanStats, error) {
 	if qStart > qEnd {
 		return nil, ScanStats{}, ErrBadRange
 	}
@@ -239,6 +249,15 @@ func (db *DB) Overlapping(qStart, qEnd int64, plan Plan) ([]Record, ScanStats, e
 	var st ScanStats
 	st.Plan = plan
 	var out []Record
+	var gateErr error
+	// admit gates one row: false stops the scan, recording any ctx error.
+	admit := func() bool {
+		ok, err := g.Visit()
+		if err != nil {
+			gateErr = err
+		}
+		return ok
+	}
 	emit := func(rid int64) {
 		r := db.rows[rid]
 		out = append(out, r)
@@ -248,6 +267,9 @@ func (db *DB) Overlapping(qStart, qEnd int64, plan Plan) ([]Record, ScanStats, e
 	case PlanIndexStart:
 		// start ≤ qEnd via index, filter end ≥ qStart.
 		db.byStart.AscendRange(math.MinInt64, qEnd, func(_, rid int64) bool {
+			if !admit() {
+				return false
+			}
 			st.RowsScanned++
 			if db.rows[rid].End >= qStart {
 				emit(rid)
@@ -257,6 +279,9 @@ func (db *DB) Overlapping(qStart, qEnd int64, plan Plan) ([]Record, ScanStats, e
 	case PlanIndexEnd:
 		// end ≥ qStart via index, filter start ≤ qEnd.
 		db.byEnd.AscendRange(qStart, math.MaxInt64, func(_, rid int64) bool {
+			if !admit() {
+				return false
+			}
 			st.RowsScanned++
 			if db.rows[rid].Start <= qEnd {
 				emit(rid)
@@ -268,6 +293,9 @@ func (db *DB) Overlapping(qStart, qEnd int64, plan Plan) ([]Record, ScanStats, e
 			if !db.live[rid] {
 				continue
 			}
+			if !admit() {
+				break
+			}
 			st.RowsScanned++
 			if r.Start <= qEnd && r.End >= qStart {
 				emit(int64(rid))
@@ -275,6 +303,9 @@ func (db *DB) Overlapping(qStart, qEnd int64, plan Plan) ([]Record, ScanStats, e
 		}
 	default:
 		return nil, st, fmt.Errorf("burstdb: unknown plan %v", plan)
+	}
+	if gateErr != nil {
+		return nil, st, gateErr
 	}
 	db.metrics.Queries.Inc()
 	db.metrics.RowsScanned.Add(int64(st.RowsScanned))
@@ -368,7 +399,17 @@ type Match struct {
 // exclude (optional, may be -1) drops one sequence ID from the results —
 // typically the query itself when it is already in the database.
 func (db *DB) QueryByBurst(query []burst.Burst, k int, exclude int64, plan Plan) ([]Match, ScanStats, error) {
-	return db.queryByBurst(query, k, exclude, plan, nil)
+	matches, st, _, err := db.queryByBurst(query, k, exclude, plan, nil, nil)
+	return matches, st, err
+}
+
+// QueryByBurstLimited is QueryByBurst under a request-lifecycle gate: every
+// row touched by the overlap scans and every candidate ranked by BSim is
+// one gated unit. Cancellation aborts with the context's error; budget
+// exhaustion returns the matches ranked so far with truncated=true. A nil
+// gate makes it identical to QueryByBurst.
+func (db *DB) QueryByBurstLimited(query []burst.Burst, k int, exclude int64, plan Plan, g *lifecycle.Gate) ([]Match, ScanStats, bool, error) {
+	return db.queryByBurst(query, k, exclude, plan, nil, g)
 }
 
 // BurstScanExplain is one query burst's overlap scan in an explained
@@ -403,20 +444,23 @@ type QBBExplain struct {
 // call.
 func (db *DB) QueryByBurstExplain(query []burst.Burst, k int, exclude int64, plan Plan) ([]Match, ScanStats, *QBBExplain, error) {
 	exp := &QBBExplain{}
-	matches, agg, err := db.queryByBurst(query, k, exclude, plan, exp)
+	matches, agg, _, err := db.queryByBurst(query, k, exclude, plan, exp, nil)
 	return matches, agg, exp, err
 }
 
-func (db *DB) queryByBurst(query []burst.Burst, k int, exclude int64, plan Plan, exp *QBBExplain) ([]Match, ScanStats, error) {
+func (db *DB) queryByBurst(query []burst.Burst, k int, exclude int64, plan Plan, exp *QBBExplain, g *lifecycle.Gate) ([]Match, ScanStats, bool, error) {
 	var agg ScanStats
 	if k < 1 {
-		return nil, agg, errors.New("burstdb: k must be >= 1")
+		return nil, agg, false, errors.New("burstdb: k must be >= 1")
+	}
+	if err := g.Check(); err != nil {
+		return nil, agg, false, err
 	}
 	candidates := map[int64]bool{}
 	for _, qb := range query {
-		rows, st, err := db.Overlapping(int64(qb.Start), int64(qb.End), plan)
+		rows, st, err := db.overlapping(int64(qb.Start), int64(qb.End), plan, g)
 		if err != nil {
-			return nil, agg, err
+			return nil, agg, false, err
 		}
 		agg.Plan = st.Plan
 		agg.RowsScanned += st.RowsScanned
@@ -440,12 +484,29 @@ func (db *DB) queryByBurst(query []burst.Burst, k int, exclude int64, plan Plan,
 		}
 	}
 	db.metrics.Candidates.Add(int64(len(candidates)))
-	matches := make([]Match, 0, len(candidates))
+	// Rank candidates in sorted-ID order so a budget that truncates the
+	// ranking loop cuts a deterministic prefix, not a random map walk.
+	ordered := make([]int64, 0, len(candidates))
 	for seqID := range candidates {
+		ordered = append(ordered, seqID)
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a] < ordered[b] })
+	matches := make([]Match, 0, len(ordered))
+	var gateErr error
+	for _, seqID := range ordered {
+		if ok, err := g.Visit(); err != nil {
+			gateErr = err
+			break
+		} else if !ok {
+			break // budget exhausted: rank only the candidates scored so far
+		}
 		score := burst.BSim(query, db.BurstsOf(seqID))
 		if score > 0 {
 			matches = append(matches, Match{SeqID: seqID, Score: score})
 		}
+	}
+	if gateErr != nil {
+		return nil, agg, false, gateErr
 	}
 	db.metrics.Matches.Add(int64(len(matches)))
 	if exp != nil {
@@ -461,5 +522,5 @@ func (db *DB) queryByBurst(query []burst.Burst, k int, exclude int64, plan Plan,
 	if k < len(matches) {
 		matches = matches[:k]
 	}
-	return matches, agg, nil
+	return matches, agg, g.Truncated(), nil
 }

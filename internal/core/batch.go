@@ -1,25 +1,42 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/lifecycle"
 	"repro/internal/vptree"
 )
 
 // BatchSearch answers one similarity search per query in queries, fanning
-// the batch across a pool of Config.Workers goroutines. out[i] holds the k
-// nearest neighbours of queries[i] — exactly what SimilarQueries returns
-// for the same input, regardless of the worker count or scheduling order.
-// Per-worker vptree.Stats are merged into one batch total. On error the
-// first failing query (by batch position) determines the returned error;
-// the merged stats still account for all work done.
+// the batch across a pool of Config.Workers goroutines.
+//
+// Deprecated: use BatchSearchCtx, which adds context cancellation. This
+// wrapper delegates with a background context.
+func (e *Engine) BatchSearch(queries [][]float64, k int) ([][]Neighbor, vptree.Stats, error) {
+	return e.BatchSearchCtx(context.Background(), queries, k)
+}
+
+// BatchSearchCtx answers one similarity search per query in queries,
+// fanning the batch across a pool of Config.Workers goroutines. out[i]
+// holds the k nearest neighbours of queries[i] — exactly what
+// SimilarQueries returns for the same input, regardless of the worker count
+// or scheduling order. Per-worker vptree.Stats are merged into one batch
+// total. On error the first failing query (by batch position) determines
+// the returned error; the merged stats still account for all work done.
+// Cancelling ctx aborts the batch: workers stop picking up new queries and
+// in-flight searches fail fast, so the call returns promptly with ctx's
+// error.
 //
 // The whole batch runs under one read lock, so it observes a single
 // consistent snapshot of the engine even with a concurrent writer queued.
-func (e *Engine) BatchSearch(queries [][]float64, k int) ([][]Neighbor, vptree.Stats, error) {
+func (e *Engine) BatchSearchCtx(ctx context.Context, queries [][]float64, k int) ([][]Neighbor, vptree.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k < 1 {
 		return nil, vptree.Stats{}, errors.New("core: k must be >= 1")
 	}
@@ -57,8 +74,12 @@ func (e *Engine) BatchSearch(queries [][]float64, k int) ([][]Neighbor, vptree.S
 				if i >= len(queries) {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue // drain remaining indices so every slot gets the error
+				}
 				var st vptree.Stats
-				out[i], st, errs[i] = e.searchOneLocked(queries[i], k)
+				out[i], st, errs[i] = e.searchOneLocked(ctx, queries[i], k)
 				stats[w].Add(st)
 			}
 		}(w)
@@ -79,13 +100,16 @@ func (e *Engine) BatchSearch(queries [][]float64, k int) ([][]Neighbor, vptree.S
 }
 
 // searchOneLocked is one query of a batch: standardize, search the index,
-// resolve names. Caller holds the read lock.
-func (e *Engine) searchOneLocked(values []float64, k int) ([]Neighbor, vptree.Stats, error) {
+// resolve names. Caller holds the read lock. Each query gets its own gate
+// so a cancelled ctx aborts mid-traversal; with a background ctx the gate
+// is nil and the path costs nothing extra.
+func (e *Engine) searchOneLocked(ctx context.Context, values []float64, k int) ([]Neighbor, vptree.Stats, error) {
 	z, err := e.standardizeQuery(values)
 	if err != nil {
 		return nil, vptree.Stats{}, err
 	}
-	res, st, err := e.searchIndex(z, k)
+	g := lifecycle.NewGate(ctx, lifecycle.Limits{})
+	res, st, _, err := e.searchIndexLimited(ctx, z, k, g)
 	if err != nil {
 		return nil, st, err
 	}

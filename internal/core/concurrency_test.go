@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"io"
 	"math/rand"
@@ -34,6 +35,7 @@ func TestConcurrentEngineStress(t *testing.T) {
 	defer e.Close()
 
 	srv := httptest.NewServer(obs.Handler(hub,
+		obs.Route{Pattern: "/v1/search", Handler: V1SearchHandler(e)},
 		obs.Route{Pattern: "/search", Handler: SearchHandler(e)}))
 	defer srv.Close()
 
@@ -85,11 +87,52 @@ func TestConcurrentEngineStress(t *testing.T) {
 		}(r)
 	}
 	wg.Add(1)
+	go func() { // canceller: fires cancellations into live traversals
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				req := Request{Kind: KindSimilar, Values: probe, K: 3}
+				if i%3 == 0 {
+					req = Request{Kind: KindBurstID, ID: i % e.Len(), K: 3, Window: Long}
+				}
+				if _, err := e.Query(ctx, req); err != nil &&
+					!errors.Is(err, context.Canceled) {
+					t.Errorf("cancelled Query: %v", err)
+				}
+			}()
+			if i%2 == 0 {
+				cancel() // race the cancellation against the traversal
+			}
+			<-done
+			cancel()
+		}
+	}()
+	wg.Add(1)
+	go func() { // budgeted reader: truncation under concurrent writes
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			resp, err := e.Query(context.Background(), Request{
+				Kind: KindLinear, Values: probe, K: 3,
+				Budget: Budget{MaxNodeVisits: 1 + i%7},
+			})
+			if err != nil {
+				t.Errorf("budgeted Query: %v", err)
+			} else if !resp.Truncated && e.Len() > 8 {
+				t.Errorf("iteration %d: %d-row budget did not truncate", i, 1+i%7)
+			}
+		}
+	}()
+	wg.Add(1)
 	go func() { // HTTP scraper
 		defer wg.Done()
 		urls := []string{
 			srv.URL + "/debug/vars",
 			srv.URL + "/debug/metrics",
+			srv.URL + "/v1/search?q=" + querylog.Cinema + "&k=3",
+			srv.URL + "/v1/search?q=" + querylog.Cinema + "&k=3&mode=linear&max_nodes=5",
 			srv.URL + "/search?q=" + querylog.Cinema + "&k=3",
 			srv.URL + "/search?q=" + querylog.Cinema + "&k=2&mode=qbb",
 		}

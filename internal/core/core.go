@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,7 +25,7 @@ import (
 
 	"repro/internal/burst"
 	"repro/internal/burstdb"
-	"repro/internal/dtw"
+	"repro/internal/lifecycle"
 	"repro/internal/mvptree"
 	"repro/internal/obs"
 	"repro/internal/periods"
@@ -376,23 +377,8 @@ func (e *Engine) Add(s *series.Series) (int, error) {
 
 // searchIndex runs a kNN query on whichever index the engine was built with.
 func (e *Engine) searchIndex(z []float64, k int) ([]vptree.Result, vptree.Stats, error) {
-	if e.mvp != nil {
-		res, st, err := e.mvp.Search(z, k, e.store)
-		if err != nil {
-			return nil, vptree.Stats{}, err
-		}
-		out := make([]vptree.Result, len(res))
-		for i, r := range res {
-			out[i] = vptree.Result{ID: r.ID, Dist: r.Dist}
-		}
-		return out, vptree.Stats{
-			BoundsComputed: st.BoundsComputed,
-			NodesVisited:   st.NodesVisited,
-			Candidates:     st.Candidates,
-			FullRetrievals: st.FullRetrievals,
-		}, nil
-	}
-	return e.tree.Search(z, k, e.features, e.store)
+	res, st, _, err := e.searchIndexLimited(context.Background(), z, k, nil)
+	return res, st, err
 }
 
 // Close releases any disk resources.
@@ -503,72 +489,28 @@ func (e *Engine) standardizeQuery(values []float64) ([]float64, error) {
 
 // SimilarQueries returns the k series whose standardized demand curves are
 // closest (Euclidean) to the given raw demand curve, using the index.
+//
+// Deprecated: use Query with KindSimilar, which adds context cancellation
+// and per-query budgets. This wrapper delegates with an unbounded budget.
 func (e *Engine) SimilarQueries(values []float64, k int) ([]Neighbor, vptree.Stats, error) {
-	defer e.met.similarLat.Start()()
-	e.met.similarTotal.Inc()
-	e.met.similarK.Observe(float64(k))
-	tr := e.tracer.StartTrace("similar_queries")
-	defer tr.Finish()
-	tr.Annotate("k", strconv.Itoa(k))
-
-	sp := tr.Span("standardize")
-	z, err := e.standardizeQuery(values)
-	sp.Finish()
+	resp, err := e.Query(context.Background(), Request{Kind: KindSimilar, Values: values, K: k})
 	if err != nil {
 		return nil, vptree.Stats{}, err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	sp = tr.Span("index_search")
-	res, st, err := e.searchIndex(z, k)
-	sp.Finish()
-	annotateSearch(sp, st)
-	e.met.recordSearch(st)
-	if err != nil {
-		return nil, st, err
-	}
-	e.met.similarResults.Add(int64(len(res)))
-	return e.toNeighborsLocked(res), st, nil
+	return resp.Neighbors, resp.Stats, nil
 }
 
 // SimilarToID returns the k nearest neighbours of an indexed series,
 // excluding the series itself.
+//
+// Deprecated: use Query with KindSimilarID, which adds context cancellation
+// and per-query budgets. This wrapper delegates with an unbounded budget.
 func (e *Engine) SimilarToID(id, k int) ([]Neighbor, vptree.Stats, error) {
-	defer e.met.similarLat.Start()()
-	e.met.similarTotal.Inc()
-	e.met.similarK.Observe(float64(k))
-	tr := e.tracer.StartTrace("similar_to_id")
-	defer tr.Finish()
-	tr.Annotate("id", strconv.Itoa(id))
-	tr.Annotate("k", strconv.Itoa(k))
-
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	sp := tr.Span("fetch_standardized")
-	z, err := e.store.Get(id)
-	sp.Finish()
+	resp, err := e.Query(context.Background(), Request{Kind: KindSimilarID, ID: id, K: k})
 	if err != nil {
 		return nil, vptree.Stats{}, err
 	}
-	sp = tr.Span("index_search")
-	res, st, err := e.searchIndex(z, k+1)
-	sp.Finish()
-	annotateSearch(sp, st)
-	e.met.recordSearch(st)
-	if err != nil {
-		return nil, st, err
-	}
-	out := make([]vptree.Result, 0, k)
-	for _, r := range res {
-		if r.ID != id {
-			out = append(out, r)
-		}
-		if len(out) == k {
-			break
-		}
-	}
-	e.met.similarResults.Add(int64(len(out)))
-	return e.toNeighborsLocked(out), st, nil
+	return resp.Neighbors, resp.Stats, nil
 }
 
 // toNeighborsLocked resolves result IDs to names; caller holds mu.
@@ -585,44 +527,47 @@ func (e *Engine) toNeighborsLocked(res []vptree.Result) []Neighbor {
 // Config.Workers > 1 the scan is sharded across contiguous ID ranges; the
 // merged result is identical to the serial ascending-ID scan, including
 // tie order.
+//
+// Deprecated: use Query with KindLinear, which adds context cancellation
+// and per-query budgets. This wrapper delegates with an unbounded budget.
 func (e *Engine) LinearScan(values []float64, k int) ([]Neighbor, error) {
-	if k < 1 {
-		return nil, errors.New("core: k must be >= 1")
-	}
-	defer e.met.linearLat.Start()()
-	e.met.linearTotal.Inc()
-	tr := e.tracer.StartTrace("linear_scan")
-	defer tr.Finish()
-	tr.Annotate("k", strconv.Itoa(k))
-	z, err := e.standardizeQuery(values)
+	resp, err := e.Query(context.Background(), Request{Kind: KindLinear, Values: values, K: k})
 	if err != nil {
 		return nil, err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.linearScanStandardized(z, k)
+	return resp.Neighbors, nil
 }
 
-func (e *Engine) linearScanStandardized(z []float64, k int) ([]Neighbor, error) {
+// linearScanStandardized runs the gated scan; caller holds the read lock.
+// Under a sharded scan the gate's budget is split across the workers, so a
+// budgeted sharded scan may truncate at different rows than a serial one —
+// every row actually scanned still contributes exactly.
+func (e *Engine) linearScanStandardized(z []float64, k int, g *lifecycle.Gate) ([]Neighbor, error) {
 	n := e.store.Len()
 	workers := e.cfg.Workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		return e.linearScanRange(z, k, 0, n)
+		return e.linearScanRange(z, k, 0, n, g)
 	}
-	return e.linearScanSharded(z, k, n, workers)
+	return e.linearScanSharded(z, k, n, workers, g)
 }
 
 // linearScanRange is the serial §7.4 scan over the half-open ID range
 // [lo, hi). The early-abandon bound is the range-local k-th best — always
 // at least as loose as the global bound, so no global top-k member is
-// ever abandoned by a shard.
-func (e *Engine) linearScanRange(z []float64, k, lo, hi int) ([]Neighbor, error) {
+// ever abandoned by a shard. Each row is one gated scan unit: cancellation
+// aborts mid-range, budget exhaustion keeps the best-so-far prefix.
+func (e *Engine) linearScanRange(z []float64, k, lo, hi int, g *lifecycle.Gate) ([]Neighbor, error) {
 	best := make([]Neighbor, 0, k+1)
 	buf := make([]float64, e.SeqLen())
 	for id := lo; id < hi; id++ {
+		if ok, gerr := g.Visit(); gerr != nil {
+			return nil, gerr
+		} else if !ok {
+			break // budget exhausted: return the rows scanned so far
+		}
 		if err := e.store.GetInto(id, buf); err != nil {
 			return nil, err
 		}
@@ -646,20 +591,24 @@ func (e *Engine) linearScanRange(z []float64, k, lo, hi int) ([]Neighbor, error)
 // keeps its local top-k (ordered by distance, then ascending ID — the same
 // order insertNeighbor gives the serial scan); concatenating the shards in
 // ID order and stable-sorting by distance therefore reproduces the serial
-// result byte for byte, ties included.
-func (e *Engine) linearScanSharded(z []float64, k, n, workers int) ([]Neighbor, error) {
+// result byte for byte, ties included. The gate's remaining budget is
+// split across the shards (gates are single-goroutine objects) and child
+// outcomes are absorbed back, so truncation in any shard marks the query.
+func (e *Engine) linearScanSharded(z []float64, k, n, workers int, g *lifecycle.Gate) ([]Neighbor, error) {
 	bests := make([][]Neighbor, workers)
 	errs := make([]error, workers)
+	kids := g.Split(workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*n/workers, (w+1)*n/workers
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			bests[w], errs[w] = e.linearScanRange(z, k, lo, hi)
+			bests[w], errs[w] = e.linearScanRange(z, k, lo, hi, kids[w])
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	g.Absorb(kids...)
 	merged := make([]Neighbor, 0, workers*k)
 	for w := range bests {
 		if errs[w] != nil {
@@ -741,40 +690,15 @@ func (e *Engine) Reconstruct(id int) (*Reconstruction, error) {
 // measures like dynamic time warping"). Candidates are filtered with the
 // linear-cost LB_Keogh bound before the quadratic DP runs, mirroring the
 // paper's filter-and-refine structure.
+//
+// Deprecated: use Query with KindDTW, which adds context cancellation and
+// per-query budgets. This wrapper delegates with an unbounded budget.
 func (e *Engine) SimilarDTW(id, band, k int) ([]Neighbor, error) {
-	if k < 1 {
-		return nil, errors.New("core: k must be >= 1")
-	}
-	defer e.met.dtwLat.Start()()
-	e.met.dtwTotal.Inc()
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	z, err := e.store.Get(id)
+	resp, err := e.Query(context.Background(), Request{Kind: KindDTW, ID: id, Band: band, K: k})
 	if err != nil {
 		return nil, err
 	}
-	collection := make([][]float64, 0, e.store.Len()-1)
-	ids := make([]int, 0, e.store.Len()-1)
-	for other := 0; other < e.store.Len(); other++ {
-		if other == id {
-			continue
-		}
-		v, err := e.store.Get(other)
-		if err != nil {
-			return nil, err
-		}
-		collection = append(collection, v)
-		ids = append(ids, other)
-	}
-	res, _, err := dtw.SearchK(collection, z, band, k)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Neighbor, len(res))
-	for i, r := range res {
-		out[i] = Neighbor{ID: ids[r.Index], Name: e.nameLocked(ids[r.Index]), Dist: r.Dist}
-	}
-	return out, nil
+	return resp.Neighbors, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -822,47 +746,18 @@ func (e *Engine) PeriodsOfSet(ids []int) (*periods.Detection, error) {
 // ±relTol of the given periods (in days). It scans the database's spectra
 // directly — the masked distance has no stored compressed representation to
 // index.
+//
+// Deprecated: use Query with KindSimilarPeriods, which adds context
+// cancellation and per-query budgets. This wrapper delegates with an
+// unbounded budget.
 func (e *Engine) SimilarByPeriods(id int, periodDays []float64, relTol float64, k int) ([]Neighbor, error) {
-	if k < 1 {
-		return nil, errors.New("core: k must be >= 1")
-	}
-	if relTol <= 0 {
-		relTol = 0.05
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	z, err := e.store.Get(id)
+	resp, err := e.Query(context.Background(), Request{
+		Kind: KindSimilarPeriods, ID: id, Periods: periodDays, RelTol: relTol, K: k,
+	})
 	if err != nil {
 		return nil, err
 	}
-	hq, err := spectral.FromValues(z)
-	if err != nil {
-		return nil, err
-	}
-	bins := hq.BinsForPeriods(periodDays, relTol)
-	if len(bins) == 0 {
-		return nil, fmt.Errorf("core: no spectral bins within ±%.0f%% of periods %v", 100*relTol, periodDays)
-	}
-	best := make([]Neighbor, 0, k+1)
-	buf := make([]float64, e.SeqLen())
-	for other := 0; other < e.store.Len(); other++ {
-		if other == id {
-			continue
-		}
-		if err := e.store.GetInto(other, buf); err != nil {
-			return nil, err
-		}
-		ho, err := spectral.FromValues(buf)
-		if err != nil {
-			return nil, err
-		}
-		d, err := spectral.MaskedDistance(hq, ho, bins)
-		if err != nil {
-			return nil, err
-		}
-		best = insertNeighbor(best, Neighbor{ID: other, Name: e.nameLocked(other), Dist: d}, k)
-	}
-	return best, nil
+	return resp.Neighbors, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -898,21 +793,27 @@ type BurstMatch struct {
 
 // QueryByBurst detects bursts in the given raw values and returns the k
 // indexed series with the most similar burst patterns (§6.3).
+//
+// Deprecated: use Query with KindBurst, which adds context cancellation and
+// per-query budgets. This wrapper delegates with an unbounded budget.
 func (e *Engine) QueryByBurst(values []float64, k int, w BurstWindow) ([]BurstMatch, error) {
-	det, err := e.Bursts(values, w) // stateless, runs before taking the lock
+	resp, err := e.Query(context.Background(), Request{Kind: KindBurst, Values: values, K: k, Window: w})
 	if err != nil {
 		return nil, err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.queryBursts(e.filterBursts(det), k, -1, w)
+	return resp.Matches, nil
 }
 
 // QueryByBurstOf runs query-by-burst for an indexed series, excluding itself.
+//
+// Deprecated: use Query with KindBurstID, which adds context cancellation
+// and per-query budgets. This wrapper delegates with an unbounded budget.
 func (e *Engine) QueryByBurstOf(id, k int, w BurstWindow) ([]BurstMatch, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.queryBursts(e.burstsOfLocked(id, w), k, int64(id), w)
+	resp, err := e.Query(context.Background(), Request{Kind: KindBurstID, ID: id, K: k, Window: w})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Matches, nil
 }
 
 // filterBursts applies the BurstMinPeak intensity floor: the burst's moving
@@ -928,27 +829,30 @@ func (e *Engine) filterBursts(det *burst.Detection) []burst.Burst {
 	return out
 }
 
-// queryBursts runs the §6.3 overlap query; caller holds mu.
-func (e *Engine) queryBursts(q []burst.Burst, k int, exclude int64, w BurstWindow) ([]BurstMatch, error) {
+// queryBursts runs the §6.3 overlap query; caller holds mu. The gate bounds
+// interval probes and BSim rankings; on budget exhaustion the best-so-far
+// matches are returned with truncated=true.
+func (e *Engine) queryBursts(q []burst.Burst, k int, exclude int64, w BurstWindow, g *lifecycle.Gate) ([]BurstMatch, bool, error) {
 	defer e.met.qbbLat.Start()()
 	e.met.qbbTotal.Inc()
 	tr := e.tracer.StartTrace("query_by_burst")
 	defer tr.Finish()
 	tr.Annotate("window", w.String())
 	tr.Annotate("query_bursts", strconv.Itoa(len(q)))
-	matches, st, err := e.burstDB(w).QueryByBurst(q, k, exclude, burstdb.PlanAuto)
+	matches, st, truncated, err := e.burstDB(w).QueryByBurstLimited(q, k, exclude, burstdb.PlanAuto, g)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	tr.Annotate("plan", st.Plan.String())
 	tr.Annotate("rows_scanned", strconv.Itoa(st.RowsScanned))
 	tr.Annotate("rows_matched", strconv.Itoa(st.RowsMatched))
+	annotateOutcome(tr, truncated)
 	e.met.qbbResults.Add(int64(len(matches)))
 	out := make([]BurstMatch, len(matches))
 	for i, m := range matches {
 		out[i] = BurstMatch{ID: int(m.SeqID), Name: e.nameLocked(int(m.SeqID)), Score: m.Score}
 	}
-	return out, nil
+	return out, truncated, nil
 }
 
 // BurstDB exposes the underlying burst database for a window (for

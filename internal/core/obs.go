@@ -40,6 +40,9 @@ type engineMetrics struct {
 	dtwTotal *obs.Counter
 	dtwLat   *obs.Timer
 
+	queryAborted   *obs.Counter
+	queryTruncated *obs.Counter
+
 	treeNodes      *obs.Counter
 	treeBounds     *obs.Counter
 	treeCandidates *obs.Counter
@@ -81,6 +84,9 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 
 		dtwTotal: reg.Counter("engine_dtw_total", "DTW searches served"),
 		dtwLat:   reg.Timer("engine_dtw_latency_seconds", "DTW search latency"),
+
+		queryAborted:   reg.Counter("engine_query_aborted_total", "queries aborted by context cancellation or deadline expiry"),
+		queryTruncated: reg.Counter("engine_query_truncated_total", "queries returning budget-truncated partial results"),
 
 		treeNodes:      reg.Counter("vptree_nodes_visited_total", "index nodes traversed"),
 		treeBounds:     reg.Counter("vptree_bounds_computed_total", "lower/upper bound evaluations against compressed objects"),

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/dtw"
+	"repro/internal/lifecycle"
+	"repro/internal/obs"
+	"repro/internal/seqstore"
+	"repro/internal/spectral"
+	"repro/internal/vptree"
+)
+
+// Kind selects a search family for Engine.Query. It unifies the engine's
+// historical one-method-per-family surface (SimilarQueries, SimilarToID,
+// LinearScan, SimilarDTW, SimilarByPeriods, QueryByBurst, QueryByBurstOf)
+// behind one request shape.
+type Kind int
+
+const (
+	// KindUnknown is the zero value; Query rejects it.
+	KindUnknown Kind = iota
+	// KindSimilar is index-backed kNN over Request.Values.
+	KindSimilar
+	// KindSimilarID is index-backed kNN of indexed series Request.ID,
+	// excluding the series itself.
+	KindSimilarID
+	// KindLinear is the exact linear-scan baseline over Request.Values.
+	KindLinear
+	// KindDTW is banded Dynamic Time Warping kNN of series Request.ID
+	// (band radius Request.Band), excluding the series itself.
+	KindDTW
+	// KindSimilarPeriods is the masked-spectral-distance search around
+	// Request.Periods for series Request.ID, excluding the series itself.
+	KindSimilarPeriods
+	// KindBurst is query-by-burst over bursts detected in Request.Values.
+	KindBurst
+	// KindBurstID is query-by-burst of indexed series Request.ID, excluding
+	// the series itself.
+	KindBurstID
+)
+
+// String implements fmt.Stringer with the stable names the HTTP API uses.
+func (k Kind) String() string {
+	switch k {
+	case KindSimilar:
+		return "similar"
+	case KindSimilarID:
+		return "similar_id"
+	case KindLinear:
+		return "linear"
+	case KindDTW:
+		return "dtw"
+	case KindSimilarPeriods:
+		return "periods"
+	case KindBurst:
+		return "qbb"
+	case KindBurstID:
+		return "qbb_id"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind inverts Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "similar":
+		return KindSimilar, nil
+	case "similar_id":
+		return KindSimilarID, nil
+	case "linear":
+		return KindLinear, nil
+	case "dtw":
+		return KindDTW, nil
+	case "periods":
+		return KindSimilarPeriods, nil
+	case "qbb":
+		return KindBurst, nil
+	case "qbb_id":
+		return KindBurstID, nil
+	default:
+		return KindUnknown, fmt.Errorf("core: unknown request kind %q", s)
+	}
+}
+
+// Budget caps the work one Query may perform. The zero value is unlimited.
+// Budgets degrade gracefully: when one expires mid-search the engine stops,
+// refines what it already collected, and returns the best-so-far answer
+// with Response.Truncated set — it does not error. Context cancellation is
+// the opposite contract: the caller is gone, so Query aborts with the
+// context's error and no results.
+type Budget struct {
+	// Deadline is the wall-clock budget measured from Query entry (0 =
+	// none). A negative value is already expired and truncates immediately.
+	Deadline time.Duration
+	// MaxNodeVisits caps traversal/scan units: tree nodes visited, rows
+	// scanned, bursts probed, candidates bounded (0 = unlimited).
+	MaxNodeVisits int
+	// MaxExactDistances caps exact distance computations during refinement
+	// (0 = unlimited). This cap is strict — unlike the other two it is
+	// never exceeded by the bounded best-so-far refinement grace.
+	MaxExactDistances int
+}
+
+// zero reports whether the budget imposes no limit.
+func (b Budget) zero() bool {
+	return b.Deadline == 0 && b.MaxNodeVisits <= 0 && b.MaxExactDistances <= 0
+}
+
+// limits resolves the budget against the request's entry instant.
+func (b Budget) limits(now time.Time) lifecycle.Limits {
+	l := lifecycle.Limits{MaxNodes: b.MaxNodeVisits, MaxExact: b.MaxExactDistances}
+	if b.Deadline != 0 {
+		l.Deadline = now.Add(b.Deadline)
+	}
+	return l
+}
+
+// Request is one query against the engine. Kind selects the search family
+// and which of the other fields apply:
+//
+//	Kind                 input           extras
+//	KindSimilar          Values, K       Budget
+//	KindSimilarID        ID, K           Budget
+//	KindLinear           Values, K       Budget
+//	KindDTW              ID, K           Band, Budget
+//	KindSimilarPeriods   ID, K           Periods, RelTol, Budget
+//	KindBurst            Values, K       Window, Budget
+//	KindBurstID          ID, K           Window, Budget
+type Request struct {
+	// Kind selects the search family.
+	Kind Kind
+	// Values is the raw query curve for the by-values kinds.
+	Values []float64
+	// ID is the indexed sequence for the by-ID kinds.
+	ID int
+	// K is how many results to return (must be >= 1).
+	K int
+	// Window selects the burst database for the burst kinds (default Short).
+	Window BurstWindow
+	// Band is the Sakoe–Chiba band radius in days for KindDTW.
+	Band int
+	// Periods (in days) focuses KindSimilarPeriods; RelTol is the relative
+	// bin tolerance (default 0.05).
+	Periods []float64
+	RelTol  float64
+	// Budget bounds the work of this query (see Budget).
+	Budget Budget
+	// QueueWait, when set by a serving front (admission control), is
+	// recorded on the query's trace so slow-query entries expose admission
+	// latency alongside execution time.
+	QueueWait time.Duration
+}
+
+// Response is the uniform answer shape of Engine.Query.
+type Response struct {
+	// Kind echoes the request's search family.
+	Kind Kind
+	// Neighbors holds the results of the distance-based kinds (similar,
+	// linear, dtw, periods).
+	Neighbors []Neighbor
+	// Matches holds the results of the burst kinds.
+	Matches []BurstMatch
+	// Stats reports index work for the index-backed kinds.
+	Stats vptree.Stats
+	// Truncated reports that a budget expired mid-search and Neighbors or
+	// Matches is the best-so-far partial answer rather than the full one.
+	Truncated bool
+}
+
+// errBadK is the uniform k validation error of the Query surface.
+var errBadK = errors.New("core: k must be >= 1")
+
+// Query is the engine's unified search entry point: every search family
+// behind one request/response shape, with a context-aware lifecycle.
+//
+//   - ctx cancellation or expiry aborts the search with the context's error
+//     at node-visit/shard granularity; an already-expired context returns
+//     before any index work.
+//   - Request.Budget expiry degrades gracefully: the best-so-far answer is
+//     returned with Response.Truncated set.
+//
+// The historical entry points (SimilarQueries, LinearScan, ...) are thin
+// deprecated wrappers over this method. See docs/api.md.
+func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Kind <= KindUnknown || req.Kind > KindBurstID {
+		return nil, fmt.Errorf("core: unknown request kind %d", int(req.Kind))
+	}
+	if req.K < 1 {
+		return nil, errBadK
+	}
+	// An already-dead context does zero index work: O(1) return from every
+	// search family.
+	if err := ctx.Err(); err != nil {
+		e.met.queryAborted.Inc()
+		return nil, err
+	}
+	g := lifecycle.NewGate(ctx, req.Budget.limits(time.Now()))
+	resp, err := e.dispatch(ctx, g, req)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			e.met.queryAborted.Inc()
+		}
+		return nil, err
+	}
+	if resp.Truncated {
+		e.met.queryTruncated.Inc()
+	}
+	return resp, nil
+}
+
+func (e *Engine) dispatch(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
+	switch req.Kind {
+	case KindSimilar:
+		return e.querySimilar(ctx, g, req)
+	case KindSimilarID:
+		return e.querySimilarID(ctx, g, req)
+	case KindLinear:
+		return e.queryLinear(ctx, g, req)
+	case KindDTW:
+		return e.queryDTW(ctx, g, req)
+	case KindSimilarPeriods:
+		return e.querySimilarPeriods(ctx, g, req)
+	case KindBurst, KindBurstID:
+		return e.queryBurst(ctx, g, req)
+	default:
+		return nil, fmt.Errorf("core: unknown request kind %d", int(req.Kind))
+	}
+}
+
+// annotateLifecycle attaches budget and admission metadata to a trace so
+// the slow-query log shows why a query was truncated or where it waited.
+func annotateLifecycle(tr *obs.Trace, req Request) {
+	if tr == nil {
+		return
+	}
+	if req.Budget.Deadline != 0 {
+		tr.Annotate("deadline_ms", strconv.FormatInt(req.Budget.Deadline.Milliseconds(), 10))
+	}
+	if req.Budget.MaxNodeVisits > 0 {
+		tr.Annotate("max_node_visits", strconv.Itoa(req.Budget.MaxNodeVisits))
+	}
+	if req.Budget.MaxExactDistances > 0 {
+		tr.Annotate("max_exact_distances", strconv.Itoa(req.Budget.MaxExactDistances))
+	}
+	if req.QueueWait > 0 {
+		tr.Annotate("queue_wait_ms", strconv.FormatFloat(
+			float64(req.QueueWait)/float64(time.Millisecond), 'f', 3, 64))
+	}
+}
+
+// annotateOutcome marks a trace truncated (budget degradation is worth
+// seeing in /debug/slow even when the query itself was fast).
+func annotateOutcome(tr *obs.Trace, truncated bool) {
+	if tr == nil || !truncated {
+		return
+	}
+	tr.Annotate("truncated", "true")
+}
+
+// searchIndexLimited runs a gated kNN query on whichever index the engine
+// was built with. Refinement reads go through a context-aware store view so
+// a hung-up caller aborts even between the gate's amortized checks.
+func (e *Engine) searchIndexLimited(ctx context.Context, z []float64, k int, g *lifecycle.Gate) ([]vptree.Result, vptree.Stats, bool, error) {
+	store := seqstore.WithContext(ctx, e.store)
+	if e.mvp != nil {
+		res, st, truncated, err := e.mvp.SearchLimited(z, k, store, g)
+		if err != nil {
+			return nil, vptree.Stats{}, false, err
+		}
+		out := make([]vptree.Result, len(res))
+		for i, r := range res {
+			out[i] = vptree.Result{ID: r.ID, Dist: r.Dist}
+		}
+		return out, vptree.Stats{
+			BoundsComputed: st.BoundsComputed,
+			NodesVisited:   st.NodesVisited,
+			Candidates:     st.Candidates,
+			FullRetrievals: st.FullRetrievals,
+		}, truncated, nil
+	}
+	return e.tree.SearchLimited(z, k, e.features, store, g)
+}
+
+func (e *Engine) querySimilar(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
+	defer e.met.similarLat.Start()()
+	e.met.similarTotal.Inc()
+	e.met.similarK.Observe(float64(req.K))
+	tr := e.tracer.StartTrace("similar_queries")
+	defer tr.Finish()
+	tr.Annotate("k", strconv.Itoa(req.K))
+	annotateLifecycle(tr, req)
+
+	sp := tr.Span("standardize")
+	z, err := e.standardizeQuery(req.Values)
+	sp.Finish()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sp = tr.Span("index_search")
+	res, st, truncated, err := e.searchIndexLimited(ctx, z, req.K, g)
+	sp.Finish()
+	annotateSearch(sp, st)
+	e.met.recordSearch(st)
+	if err != nil {
+		return nil, err
+	}
+	e.met.similarResults.Add(int64(len(res)))
+	annotateOutcome(tr, truncated)
+	return &Response{
+		Kind: req.Kind, Neighbors: e.toNeighborsLocked(res),
+		Stats: st, Truncated: truncated,
+	}, nil
+}
+
+func (e *Engine) querySimilarID(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
+	defer e.met.similarLat.Start()()
+	e.met.similarTotal.Inc()
+	e.met.similarK.Observe(float64(req.K))
+	tr := e.tracer.StartTrace("similar_to_id")
+	defer tr.Finish()
+	tr.Annotate("id", strconv.Itoa(req.ID))
+	tr.Annotate("k", strconv.Itoa(req.K))
+	annotateLifecycle(tr, req)
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sp := tr.Span("fetch_standardized")
+	z, err := e.store.Get(req.ID)
+	sp.Finish()
+	if err != nil {
+		return nil, err
+	}
+	sp = tr.Span("index_search")
+	res, st, truncated, err := e.searchIndexLimited(ctx, z, req.K+1, g)
+	sp.Finish()
+	annotateSearch(sp, st)
+	e.met.recordSearch(st)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]vptree.Result, 0, req.K)
+	for _, r := range res {
+		if r.ID != req.ID {
+			out = append(out, r)
+		}
+		if len(out) == req.K {
+			break
+		}
+	}
+	e.met.similarResults.Add(int64(len(out)))
+	annotateOutcome(tr, truncated)
+	return &Response{
+		Kind: req.Kind, Neighbors: e.toNeighborsLocked(out),
+		Stats: st, Truncated: truncated,
+	}, nil
+}
+
+func (e *Engine) queryLinear(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
+	defer e.met.linearLat.Start()()
+	e.met.linearTotal.Inc()
+	tr := e.tracer.StartTrace("linear_scan")
+	defer tr.Finish()
+	tr.Annotate("k", strconv.Itoa(req.K))
+	annotateLifecycle(tr, req)
+	z, err := e.standardizeQuery(req.Values)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	best, err := e.linearScanStandardized(z, req.K, g)
+	if err != nil {
+		return nil, err
+	}
+	truncated := g.Truncated()
+	annotateOutcome(tr, truncated)
+	return &Response{Kind: req.Kind, Neighbors: best, Truncated: truncated}, nil
+}
+
+func (e *Engine) queryDTW(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
+	defer e.met.dtwLat.Start()()
+	e.met.dtwTotal.Inc()
+	tr := e.tracer.StartTrace("similar_dtw")
+	defer tr.Finish()
+	tr.Annotate("id", strconv.Itoa(req.ID))
+	tr.Annotate("band", strconv.Itoa(req.Band))
+	tr.Annotate("k", strconv.Itoa(req.K))
+	annotateLifecycle(tr, req)
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	// The collection build is a full pass of store reads; a context-aware
+	// store view makes it abort promptly on cancellation. Budget accounting
+	// happens inside the gated DTW cascade, whose LB phase touches the same
+	// n candidates.
+	store := seqstore.WithContext(ctx, e.store)
+	z, err := store.Get(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	collection := make([][]float64, 0, e.store.Len()-1)
+	ids := make([]int, 0, e.store.Len()-1)
+	for other := 0; other < e.store.Len(); other++ {
+		if other == req.ID {
+			continue
+		}
+		v, err := store.Get(other)
+		if err != nil {
+			return nil, err
+		}
+		collection = append(collection, v)
+		ids = append(ids, other)
+	}
+	res, _, truncated, err := dtw.SearchKLimited(collection, z, req.Band, req.K, g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(res))
+	for i, r := range res {
+		out[i] = Neighbor{ID: ids[r.Index], Name: e.nameLocked(ids[r.Index]), Dist: r.Dist}
+	}
+	annotateOutcome(tr, truncated)
+	return &Response{Kind: req.Kind, Neighbors: out, Truncated: truncated}, nil
+}
+
+func (e *Engine) querySimilarPeriods(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
+	relTol := req.RelTol
+	if relTol <= 0 {
+		relTol = 0.05
+	}
+	tr := e.tracer.StartTrace("similar_by_periods")
+	defer tr.Finish()
+	tr.Annotate("id", strconv.Itoa(req.ID))
+	tr.Annotate("k", strconv.Itoa(req.K))
+	annotateLifecycle(tr, req)
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	store := seqstore.WithContext(ctx, e.store)
+	z, err := store.Get(req.ID)
+	if err != nil {
+		return nil, err
+	}
+	hq, err := spectral.FromValues(z)
+	if err != nil {
+		return nil, err
+	}
+	bins := hq.BinsForPeriods(req.Periods, relTol)
+	if len(bins) == 0 {
+		return nil, fmt.Errorf("core: no spectral bins within ±%.0f%% of periods %v", 100*relTol, req.Periods)
+	}
+	best := make([]Neighbor, 0, req.K+1)
+	buf := make([]float64, e.SeqLen())
+	for other := 0; other < e.store.Len(); other++ {
+		if other == req.ID {
+			continue
+		}
+		if ok, gerr := g.Visit(); gerr != nil {
+			return nil, gerr
+		} else if !ok {
+			break // budget exhausted: keep the best-so-far prefix
+		}
+		if err := store.GetInto(other, buf); err != nil {
+			return nil, err
+		}
+		ho, err := spectral.FromValues(buf)
+		if err != nil {
+			return nil, err
+		}
+		d, err := spectral.MaskedDistance(hq, ho, bins)
+		if err != nil {
+			return nil, err
+		}
+		best = insertNeighbor(best, Neighbor{ID: other, Name: e.nameLocked(other), Dist: d}, req.K)
+	}
+	truncated := g.Truncated()
+	annotateOutcome(tr, truncated)
+	return &Response{Kind: req.Kind, Neighbors: best, Truncated: truncated}, nil
+}
+
+func (e *Engine) queryBurst(_ context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
+	if req.Kind == KindBurst {
+		det, err := e.Bursts(req.Values, req.Window) // stateless, pre-lock
+		if err != nil {
+			return nil, err
+		}
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		matches, truncated, err := e.queryBursts(e.filterBursts(det), req.K, -1, req.Window, g)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Kind: req.Kind, Matches: matches, Truncated: truncated}, nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	matches, truncated, err := e.queryBursts(e.burstsOfLocked(req.ID, req.Window), req.K, int64(req.ID), req.Window, g)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Kind: req.Kind, Matches: matches, Truncated: truncated}, nil
+}

@@ -1,25 +1,44 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
+	"repro/internal/admit"
 	"repro/internal/vptree"
 )
 
-// SearchResponse is the JSON body served by SearchHandler.
+// SearchSchemaVersion is the schema_version stamped on every /v1/search
+// response. Consumers should reject versions they do not understand.
+const SearchSchemaVersion = 1
+
+// SearchResponse is the JSON body served by the search endpoints
+// (schema_version 1).
 type SearchResponse struct {
+	// SchemaVersion identifies this response layout (currently 1).
+	SchemaVersion int `json:"schema_version"`
 	// Query and ID identify the indexed series the search ran for.
 	Query string `json:"query"`
 	ID    int    `json:"id"`
-	// Mode is "similar", "linear" or "qbb".
+	// Mode is the search family: similar, linear, dtw, periods or qbb.
 	Mode string `json:"mode"`
 	K    int    `json:"k"`
 	// Window is set for qbb searches ("short(7d)" or "long(30d)").
-	Window  string         `json:"window,omitempty"`
-	Results []SearchResult `json:"results"`
+	Window string `json:"window,omitempty"`
+	// Truncated reports that the request's budget expired mid-search and
+	// Results is the best-so-far partial answer.
+	Truncated bool `json:"truncated"`
+	// DeadlineMS echoes the request's deadline_ms budget (0 = none).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// QueueWaitMS is the time the request spent in the admission queue.
+	QueueWaitMS float64        `json:"queue_wait_ms,omitempty"`
+	Results     []SearchResult `json:"results"`
 	// Stats reports the index work of a "similar" search.
 	Stats *vptree.Stats `json:"stats,omitempty"`
 }
@@ -28,31 +47,39 @@ type SearchResponse struct {
 type SearchResult struct {
 	ID   int    `json:"id"`
 	Name string `json:"name"`
-	// Dist is the Euclidean distance (similar/linear modes).
+	// Dist is the distance (similar/linear/dtw/periods modes).
 	Dist float64 `json:"dist,omitempty"`
 	// Score is the BSim similarity (qbb mode).
 	Score float64 `json:"score,omitempty"`
 }
 
-// SearchHandler serves similarity and query-by-burst searches over HTTP,
-// intended to be mounted at /search on the obs debug surface (see
-// cmd/s2 -debug-addr). Parameters:
+// V1SearchHandler serves every search family over HTTP at /v1/search,
+// mapping each request 1:1 onto a core.Request served by Engine.Query.
+// Parameters:
 //
-//	q       query term (required; must be an indexed series)
-//	k       neighbours to return (default 5)
-//	mode    similar (default) | linear | qbb
-//	window  short (default) | long   (qbb only)
+//	q            query term (required; must be an indexed series)
+//	k            results to return (default 5)
+//	mode         similar (default) | linear | dtw | periods | qbb
+//	window       short (default) | long                  (qbb only)
+//	band         Sakoe–Chiba band radius in days, default 7  (dtw only)
+//	period       comma-separated period lengths in days  (periods only)
+//	rel_tol      relative bin tolerance, default 0.05    (periods only)
+//	deadline_ms  wall-clock budget; on expiry the best-so-far answer is
+//	             returned with "truncated": true
+//	max_nodes    budget on traversal/scan units (see Budget.MaxNodeVisits)
+//	max_exact    budget on exact distance computations
 //
-// Every request runs through the engine's public entry points, so requests
-// are served concurrently under the engine's read lock and interleave
-// safely with Add.
-func SearchHandler(e *Engine) http.Handler {
+// The request's context flows into the engine, so a client hanging up
+// aborts the search mid-traversal. When mounted behind admit.Middleware the
+// time spent queued for admission is reported as queue_wait_ms.
+func V1SearchHandler(e *Engine) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			httpError(w, http.StatusMethodNotAllowed, "GET only")
 			return
 		}
-		name := r.URL.Query().Get("q")
+		q := r.URL.Query()
+		name := q.Get("q")
 		if name == "" {
 			httpError(w, http.StatusBadRequest, "missing q parameter")
 			return
@@ -63,7 +90,7 @@ func SearchHandler(e *Engine) http.Handler {
 			return
 		}
 		k := 5
-		if ks := r.URL.Query().Get("k"); ks != "" {
+		if ks := q.Get("k"); ks != "" {
 			v, err := strconv.Atoi(ks)
 			if err != nil || v < 1 {
 				httpError(w, http.StatusBadRequest, "k must be a positive integer")
@@ -71,65 +98,108 @@ func SearchHandler(e *Engine) http.Handler {
 			}
 			k = v
 		}
-		resp := &SearchResponse{Query: name, ID: id, K: k}
-		mode := r.URL.Query().Get("mode")
+		budget, err := parseBudget(q)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		mode := q.Get("mode")
 		if mode == "" {
 			mode = "similar"
 		}
-		resp.Mode = mode
+		resp := &SearchResponse{
+			SchemaVersion: SearchSchemaVersion,
+			Query:         name, ID: id, Mode: mode, K: k,
+			DeadlineMS:  budget.Deadline.Milliseconds(),
+			QueueWaitMS: float64(admit.QueueWaitFrom(r.Context())) / float64(time.Millisecond),
+		}
+		req := Request{ID: id, K: k, Budget: budget,
+			QueueWait: admit.QueueWaitFrom(r.Context())}
+
+		filterSelf := false
 		switch mode {
 		case "similar":
-			nbs, st, err := e.SimilarToID(id, k)
-			if err != nil {
-				httpError(w, http.StatusInternalServerError, err.Error())
-				return
-			}
-			resp.Stats = &st
-			for _, n := range nbs {
-				resp.Results = append(resp.Results, SearchResult{ID: n.ID, Name: n.Name, Dist: n.Dist})
-			}
+			req.Kind = KindSimilarID
 		case "linear":
+			// The linear baseline searches by values, so the query series
+			// itself is its own nearest neighbour: ask for one extra result
+			// and drop it.
 			s, err := e.Series(id)
 			if err != nil {
 				httpError(w, http.StatusInternalServerError, err.Error())
 				return
 			}
-			nbs, err := e.LinearScan(s.Values, k+1)
+			req.Kind, req.Values, req.K = KindLinear, s.Values, k+1
+			filterSelf = true
+		case "dtw":
+			req.Kind, req.Band = KindDTW, 7
+			if bs := q.Get("band"); bs != "" {
+				v, err := strconv.Atoi(bs)
+				if err != nil || v < 0 {
+					httpError(w, http.StatusBadRequest, "band must be a non-negative integer")
+					return
+				}
+				req.Band = v
+			}
+		case "periods":
+			req.Kind = KindSimilarPeriods
+			req.Periods, err = parsePeriods(q.Get("period"))
 			if err != nil {
-				httpError(w, http.StatusInternalServerError, err.Error())
+				httpError(w, http.StatusBadRequest, err.Error())
 				return
 			}
-			for _, n := range nbs {
-				if n.ID == id {
-					continue
+			if rt := q.Get("rel_tol"); rt != "" {
+				v, err := strconv.ParseFloat(rt, 64)
+				if err != nil || v <= 0 {
+					httpError(w, http.StatusBadRequest, "rel_tol must be a positive number")
+					return
 				}
-				if len(resp.Results) == k {
-					break
-				}
-				resp.Results = append(resp.Results, SearchResult{ID: n.ID, Name: n.Name, Dist: n.Dist})
+				req.RelTol = v
 			}
 		case "qbb":
-			win := Short
-			switch r.URL.Query().Get("window") {
+			req.Kind = KindBurstID
+			switch q.Get("window") {
 			case "", "short":
+				req.Window = Short
 			case "long":
-				win = Long
+				req.Window = Long
 			default:
 				httpError(w, http.StatusBadRequest, "window must be short or long")
 				return
 			}
-			resp.Window = win.String()
-			matches, err := e.QueryByBurstOf(id, k, win)
-			if err != nil {
-				httpError(w, http.StatusInternalServerError, err.Error())
+			resp.Window = req.Window.String()
+		default:
+			httpError(w, http.StatusBadRequest, "mode must be similar, linear, dtw, periods or qbb")
+			return
+		}
+
+		out, err := e.Query(r.Context(), req)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// The client hung up (or the middleware's context expired):
+				// nothing useful to send, but status the abort anyway.
+				httpError(w, http.StatusServiceUnavailable, err.Error())
 				return
 			}
-			for _, m := range matches {
-				resp.Results = append(resp.Results, SearchResult{ID: m.ID, Name: m.Name, Score: m.Score})
-			}
-		default:
-			httpError(w, http.StatusBadRequest, "mode must be similar, linear or qbb")
+			httpError(w, http.StatusInternalServerError, err.Error())
 			return
+		}
+		resp.Truncated = out.Truncated
+		if mode == "similar" {
+			st := out.Stats
+			resp.Stats = &st
+		}
+		for _, n := range out.Neighbors {
+			if filterSelf && n.ID == id {
+				continue
+			}
+			if len(resp.Results) == k {
+				break
+			}
+			resp.Results = append(resp.Results, SearchResult{ID: n.ID, Name: n.Name, Dist: n.Dist})
+		}
+		for _, m := range out.Matches {
+			resp.Results = append(resp.Results, SearchResult{ID: m.ID, Name: m.Name, Score: m.Score})
 		}
 		if resp.Results == nil {
 			resp.Results = []SearchResult{}
@@ -139,6 +209,70 @@ func SearchHandler(e *Engine) http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(resp) //nolint:errcheck // best-effort debug output
 	})
+}
+
+// SearchHandler serves the legacy /search endpoint.
+//
+// Deprecated: mount V1SearchHandler at /v1/search. This alias serves the
+// same v1 schema (a superset of the historical response) and advertises its
+// replacement with a Deprecation header on every response.
+func SearchHandler(e *Engine) http.Handler {
+	v1 := V1SearchHandler(e)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/search>; rel="successor-version"`)
+		v1.ServeHTTP(w, r)
+	})
+}
+
+// parseBudget extracts the optional budget parameters.
+func parseBudget(q map[string][]string) (Budget, error) {
+	var b Budget
+	get := func(key string) string {
+		if vs := q[key]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	if ds := get("deadline_ms"); ds != "" {
+		v, err := strconv.ParseInt(ds, 10, 64)
+		if err != nil || v < 1 {
+			return b, errors.New("deadline_ms must be a positive integer")
+		}
+		b.Deadline = time.Duration(v) * time.Millisecond
+	}
+	if ns := get("max_nodes"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 1 {
+			return b, errors.New("max_nodes must be a positive integer")
+		}
+		b.MaxNodeVisits = v
+	}
+	if es := get("max_exact"); es != "" {
+		v, err := strconv.Atoi(es)
+		if err != nil || v < 1 {
+			return b, errors.New("max_exact must be a positive integer")
+		}
+		b.MaxExactDistances = v
+	}
+	return b, nil
+}
+
+// parsePeriods parses the comma-separated period list of mode=periods.
+func parsePeriods(s string) ([]float64, error) {
+	if s == "" {
+		return nil, errors.New("mode=periods requires a period parameter (comma-separated days)")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad period %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/querylog"
+)
+
+func doSearch(t *testing.T, h http.Handler, url string) (*httptest.ResponseRecorder, *SearchResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		return rec, nil
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	return rec, &resp
+}
+
+func TestV1SearchSchema(t *testing.T) {
+	e, _ := buildEngine(t, 30, Config{}, 1)
+	h := V1SearchHandler(e)
+
+	rec, resp := doSearch(t, h, "/v1/search?q="+querylog.Cinema+"&k=3")
+	if resp == nil {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.SchemaVersion != SearchSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", resp.SchemaVersion, SearchSchemaVersion)
+	}
+	if resp.Mode != "similar" || resp.K != 3 || len(resp.Results) != 3 {
+		t.Errorf("mode=%q k=%d results=%d", resp.Mode, resp.K, len(resp.Results))
+	}
+	if resp.Stats == nil {
+		t.Error("similar mode must report index stats")
+	}
+	if resp.Truncated {
+		t.Error("unbudgeted search reported truncated")
+	}
+	id, _ := e.Lookup(querylog.Cinema)
+	for _, r := range resp.Results {
+		if r.ID == id {
+			t.Error("self returned as its own neighbour")
+		}
+	}
+}
+
+func TestV1SearchModes(t *testing.T) {
+	e, _ := buildEngine(t, 30, Config{}, 2)
+	h := V1SearchHandler(e)
+	for _, url := range []string{
+		"/v1/search?q=" + querylog.Cinema + "&mode=linear&k=3",
+		"/v1/search?q=" + querylog.Cinema + "&mode=dtw&k=2&band=5",
+		"/v1/search?q=" + querylog.Cinema + "&mode=periods&k=3&period=7",
+		"/v1/search?q=" + querylog.Cinema + "&mode=qbb&window=long&k=3",
+	} {
+		rec, resp := doSearch(t, h, url)
+		if resp == nil {
+			t.Errorf("%s: status %d: %s", url, rec.Code, rec.Body.String())
+			continue
+		}
+		if len(resp.Results) == 0 && resp.Mode != "qbb" {
+			t.Errorf("%s: no results", url)
+		}
+		id, _ := e.Lookup(querylog.Cinema)
+		for _, r := range resp.Results {
+			if r.ID == id {
+				t.Errorf("%s: self returned", url)
+			}
+		}
+	}
+}
+
+func TestV1SearchRejectsBadParams(t *testing.T) {
+	e, _ := buildEngine(t, 10, Config{}, 3)
+	h := V1SearchHandler(e)
+	for url, want := range map[string]int{
+		"/v1/search":        http.StatusBadRequest, // missing q
+		"/v1/search?q=nope": http.StatusNotFound,
+		"/v1/search?q=" + querylog.Cinema + "&k=0":                 http.StatusBadRequest,
+		"/v1/search?q=" + querylog.Cinema + "&mode=wat":            http.StatusBadRequest,
+		"/v1/search?q=" + querylog.Cinema + "&mode=qbb&window=wat": http.StatusBadRequest,
+		"/v1/search?q=" + querylog.Cinema + "&mode=periods":        http.StatusBadRequest, // missing period
+		"/v1/search?q=" + querylog.Cinema + "&deadline_ms=-5":      http.StatusBadRequest,
+		"/v1/search?q=" + querylog.Cinema + "&max_nodes=zero":      http.StatusBadRequest,
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != want {
+			t.Errorf("%s: status = %d, want %d", url, rec.Code, want)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/search?q=x", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", rec.Code)
+	}
+}
+
+func TestV1SearchBudgetTruncation(t *testing.T) {
+	e, _ := buildEngine(t, 40, Config{Workers: 1}, 4)
+	h := V1SearchHandler(e)
+	rec, resp := doSearch(t, h, "/v1/search?q="+querylog.Cinema+"&mode=linear&k=3&max_nodes=5")
+	if resp == nil {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !resp.Truncated {
+		t.Error("5-row budget over a 40+-series scan must truncate")
+	}
+	_, resp = doSearch(t, h, "/v1/search?q="+querylog.Cinema+"&k=3&deadline_ms=2000")
+	if resp == nil || resp.DeadlineMS != 2000 {
+		t.Errorf("deadline_ms not echoed: %+v", resp)
+	}
+}
+
+func TestV1SearchReportsQueueWait(t *testing.T) {
+	e, _ := buildEngine(t, 10, Config{}, 5)
+	h := V1SearchHandler(e)
+	req := httptest.NewRequest(http.MethodGet, "/v1/search?q="+querylog.Cinema, nil)
+	req = req.WithContext(admit.WithQueueWait(req.Context(), 5*time.Millisecond))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.QueueWaitMS != 5 {
+		t.Errorf("queue_wait_ms = %v, want 5", resp.QueueWaitMS)
+	}
+}
+
+// TestSearchAliasDeprecation pins the migration contract: /search keeps
+// serving the v1 schema while advertising its replacement.
+func TestSearchAliasDeprecation(t *testing.T) {
+	e, _ := buildEngine(t, 20, Config{}, 6)
+	h := SearchHandler(e)
+	rec, resp := doSearch(t, h, "/search?q="+querylog.Cinema+"&k=2")
+	if resp == nil {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Deprecation") != "true" {
+		t.Error("alias must send a Deprecation header")
+	}
+	if rec.Header().Get("Link") != `</v1/search>; rel="successor-version"` {
+		t.Errorf("Link = %q", rec.Header().Get("Link"))
+	}
+	if resp.SchemaVersion != SearchSchemaVersion || len(resp.Results) != 2 {
+		t.Errorf("alias response diverged: %+v", resp)
+	}
+}
+
+// TestV1SearchUnderSaturation is the end-to-end admission acceptance
+// criterion: with the handler mounted behind the middleware, saturation
+// sheds 429/503 and the registry exposes the queue metrics.
+func TestV1SearchUnderSaturation(t *testing.T) {
+	e, _ := buildEngine(t, 20, Config{Obs: nil}, 7)
+	ac := admit.New(admit.Options{MaxInFlight: 1, MaxQueue: 1, MaxWait: 20 * time.Millisecond}, nil)
+	release, _, err := ac.Acquire(httptest.NewRequest(http.MethodGet, "/", nil).Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	h := admit.Middleware(ac, V1SearchHandler(e))
+
+	// The slot is held externally; this request queues and times out: 503.
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/search?q="+querylog.Cinema, nil))
+	}()
+	// Wait until it occupies the queue, then overflow it: 429.
+	deadline := time.Now().Add(2 * time.Second)
+	for ac.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	over := httptest.NewRecorder()
+	h.ServeHTTP(over, httptest.NewRequest(http.MethodGet, "/v1/search?q="+querylog.Cinema, nil))
+	if over.Code != http.StatusTooManyRequests {
+		t.Errorf("overflow status = %d, want 429", over.Code)
+	}
+	<-done
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("queued status = %d, want 503", rec.Code)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 	"slices"
 
+	"repro/internal/lifecycle"
 	"repro/internal/series"
 )
 
@@ -214,25 +215,51 @@ func Search(collection [][]float64, query []float64, r int) (Result, Stats, erro
 // SearchK returns the k nearest neighbours of query under banded DTW,
 // sorted by increasing distance, with the same bound cascade as Search.
 func SearchK(collection [][]float64, query []float64, r, k int) ([]Result, Stats, error) {
+	res, st, _, err := searchK(collection, query, r, k, nil)
+	return res, st, err
+}
+
+// SearchKLimited is SearchK under a request-lifecycle gate: each LB_Keogh
+// evaluation is a gated scan unit and each exact DTW a gated refinement
+// unit, so cancellation aborts within a bounded number of distance
+// computations and budget exhaustion returns the best-so-far neighbours
+// with truncated=true. A nil gate makes it identical to SearchK.
+func SearchKLimited(collection [][]float64, query []float64, r, k int, g *lifecycle.Gate) ([]Result, Stats, bool, error) {
+	return searchK(collection, query, r, k, g)
+}
+
+func searchK(collection [][]float64, query []float64, r, k int, g *lifecycle.Gate) ([]Result, Stats, bool, error) {
 	var st Stats
 	if len(collection) == 0 {
-		return nil, st, errors.New("dtw: empty collection")
+		return nil, st, false, errors.New("dtw: empty collection")
 	}
 	if k < 1 {
-		return nil, st, errors.New("dtw: k must be >= 1")
+		return nil, st, false, errors.New("dtw: k must be >= 1")
+	}
+	if err := g.Check(); err != nil {
+		return nil, st, false, err
 	}
 	env, err := NewEnvelope(query, r)
 	if err != nil {
-		return nil, st, err
+		return nil, st, false, err
 	}
 	cands := make([]lbCand, 0, len(collection))
 	for i, x := range collection {
+		if ok, gerr := g.Visit(); gerr != nil {
+			return nil, st, false, gerr
+		} else if !ok {
+			break // budget exhausted: rank only the candidates bounded so far
+		}
 		lb, err := LBKeogh(env, x)
 		if err != nil {
-			return nil, st, err
+			return nil, st, false, err
 		}
 		st.LBComputed++
 		cands = append(cands, lbCand{idx: i, lb: lb})
+	}
+	// See vptree: a truncated filter phase still refines up to k candidates.
+	if g.Truncated() {
+		g.Grace(k)
 	}
 	// Increasing-LB order: tightest candidates first.
 	slices.SortFunc(cands, func(a, b lbCand) int {
@@ -251,6 +278,11 @@ func SearchK(collection [][]float64, query []float64, r, k int) ([]Result, Stats
 		if len(best) >= k && c.lb >= worst {
 			break // every later candidate is bounded even further away
 		}
+		if ok, gerr := g.Exact(); gerr != nil {
+			return nil, st, false, gerr
+		} else if !ok {
+			break // budget exhausted: keep the neighbours refined so far
+		}
 		st.FullDTW++
 		bound := math.Inf(1)
 		if len(best) >= k {
@@ -258,7 +290,7 @@ func SearchK(collection [][]float64, query []float64, r, k int) ([]Result, Stats
 		}
 		d, abandoned, err := DistanceEarlyAbandon(collection[c.idx], query, r, bound)
 		if err != nil {
-			return nil, st, err
+			return nil, st, false, err
 		}
 		if abandoned {
 			st.Abandoned++
@@ -279,7 +311,7 @@ func SearchK(collection [][]float64, query []float64, r, k int) ([]Result, Stats
 			worst = best[len(best)-1].Dist
 		}
 	}
-	return best, st, nil
+	return best, st, g.Truncated(), nil
 }
 
 // lbCand pairs a candidate index with its LB_Keogh value.

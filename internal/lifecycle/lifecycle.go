@@ -1,0 +1,247 @@
+// Package lifecycle is the per-request enforcement point for cancellation
+// and work budgets. Every search family (vptree traversal, MVP-tree
+// traversal, sharded linear scan, DTW cascade, burst-overlap probes) drives
+// its inner loop through a *Gate, so one package decides uniformly when a
+// query must stop — and whether stopping is an abort (the caller hung up:
+// return ctx.Err()) or a graceful truncation (a budget ran out: return the
+// best-so-far answer flagged Truncated).
+//
+// The distinction follows Echihabi et al. (VLDB 2020): time/work budgets
+// trade answer quality for latency and must yield a usable partial answer,
+// while cancellation means nobody is waiting for the result at all.
+//
+// Gates are deliberately cheap: context and deadline checks are amortized
+// over checkStride accounting events, so the per-node overhead of a gated
+// search is an integer decrement. A nil *Gate is valid everywhere and means
+// "unlimited" — zero overhead on legacy paths.
+package lifecycle
+
+import (
+	"context"
+	"time"
+)
+
+// Limits bounds the work a single request may perform. The zero value means
+// unlimited.
+type Limits struct {
+	// Deadline is the absolute wall-clock instant after which the search
+	// truncates (zero = none). Deadline expiry is graceful: the search
+	// returns its best-so-far answer, it does not error.
+	Deadline time.Time
+	// MaxNodes caps accounting units of traversal/scan work: tree nodes
+	// visited, rows scanned, bursts probed (0 = unlimited).
+	MaxNodes int
+	// MaxExact caps exact distance computations during refinement
+	// (0 = unlimited). Unlike Deadline/MaxNodes truncation, this cap is
+	// never exceeded, even by the post-truncation refinement grace.
+	MaxExact int
+}
+
+// zero reports whether the limits impose no bound at all.
+func (l Limits) zero() bool {
+	return l.Deadline.IsZero() && l.MaxNodes <= 0 && l.MaxExact <= 0
+}
+
+// checkStride is how many accounting events pass between context/deadline
+// checks. An expired context therefore aborts within checkStride node
+// visits, and a deadline overshoots by at most checkStride units of work.
+const checkStride = 8
+
+// Gate enforces Limits and context cancellation for one request. It is NOT
+// safe for concurrent use: each worker of a sharded scan gets its own child
+// gate via Split. All methods are nil-safe; a nil gate admits everything.
+type Gate struct {
+	ctx       context.Context // nil ⇒ never cancelled
+	deadline  time.Time
+	maxNodes  int
+	maxExact  int
+	nodes     int
+	exact     int
+	credit    int // events until the next ctx/deadline check
+	grace     int // Exact allowances that ignore truncation (see Grace)
+	truncated bool
+}
+
+// NewGate builds a gate for one request. It returns nil — the unlimited
+// gate — when ctx can never be cancelled and lim is zero, so ungated legacy
+// paths stay allocation-free. The first accounting event always checks the
+// context, which is what makes an already-expired context abort in O(1)
+// node visits even without an entry-point pre-check.
+func NewGate(ctx context.Context, lim Limits) *Gate {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
+	if ctx == nil && lim.zero() {
+		return nil
+	}
+	return &Gate{
+		ctx:      ctx,
+		deadline: lim.Deadline,
+		maxNodes: lim.MaxNodes,
+		maxExact: lim.MaxExact,
+		credit:   1, // check on the very first event
+	}
+}
+
+// Visit accounts one unit of traversal/scan work (a tree node, a scanned
+// row, a probed burst). It returns (false, err) when the request's context
+// is done — abort and propagate err — and (false, nil) when a budget is
+// exhausted — stop and return the best-so-far answer (Truncated reports
+// true afterwards).
+func (g *Gate) Visit() (bool, error) {
+	if g == nil {
+		return true, nil
+	}
+	if g.truncated {
+		return false, nil
+	}
+	if g.maxNodes > 0 && g.nodes >= g.maxNodes {
+		g.truncated = true
+		return false, nil
+	}
+	g.nodes++
+	return g.tick()
+}
+
+// Exact accounts one exact distance computation during refinement. The
+// return contract matches Visit. While a Grace allowance is outstanding,
+// budget truncation is ignored (cancellation is not) so a truncated
+// traversal can still refine a bounded number of candidates; the explicit
+// MaxExact cap always wins over grace.
+func (g *Gate) Exact() (bool, error) {
+	if g == nil {
+		return true, nil
+	}
+	if g.maxExact > 0 && g.exact >= g.maxExact {
+		g.truncated = true
+		return false, nil
+	}
+	g.exact++
+	if g.grace > 0 {
+		g.grace--
+		if g.ctx != nil {
+			if err := g.ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	if g.truncated {
+		return false, nil
+	}
+	return g.tick()
+}
+
+// tick runs the amortized context/deadline check.
+func (g *Gate) tick() (bool, error) {
+	g.credit--
+	if g.credit > 0 {
+		return true, nil
+	}
+	g.credit = checkStride
+	if g.ctx != nil {
+		if err := g.ctx.Err(); err != nil {
+			return false, err
+		}
+	}
+	if !g.deadline.IsZero() && time.Now().After(g.deadline) {
+		g.truncated = true
+		return false, nil
+	}
+	return true, nil
+}
+
+// Check runs an immediate context check (no work accounting, no stride).
+// Entry points call it before taking locks so an already-expired context
+// never reaches a search at all.
+func (g *Gate) Check() error {
+	if g == nil || g.ctx == nil {
+		return nil
+	}
+	return g.ctx.Err()
+}
+
+// Grace grants n further Exact allowances that ignore Deadline/MaxNodes
+// truncation. A search whose traversal truncated calls Grace(k) before
+// refinement so the caller receives up to k genuinely refined best-so-far
+// neighbors instead of an empty answer; the overrun is bounded by k exact
+// distances. Cancellation and MaxExact still apply during grace.
+func (g *Gate) Grace(n int) {
+	if g == nil || n <= 0 {
+		return
+	}
+	g.grace += n
+}
+
+// Truncated reports whether any budget (deadline, node, or exact-distance
+// cap) stopped the search early. It never reports true for cancellation.
+func (g *Gate) Truncated() bool { return g != nil && g.truncated }
+
+// Nodes returns the accounted traversal/scan units (0 on the nil gate).
+func (g *Gate) Nodes() int {
+	if g == nil {
+		return 0
+	}
+	return g.nodes
+}
+
+// ExactDistances returns the accounted exact computations.
+func (g *Gate) ExactDistances() int {
+	if g == nil {
+		return 0
+	}
+	return g.exact
+}
+
+// Split divides the remaining budget across n workers of a sharded scan,
+// returning one child gate per worker (all nil when g is nil). Node and
+// exact caps are split ceiling-wise so the aggregate work stays within
+// roughly the requested budget; deadline and context are shared. Children
+// are independent — merge their outcomes with Absorb.
+func (g *Gate) Split(n int) []*Gate {
+	if n < 1 {
+		n = 1
+	}
+	kids := make([]*Gate, n)
+	if g == nil {
+		return kids
+	}
+	share := func(total, used int) int {
+		if total <= 0 {
+			return 0
+		}
+		rem := total - used
+		if rem < 1 {
+			rem = 1 // keep the cap meaningful: each child may do ≥1 unit
+		}
+		return (rem + n - 1) / n
+	}
+	for i := range kids {
+		kids[i] = &Gate{
+			ctx:      g.ctx,
+			deadline: g.deadline,
+			maxNodes: share(g.maxNodes, g.nodes),
+			maxExact: share(g.maxExact, g.exact),
+			credit:   1,
+		}
+	}
+	return kids
+}
+
+// Absorb folds child gates (from Split) back into g: work counters are
+// summed and truncation is sticky if any child truncated.
+func (g *Gate) Absorb(children ...*Gate) {
+	if g == nil {
+		return
+	}
+	for _, c := range children {
+		if c == nil {
+			continue
+		}
+		g.nodes += c.nodes
+		g.exact += c.exact
+		if c.truncated {
+			g.truncated = true
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"slices"
 
+	"repro/internal/lifecycle"
 	"repro/internal/seqstore"
 	"repro/internal/series"
 	"repro/internal/spectral"
@@ -19,6 +20,7 @@ type vpBound struct {
 type searcher struct {
 	t       *Tree
 	ctx     *spectral.QueryContext
+	g       *lifecycle.Gate // nil ⇒ unlimited
 	k       int
 	st      *Stats
 	cands   []candidate
@@ -37,23 +39,43 @@ type candidate struct {
 // Search returns the k nearest neighbours of query, refining candidates
 // against store. The feature table is in-memory (t.Features()).
 func (t *Tree) Search(query []float64, k int, store seqstore.Store) ([]Result, Stats, error) {
+	res, st, _, err := t.search(query, k, store, nil)
+	return res, st, err
+}
+
+// SearchLimited is Search under a request-lifecycle gate: cancellation
+// aborts at node-visit granularity, budget exhaustion truncates gracefully
+// (best-so-far neighbours, truncated=true). A nil gate makes it identical
+// to Search.
+func (t *Tree) SearchLimited(query []float64, k int, store seqstore.Store, g *lifecycle.Gate) ([]Result, Stats, bool, error) {
+	return t.search(query, k, store, g)
+}
+
+func (t *Tree) search(query []float64, k int, store seqstore.Store, g *lifecycle.Gate) ([]Result, Stats, bool, error) {
 	var st Stats
 	if k < 1 {
-		return nil, st, errors.New("mvptree: k must be >= 1")
+		return nil, st, false, errors.New("mvptree: k must be >= 1")
 	}
 	if len(query) != t.seqLen {
-		return nil, st, spectral.ErrMismatch
+		return nil, st, false, spectral.ErrMismatch
+	}
+	if err := g.Check(); err != nil {
+		return nil, st, false, err
 	}
 	hq, err := spectral.FromValues(query)
 	if err != nil {
-		return nil, st, err
+		return nil, st, false, err
 	}
 	s := &searcher{
-		t: t, ctx: spectral.NewQueryContext(hq), k: k, st: &st,
+		t: t, ctx: spectral.NewQueryContext(hq), g: g, k: k, st: &st,
 		sigmaUB: math.Inf(1),
 	}
 	if err := s.visit(t.root); err != nil {
-		return nil, st, err
+		return nil, st, false, err
+	}
+	// See vptree: a truncated traversal still refines up to k candidates.
+	if g.Truncated() {
+		g.Grace(k)
 	}
 
 	sub := s.sigmaUB
@@ -73,8 +95,13 @@ func (t *Tree) Search(query []float64, k int, store seqstore.Store) ([]Result, S
 		if len(results) >= k && c.lb > worst {
 			break
 		}
+		if ok, gerr := g.Exact(); gerr != nil {
+			return nil, st, false, gerr
+		} else if !ok {
+			break // budget exhausted: keep the neighbours refined so far
+		}
 		if err := store.GetInto(c.id, buf); err != nil {
-			return nil, st, fmt.Errorf("mvptree: refine id %d: %w", c.id, err)
+			return nil, st, false, fmt.Errorf("mvptree: refine id %d: %w", c.id, err)
 		}
 		st.FullRetrievals++
 		bound := math.Inf(1)
@@ -83,7 +110,7 @@ func (t *Tree) Search(query []float64, k int, store seqstore.Store) ([]Result, S
 		}
 		d, abandoned, err := series.EuclideanEarlyAbandon(query, buf, bound)
 		if err != nil {
-			return nil, st, err
+			return nil, st, false, err
 		}
 		if abandoned {
 			continue
@@ -93,7 +120,7 @@ func (t *Tree) Search(query []float64, k int, store seqstore.Store) ([]Result, S
 			worst = results[len(results)-1].Dist
 		}
 	}
-	return results, st, nil
+	return results, st, g.Truncated(), nil
 }
 
 func sortByLB(c []candidate) {
@@ -149,6 +176,13 @@ func (s *searcher) add(id int, lb, ub float64) {
 
 func (s *searcher) visit(nd *node) error {
 	if nd == nil {
+		return nil
+	}
+	// Lifecycle gate: cancellation aborts, budget exhaustion stops the
+	// descent (sticky) with the candidates collected so far.
+	if ok, err := s.g.Visit(); err != nil {
+		return err
+	} else if !ok {
 		return nil
 	}
 	s.st.NodesVisited++

@@ -1,0 +1,45 @@
+package seqstore
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestWithContextPassthroughForBackground(t *testing.T) {
+	m, _ := NewMemory(4)
+	if s := WithContext(context.Background(), m); s != Store(m) {
+		t.Fatal("Background context should not wrap the store")
+	}
+	if s := WithContext(nil, m); s != Store(m) { //nolint:staticcheck // nil ctx tolerated by design
+		t.Fatal("nil context should not wrap the store")
+	}
+}
+
+func TestWithContextFailsReadsAfterCancel(t *testing.T) {
+	m, _ := NewMemory(2)
+	if _, err := m.Append([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := WithContext(ctx, m)
+
+	if _, err := s.Get(0); err != nil {
+		t.Fatalf("Get before cancel: %v", err)
+	}
+	before := m.Reads()
+	cancel()
+	if _, err := s.Get(0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get after cancel = %v, want Canceled", err)
+	}
+	dst := make([]float64, 2)
+	if err := s.GetInto(0, dst); !errors.Is(err, context.Canceled) {
+		t.Fatalf("GetInto after cancel = %v, want Canceled", err)
+	}
+	if m.Reads() != before {
+		t.Fatal("cancelled reads must not reach the underlying store")
+	}
+	if s.Len() != 1 || s.SeqLen() != 2 {
+		t.Fatal("metadata methods must pass through")
+	}
+}

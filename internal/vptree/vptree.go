@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/lifecycle"
 	"repro/internal/seqstore"
 	"repro/internal/series"
 	"repro/internal/spectral"
@@ -532,7 +533,18 @@ type candidate struct {
 // features (pass t.Features() for the in-memory configuration or a
 // DiskFeatures for the on-disk one).
 func (t *Tree) Search(query []float64, k int, feats FeatureSource, store seqstore.Store) ([]Result, Stats, error) {
-	return t.search(query, k, feats, store, nil)
+	res, st, _, err := t.search(query, k, feats, store, nil, nil)
+	return res, st, err
+}
+
+// SearchLimited is Search under a request-lifecycle gate: cancellation is
+// checked at node-visit granularity (an expired context aborts with its
+// error within a bounded number of bound computations) and budget
+// exhaustion stops traversal gracefully, refining up to k collected
+// candidates and returning the best-so-far neighbours with truncated=true.
+// A nil gate makes it identical to Search.
+func (t *Tree) SearchLimited(query []float64, k int, feats FeatureSource, store seqstore.Store, g *lifecycle.Gate) (res []Result, st Stats, truncated bool, err error) {
+	return t.search(query, k, feats, store, g, nil)
 }
 
 // SearchExplain runs Search while additionally collecting a structured
@@ -549,22 +561,25 @@ func (t *Tree) SearchExplain(query []float64, k int, feats FeatureSource, store 
 		TreeSize:    t.n,
 		TreeHeight:  t.Height(),
 	}
-	res, st, err := t.search(query, k, feats, store, exp)
+	res, st, _, err := t.search(query, k, feats, store, nil, exp)
 	exp.Stats = st
 	return res, st, exp, err
 }
 
-func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstore.Store, exp *Explain) ([]Result, Stats, error) {
+func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstore.Store, g *lifecycle.Gate, exp *Explain) ([]Result, Stats, bool, error) {
 	var st Stats
 	if k < 1 {
-		return nil, st, errors.New("vptree: k must be >= 1")
+		return nil, st, false, errors.New("vptree: k must be >= 1")
 	}
 	if len(query) != t.seqLen {
-		return nil, st, spectral.ErrMismatch
+		return nil, st, false, spectral.ErrMismatch
+	}
+	if err := g.Check(); err != nil {
+		return nil, st, false, err
 	}
 	hq, err := spectral.FromValues(query)
 	if err != nil {
-		return nil, st, err
+		return nil, st, false, err
 	}
 
 	var phase time.Time
@@ -573,12 +588,18 @@ func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstor
 	}
 	// Phase 1: traverse, collecting candidates and shrinking σ_UB.
 	s := &searcher{
-		t: t, hq: hq, k: k, feats: feats, st: &st, exp: exp,
+		t: t, hq: hq, k: k, feats: feats, st: &st, exp: exp, g: g,
 		ctx:     spectral.NewQueryContext(hq),
 		sigmaUB: math.Inf(1),
 	}
 	if err := s.visit(t.root, 0); err != nil {
-		return nil, st, err
+		return nil, st, false, err
+	}
+	// A budget that expired during traversal still grants refinement of up
+	// to k collected candidates (bounded overrun), so a truncated search
+	// returns genuinely refined best-so-far neighbours instead of nothing.
+	if g.Truncated() {
+		g.Grace(k)
 	}
 
 	if exp != nil {
@@ -630,8 +651,13 @@ func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstor
 			}
 			break // every later candidate has an even larger lower bound
 		}
+		if ok, gerr := g.Exact(); gerr != nil {
+			return nil, st, false, gerr
+		} else if !ok {
+			break // budget exhausted: keep the neighbours refined so far
+		}
 		if err := store.GetInto(c.id, buf); err != nil {
-			return nil, st, fmt.Errorf("vptree: refine id %d: %w", c.id, err)
+			return nil, st, false, fmt.Errorf("vptree: refine id %d: %w", c.id, err)
 		}
 		st.FullRetrievals++
 		bound := best.worst()
@@ -641,7 +667,7 @@ func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstor
 		st.ExactDistances++
 		d, abandoned, err := series.EuclideanEarlyAbandon(query, buf, bound)
 		if err != nil {
-			return nil, st, err
+			return nil, st, false, err
 		}
 		if abandoned {
 			if exp != nil {
@@ -656,13 +682,14 @@ func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstor
 		exp.ExactDistances = st.ExactDistances
 		exp.RefineMS = float64(time.Since(phase)) / float64(time.Millisecond)
 	}
-	return best.sorted(), st, nil
+	return best.sorted(), st, g.Truncated(), nil
 }
 
 type searcher struct {
 	t       *Tree
 	hq      *spectral.HalfSpectrum
 	ctx     *spectral.QueryContext
+	g       *lifecycle.Gate // nil ⇒ unlimited
 	k       int
 	feats   FeatureSource
 	st      *Stats
@@ -741,6 +768,14 @@ func (s *searcher) lvl(depth int) *LevelExplain {
 
 func (s *searcher) visit(nd *node, depth int) error {
 	if nd == nil {
+		return nil
+	}
+	// Lifecycle gate: an expired context aborts the traversal with its
+	// error; an exhausted budget stops descending (sticky, so the unwind is
+	// O(depth)) and leaves the candidates collected so far for refinement.
+	if ok, err := s.g.Visit(); err != nil {
+		return err
+	} else if !ok {
 		return nil
 	}
 	s.st.NodesVisited++

@@ -1,0 +1,27 @@
+#!/bin/sh
+# api_check.sh enforces the context-first query API (run via `make api-check`).
+#
+# Every exported Engine method on the query surface — names starting with
+# Similar, Query, Batch, Linear, or Search — must take a context.Context as
+# its first parameter. The pre-context entry points below are frozen as
+# deprecated wrappers around Engine.Query; the list only ever shrinks.
+# New query surface either goes through Engine.Query(ctx, Request) or takes
+# a ctx directly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Frozen legacy allowlist. Do NOT add to it.
+ALLOW='BatchSearch|LinearScan|QueryByBurst|QueryByBurstExplained|QueryByBurstOf|QueryByBurstOfExplained|SimilarByPeriods|SimilarDTW|SimilarQueries|SimilarQueriesExplained|SimilarToID|SimilarToIDExplained'
+
+viol="$(grep -n -E 'func \(e \*Engine\) (Similar|Query|Batch|Linear|Search)[A-Za-z]*\(' internal/core/*.go |
+	grep -v -E "Engine\) ($ALLOW)\(" |
+	grep -v -E '\(ctx context\.Context' || true)"
+
+if [ -n "$viol" ]; then
+	echo "api-check: exported Engine query methods must take 'ctx context.Context' first:" >&2
+	echo "$viol" >&2
+	echo "(legacy pre-context wrappers are frozen in scripts/api_check.sh; do not extend the list)" >&2
+	exit 1
+fi
+echo "api-check: ok"
