@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-lostcancel api-check fmt check bench bench-record bench-smoke fuzz-smoke
+.PHONY: all build test race vet vet-lostcancel api-check fmt check bench bench-record bench-smoke fuzz-smoke profile profile-smoke
 
 all: check
 
@@ -58,3 +58,24 @@ bench-record:
 bench-smoke:
 	$(GO) run ./cmd/benchrec record -smoke -label smoke -o /tmp/BENCH_smoke.json
 	$(GO) run ./cmd/benchrec validate /tmp/BENCH_smoke.json
+
+# profile records the default workload with mutex/block/heap pprof capture
+# enabled; inspect with `go tool pprof profiles/mutex-profile-001.pprof`.
+PROFILE_DIR ?= profiles
+profile:
+	$(GO) run ./cmd/benchrec record -label profile -o /tmp/BENCH_profile.json -profile-dir $(PROFILE_DIR)
+
+# profile-smoke is the CI variant: tiny workload, assert every profile file
+# exists and is non-empty, validate the schema-v4 record, and exercise the
+# regression gate by comparing the record against itself.
+profile-smoke:
+	rm -rf /tmp/profile-smoke && mkdir -p /tmp/profile-smoke
+	$(GO) run ./cmd/benchrec record -smoke -label profsmoke -o /tmp/BENCH_profsmoke.json -profile-dir /tmp/profile-smoke
+	@for kind in mutex block heap; do \
+		f="$$(ls /tmp/profile-smoke/$$kind-*.pprof 2>/dev/null | head -n1)"; \
+		if [ -z "$$f" ] || [ ! -s "$$f" ]; then \
+			echo "missing or empty $$kind profile in /tmp/profile-smoke"; exit 1; fi; \
+		echo "ok: $$f ($$(wc -c < $$f) bytes)"; \
+	done
+	$(GO) run ./cmd/benchrec validate /tmp/BENCH_profsmoke.json
+	$(GO) run ./cmd/benchrec compare /tmp/BENCH_profsmoke.json /tmp/BENCH_profsmoke.json

@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	benchrec record [-label dev] [-o FILE] [-smoke] [-series N] [-queries Q] [-days D] [-seed S] [-budget B] [-k K] [-workers W]
+//	benchrec record [-label dev] [-o FILE] [-smoke] [-profile-dir DIR] [-series N] [-queries Q] [-days D] [-seed S] [-budget B] [-k K] [-workers W]
 //	benchrec compare [-tol 0.15] OLD.json NEW.json    # exit 1 on regression
 //	benchrec validate FILE.json                       # exit 1 on structural problems
+//
+// With -profile-dir, mutex/block sampling is enabled for the run and one
+// mutex/block/heap pprof capture is written right after the parallel
+// throughput phase (the moment the record's contention section describes).
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/benchutil"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -57,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  benchrec record [-label dev] [-o FILE] [-smoke] [workload flags]
+  benchrec record [-label dev] [-o FILE] [-smoke] [-profile-dir DIR] [workload flags]
   benchrec compare [-tol 0.15] OLD.json NEW.json
   benchrec validate FILE.json`)
 }
@@ -75,6 +80,7 @@ func runRecord(args []string, stdout io.Writer) error {
 	budget := fs.Int("budget", def.Budget, "coefficient budget")
 	k := fs.Int("k", def.K, "neighbours per search")
 	workers := fs.Int("workers", def.Workers, "parallel fan-out for the throughput measurement")
+	profileDir := fs.String("profile-dir", "", "capture mutex/block/heap pprof profiles into DIR during the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,7 +91,11 @@ func runRecord(args []string, stdout io.Writer) error {
 	if *smoke {
 		w = benchutil.SmokeBenchWorkload()
 	}
-	rec, err := benchutil.RunBench(w, *label)
+	var opts benchutil.BenchOptions
+	if *profileDir != "" {
+		opts.Profiler = obs.NewProfiler(obs.ProfilerOpts{Dir: *profileDir})
+	}
+	rec, err := benchutil.RunBenchWithOptions(w, *label, opts)
 	if err != nil {
 		return err
 	}
@@ -107,6 +117,12 @@ func runRecord(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  throughput serial %.0f qps  parallel %.0f qps (%d workers)  speedup %.2fx  match=%v\n",
 		rec.Throughput.SerialQPS, rec.Throughput.ParallelQPS,
 		rec.Throughput.Workers, rec.Throughput.Speedup, rec.Throughput.BatchMatchesSerial)
+	fmt.Fprintf(stdout, "  contention mean util %.2f  imbalance %.2f  steals %d  lock wait %.3f ms over %d batches\n",
+		rec.Contention.MeanUtilization, rec.Contention.Imbalance,
+		rec.Contention.StealsTotal, float64(rec.Contention.LockWaitNS)/1e6, rec.Contention.Batches)
+	for _, p := range rec.Profiles {
+		fmt.Fprintf(stdout, "  profile %s\n", p)
+	}
 	return nil
 }
 

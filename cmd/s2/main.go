@@ -16,7 +16,9 @@
 // The database is generated on startup: the paper's exemplar queries plus a
 // configurable number of background series. With -debug-addr a debug HTTP
 // server exposes /debug/vars, /debug/metrics (Prometheus text format),
-// /debug/traces, /debug/explain, /debug/slow and /debug/pprof (see
+// /debug/traces, /debug/requests (request-scoped wide events),
+// /debug/workers (per-worker pool attribution), /debug/healthz,
+// /debug/explain, /debug/slow and /debug/pprof (see
 // docs/observability.md), plus a /v1/search JSON endpoint (and its
 // deprecated /search alias) serving every search family concurrently under
 // the engine's read lock, behind admission control (-max-inflight,
@@ -106,6 +108,24 @@ func run() error {
 		ac := admit.New(admit.Options{
 			MaxInFlight: *maxInFlight, MaxQueue: *maxQueue, MaxWait: *queueWait,
 		}, hub.Registry())
+		// Shed requests land in the same wide-event ring as served ones, so
+		// /debug/requests tells the whole admission story; /debug/healthz
+		// flips to 503 while the controller would shed with queue-full.
+		ac.SetRequestLog(hub.RequestLog())
+		hub.SetHealthChecks(
+			obs.HealthCheck{Name: "engine", Probe: func() error {
+				if engine.Len() == 0 {
+					return fmt.Errorf("engine has no indexed series")
+				}
+				return nil
+			}},
+			obs.HealthCheck{Name: "admission", Probe: func() error {
+				if ac.Saturated() {
+					return fmt.Errorf("admission saturated: %d in flight, %d queued", ac.InFlight(), ac.Waiting())
+				}
+				return nil
+			}},
+		)
 		srv, addr, err := obs.Serve(*debugAddr, hub,
 			obs.Route{Pattern: "/v1/search", Handler: admit.Middleware(ac, core.V1SearchHandler(engine))},
 			obs.Route{Pattern: "/search", Handler: admit.Middleware(ac, core.SearchHandler(engine))})
@@ -115,6 +135,7 @@ func run() error {
 		defer srv.Close()
 		slog.Info("debug server listening",
 			"metrics", "http://"+addr+"/debug/metrics",
+			"health", "http://"+addr+"/debug/healthz",
 			"search", "http://"+addr+"/v1/search?q=<query>&k=5")
 	}
 

@@ -75,6 +75,11 @@ type Controller struct {
 	inFlight *obs.Gauge
 	depth    *obs.Gauge
 	waitLat  *obs.Timer
+
+	// reqlog, when installed via SetRequestLog, receives one wide event per
+	// shed request so /debug/requests shows rejections next to served
+	// queries.
+	reqlog atomic.Pointer[obs.RequestLog]
 }
 
 // New builds a Controller and registers its instruments on reg (nil reg
@@ -146,6 +151,34 @@ func (c *Controller) Acquire(ctx context.Context) (release func(), wait time.Dur
 func (c *Controller) release() {
 	<-c.sem
 	c.inFlight.Set(float64(len(c.sem)))
+}
+
+// SetRequestLog installs the wide-event log shed requests are recorded in
+// (nil detaches it). Nil-safe.
+func (c *Controller) SetRequestLog(l *obs.RequestLog) {
+	if c == nil {
+		return
+	}
+	c.reqlog.Store(l)
+}
+
+// RequestLog returns the installed wide-event log (nil when none).
+func (c *Controller) RequestLog() *obs.RequestLog {
+	if c == nil {
+		return nil
+	}
+	return c.reqlog.Load()
+}
+
+// Saturated reports whether a request arriving right now would be shed
+// with ErrQueueFull: every in-flight slot is held and the wait queue is at
+// capacity. Health probes use it to flip /debug/healthz before clients see
+// 429s. A nil controller is never saturated.
+func (c *Controller) Saturated() bool {
+	if c == nil {
+		return false
+	}
+	return len(c.sem) == c.opts.MaxInFlight && c.waiting.Load() >= int64(c.opts.MaxQueue)
 }
 
 // InFlight returns the number of requests currently holding a slot.

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // queueWaitKey carries the admission queue wait through a request context.
@@ -30,6 +32,28 @@ func QueueWaitFrom(ctx context.Context) time.Duration {
 	return wait
 }
 
+// ShedResponse is the JSON body of a 429/503 admission rejection. The
+// request ID lets a shed client's report be joined with the server-side
+// wide event at /debug/requests, and queue_wait_ms shows how long the
+// request sat queued before being turned away.
+type ShedResponse struct {
+	Error       string  `json:"error"`
+	RequestID   string  `json:"request_id"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+}
+
+// shedCause maps an Acquire failure onto a wide-event abort cause.
+func shedCause(err error) string {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, ErrWaitTimeout):
+		return "wait_timeout"
+	default:
+		return "canceled"
+	}
+}
+
 // Middleware gates next behind the controller. Shed requests are answered
 // without ever reaching next:
 //
@@ -37,24 +61,45 @@ func QueueWaitFrom(ctx context.Context) time.Duration {
 //	wait timed out        → 503 Service Unavailable (Retry-After: 1)
 //	client context ended  → 503 Service Unavailable
 //
-// Admitted requests run with their queue wait recorded on the context (see
-// QueueWaitFrom), so handlers can report admission latency in responses and
-// traces. A nil controller passes everything through untouched.
+// Every request — shed or admitted — gets a request ID (minted here unless
+// the context already carries one), echoed in the X-Request-Id header. Shed
+// requests are answered with a ShedResponse body and, when SetRequestLog
+// installed a log, recorded as an "admission_shed" wide event. Admitted
+// requests run with their queue wait and request ID on the context (see
+// QueueWaitFrom, obs.RequestIDFrom), so handlers report admission latency
+// in responses and traces. A nil controller passes everything through
+// untouched.
 func Middleware(c *Controller, next http.Handler) http.Handler {
 	if c == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		release, wait, err := c.Acquire(r.Context())
+		ctx, rid := obs.EnsureRequestID(r.Context())
+		w.Header().Set("X-Request-Id", rid)
+		r = r.WithContext(ctx)
+		start := time.Now()
+		release, wait, err := c.Acquire(ctx)
 		if err != nil {
 			code := http.StatusServiceUnavailable
 			if errors.Is(err, ErrQueueFull) {
 				code = http.StatusTooManyRequests
 			}
+			waitMS := float64(wait) / float64(time.Millisecond)
+			c.RequestLog().Record(obs.WideEvent{
+				RequestID:   rid,
+				Time:        start,
+				Op:          "admission_shed",
+				QueueWaitMS: waitMS,
+				Abort:       shedCause(err),
+				Error:       err.Error(),
+			})
 			w.Header().Set("Retry-After", "1")
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			w.WriteHeader(code)
-			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+			//nolint:errcheck // best-effort shed body
+			json.NewEncoder(w).Encode(ShedResponse{
+				Error: err.Error(), RequestID: rid, QueueWaitMS: waitMS,
+			})
 			return
 		}
 		defer release()

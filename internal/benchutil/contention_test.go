@@ -1,0 +1,140 @@
+package benchutil
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestContentionFromShards(t *testing.T) {
+	t.Parallel()
+	before := obs.WorkerShardsSnapshot{
+		Workers: []obs.WorkerSnapshot{
+			{Worker: 0, Tasks: 10, Steals: 1, BusyNS: 100, IdleNS: 100},
+			{Worker: 1, Tasks: 5, BusyNS: 50, IdleNS: 50},
+		},
+		Batches:    3,
+		LockWaitNS: 500,
+	}
+	after := obs.WorkerShardsSnapshot{
+		Workers: []obs.WorkerSnapshot{
+			{Worker: 0, Tasks: 16, Steals: 3, BusyNS: 400, IdleNS: 200},
+			{Worker: 1, Tasks: 7, BusyNS: 150, IdleNS: 150},
+		},
+		Batches:    5,
+		LockWaitNS: 900,
+	}
+	c := contentionFromShards(before, after, 1.5)
+	if c.Workers != 2 || c.Batches != 2 {
+		t.Errorf("workers/batches = %d/%d, want 2/2", c.Workers, c.Batches)
+	}
+	if c.TasksPerWorker[0] != 6 || c.TasksPerWorker[1] != 2 {
+		t.Errorf("tasks per worker = %v, want [6 2]", c.TasksPerWorker)
+	}
+	if c.StealsTotal != 2 {
+		t.Errorf("steals = %d, want 2", c.StealsTotal)
+	}
+	// Worker 0 delta: busy 300, idle 100 → 0.75; worker 1: busy 100, idle
+	// 100 → 0.5.
+	if c.UtilizationPerWorker[0] != 0.75 || c.UtilizationPerWorker[1] != 0.5 {
+		t.Errorf("utilization = %v, want [0.75 0.5]", c.UtilizationPerWorker)
+	}
+	if c.MeanUtilization != 0.625 {
+		t.Errorf("mean utilization = %v, want 0.625", c.MeanUtilization)
+	}
+	// max tasks 6, mean 4 → imbalance 1.5.
+	if c.Imbalance != 1.5 {
+		t.Errorf("imbalance = %v, want 1.5", c.Imbalance)
+	}
+	if c.LockWaitNS != 400 {
+		t.Errorf("lock wait = %d, want 400", c.LockWaitNS)
+	}
+	if c.SpeedupVsSerial != 1.5 {
+		t.Errorf("speedup = %v, want 1.5", c.SpeedupVsSerial)
+	}
+}
+
+// TestValidateContentionSection tampers a freshly-recorded v4 record field
+// by field and expects Validate to object each time.
+func TestValidateContentionSection(t *testing.T) {
+	t.Parallel()
+	rec, err := RunBench(SmokeBenchWorkload(), "contention-validate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("fresh record invalid: %v", err)
+	}
+
+	tamper := func(name, wantSub string, mutate func(r *BenchRecord)) {
+		t.Helper()
+		bad := *rec
+		// Deep-copy the slices the mutations touch.
+		bad.Contention.TasksPerWorker = append([]int64(nil), rec.Contention.TasksPerWorker...)
+		bad.Contention.UtilizationPerWorker = append([]float64(nil), rec.Contention.UtilizationPerWorker...)
+		mutate(&bad)
+		err := bad.Validate()
+		if err == nil {
+			t.Errorf("%s: tampered record validated", name)
+			return
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+
+	tamper("workers-mismatch", "workers", func(r *BenchRecord) { r.Contention.Workers++ })
+	tamper("no-batches", "batches", func(r *BenchRecord) {
+		r.Contention.Batches = 0
+	})
+	tamper("slice-size", "per-worker slices", func(r *BenchRecord) {
+		r.Contention.TasksPerWorker = r.Contention.TasksPerWorker[:1]
+	})
+	tamper("negative-tasks", "tasks", func(r *BenchRecord) {
+		r.Contention.TasksPerWorker[0] = -1
+	})
+	tamper("task-sum", "accounts", func(r *BenchRecord) {
+		r.Contention.TasksPerWorker[0]++
+	})
+	tamper("utilization-range", "utilization", func(r *BenchRecord) {
+		r.Contention.UtilizationPerWorker[0] = 1.5
+	})
+	tamper("imbalance", "imbalance", func(r *BenchRecord) {
+		r.Contention.Imbalance = 0.5
+	})
+	tamper("mean-utilization", "mean_utilization", func(r *BenchRecord) {
+		r.Contention.MeanUtilization = 0
+	})
+	tamper("lock-wait", "lock_wait_ns", func(r *BenchRecord) {
+		r.Contention.LockWaitNS = -1
+	})
+	tamper("speedup-divergence", "speedup", func(r *BenchRecord) {
+		r.Contention.SpeedupVsSerial = r.Throughput.Speedup + 1
+	})
+}
+
+// TestCompareGatesOnContentionSpeedup pins that a collapsed parallel
+// speedup trips the regression gate.
+func TestCompareGatesOnContentionSpeedup(t *testing.T) {
+	t.Parallel()
+	rec, err := RunBench(SmokeBenchWorkload(), "contention-compare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := *rec
+	worse.Contention.SpeedupVsSerial = rec.Contention.SpeedupVsSerial * 0.5
+	regs, err := CompareBenchRecords(rec, &worse, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range regs {
+		if r.Metric == "contention.speedup_vs_serial" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("halved speedup not flagged; regressions: %+v", regs)
+	}
+}

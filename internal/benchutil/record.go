@@ -29,7 +29,12 @@ import (
 // v3 added the degradation section: aborted (cancelled-context) query
 // counts, budget-truncated query counts, and admission queue wait under a
 // saturated controller.
-const BenchSchemaVersion = 3
+//
+// v4 added the contention section: per-worker task spread and utilization
+// over the parallel throughput phase, steal counts, aggregate mutex-wait
+// nanoseconds, and the parallel-vs-serial speedup — the scheduling evidence
+// the worker-pool optimisation work gates on.
+const BenchSchemaVersion = 4
 
 // BenchWorkload pins every knob that shapes a benchmark run, so two records
 // are only ever compared like for like.
@@ -165,6 +170,39 @@ type DegradationBench struct {
 	QueueWaitMS float64 `json:"queue_wait_ms"`
 }
 
+// ContentionBench is the scheduling evidence of the parallel throughput
+// phase: how the batch fan-out actually spread over the worker pool, how
+// busy each worker was, and how long the engine spent waiting on its mutex.
+// It is measured as the delta of the engine's per-worker shards (see
+// core.Engine.WorkerStats) across the BatchSearch rounds, so serial-phase
+// work does not pollute it.
+type ContentionBench struct {
+	// Workers is the pool size (mirrors workload.workers).
+	Workers int `json:"workers"`
+	// Batches is how many BatchSearch rounds the phase ran.
+	Batches int64 `json:"batches"`
+	// TasksPerWorker is how many of the phase's queries each worker
+	// executed; the values sum to throughput.queries. A worker that was
+	// always beaten to the steal can legitimately show 0.
+	TasksPerWorker []int64 `json:"tasks_per_worker"`
+	// StealsTotal is how many tasks ran on a worker other than the one
+	// whose queue they were partitioned into.
+	StealsTotal int64 `json:"steals_total"`
+	// UtilizationPerWorker is busy/(busy+idle) per worker over the phase.
+	UtilizationPerWorker []float64 `json:"utilization_per_worker"`
+	// MeanUtilization averages the per-worker utilizations.
+	MeanUtilization float64 `json:"mean_utilization"`
+	// Imbalance is max/mean tasks per worker (1 = perfectly balanced).
+	Imbalance float64 `json:"imbalance"`
+	// LockWaitNS is the aggregate engine mutex-acquisition wait accumulated
+	// during the phase (read-lock waits of the batches; any concurrent
+	// writer's write-lock waits would land here too).
+	LockWaitNS int64 `json:"lock_wait_ns"`
+	// SpeedupVsSerial mirrors throughput.speedup so contention dashboards
+	// carry the headline number next to its explanation.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
 // QBBBench summarizes the query-by-burst half of the workload.
 type QBBBench struct {
 	Latency LatencySummary `json:"latency"`
@@ -192,19 +230,46 @@ type BenchRecord struct {
 
 	Search      SearchBench      `json:"search"`
 	Throughput  ThroughputBench  `json:"throughput"`
+	Contention  ContentionBench  `json:"contention"`
 	QBB         QBBBench         `json:"qbb"`
 	Degradation DegradationBench `json:"degradation"`
 
 	// Counters is the final observability-registry counter snapshot, so a
 	// record carries the same totals /debug/metrics would have exported.
 	Counters map[string]int64 `json:"counters"`
+
+	// Profiles lists the pprof files captured during the run (empty unless
+	// BenchOptions.Profiler was set). Informational: paths are machine-local
+	// and not validated.
+	Profiles []string `json:"profiles,omitempty"`
+}
+
+// BenchOptions tunes how RunBenchWithOptions executes beyond the workload
+// itself. The zero value reproduces RunBench exactly.
+type BenchOptions struct {
+	// Profiler, when non-nil, is started for the duration of the run (mutex
+	// and block sampling enabled, restored on return) and asked for one
+	// mutex/block/heap capture right after the parallel throughput phase —
+	// the moment the contention section describes.
+	Profiler *obs.Profiler
 }
 
 // RunBench executes the workload and returns the filled record. The engine
 // is built fresh with its own observability hub so counters start at zero.
 func RunBench(w BenchWorkload, label string) (*BenchRecord, error) {
+	return RunBenchWithOptions(w, label, BenchOptions{})
+}
+
+// RunBenchWithOptions is RunBench with profile capture (see BenchOptions).
+func RunBenchWithOptions(w BenchWorkload, label string, opts BenchOptions) (*BenchRecord, error) {
 	if err := w.validate(); err != nil {
 		return nil, err
+	}
+	if opts.Profiler != nil {
+		if err := opts.Profiler.Start(); err != nil {
+			return nil, err
+		}
+		defer opts.Profiler.Stop()
 	}
 	g := querylog.NewGenerator(querylog.DefaultStart, w.Days, w.Seed)
 	data := append(g.Exemplars(), g.Dataset(w.Series)...)
@@ -275,6 +340,7 @@ func RunBench(w BenchWorkload, label string) (*BenchRecord, error) {
 		}
 	}
 	serialSec := time.Since(serialStart).Seconds()
+	shardsBefore := e.WorkerStats()
 	var batch [][]core.Neighbor
 	parallelStart := time.Now()
 	for r := 0; r < rounds; r++ {
@@ -284,6 +350,7 @@ func RunBench(w BenchWorkload, label string) (*BenchRecord, error) {
 		}
 	}
 	parallelSec := time.Since(parallelStart).Seconds()
+	shardsAfter := e.WorkerStats()
 	total := rounds * len(qvals)
 	rec.Throughput = ThroughputBench{
 		Workers:            w.Workers,
@@ -294,6 +361,14 @@ func RunBench(w BenchWorkload, label string) (*BenchRecord, error) {
 	}
 	if rec.Throughput.SerialQPS > 0 {
 		rec.Throughput.Speedup = rec.Throughput.ParallelQPS / rec.Throughput.SerialQPS
+	}
+	rec.Contention = contentionFromShards(shardsBefore, shardsAfter, rec.Throughput.Speedup)
+	if opts.Profiler != nil {
+		files, err := opts.Profiler.Capture(label)
+		if err != nil {
+			return nil, fmt.Errorf("benchutil: profile capture: %w", err)
+		}
+		rec.Profiles = files
 	}
 
 	// Query-by-burst workload: one QBB per query-count indexed series.
@@ -385,6 +460,47 @@ func RunBench(w BenchWorkload, label string) (*BenchRecord, error) {
 	return rec, nil
 }
 
+// contentionFromShards turns the before/after worker-shard snapshots of the
+// parallel throughput phase into the record's contention section.
+func contentionFromShards(before, after obs.WorkerShardsSnapshot, speedup float64) ContentionBench {
+	n := len(after.Workers)
+	c := ContentionBench{
+		Workers:              n,
+		Batches:              after.Batches - before.Batches,
+		TasksPerWorker:       make([]int64, n),
+		UtilizationPerWorker: make([]float64, n),
+		LockWaitNS:           after.LockWaitNS - before.LockWaitNS,
+		SpeedupVsSerial:      speedup,
+	}
+	var sumTasks, maxTasks int64
+	var utilSum float64
+	for i, a := range after.Workers {
+		b := obs.WorkerSnapshot{}
+		if i < len(before.Workers) {
+			b = before.Workers[i]
+		}
+		tasks := a.Tasks - b.Tasks
+		c.TasksPerWorker[i] = tasks
+		c.StealsTotal += a.Steals - b.Steals
+		busy, idle := a.BusyNS-b.BusyNS, a.IdleNS-b.IdleNS
+		if total := busy + idle; total > 0 {
+			c.UtilizationPerWorker[i] = float64(busy) / float64(total)
+		}
+		utilSum += c.UtilizationPerWorker[i]
+		sumTasks += tasks
+		if tasks > maxTasks {
+			maxTasks = tasks
+		}
+	}
+	if n > 0 {
+		c.MeanUtilization = utilSum / float64(n)
+	}
+	if sumTasks > 0 && n > 0 {
+		c.Imbalance = float64(maxTasks) / (float64(sumTasks) / float64(n))
+	}
+	return c
+}
+
 // Validate checks a record's structural integrity: schema version, workload
 // plausibility, sample counts and percentile monotonicity. It deliberately
 // does NOT gate on performance numbers.
@@ -442,6 +558,47 @@ func (r *BenchRecord) Validate() error {
 	}
 	if !r.Throughput.BatchMatchesSerial {
 		return fmt.Errorf("benchutil: batch search results diverged from serial")
+	}
+	if r.Contention.Workers != r.Workload.Workers {
+		return fmt.Errorf("benchutil: contention tracked %d workers, workload has %d",
+			r.Contention.Workers, r.Workload.Workers)
+	}
+	if r.Contention.Batches < 1 {
+		return fmt.Errorf("benchutil: contention saw no batches")
+	}
+	if len(r.Contention.TasksPerWorker) != r.Contention.Workers ||
+		len(r.Contention.UtilizationPerWorker) != r.Contention.Workers {
+		return fmt.Errorf("benchutil: contention per-worker slices sized %d/%d, want %d",
+			len(r.Contention.TasksPerWorker), len(r.Contention.UtilizationPerWorker), r.Contention.Workers)
+	}
+	var contTasks int64
+	for i, t := range r.Contention.TasksPerWorker {
+		// A worker may legitimately execute 0 tasks (beaten to every steal),
+		// but never a negative count.
+		if t < 0 {
+			return fmt.Errorf("benchutil: worker %d executed %d tasks", i, t)
+		}
+		contTasks += t
+		if u := r.Contention.UtilizationPerWorker[i]; u < 0 || u > 1 {
+			return fmt.Errorf("benchutil: worker %d utilization %v outside [0,1]", i, u)
+		}
+	}
+	if contTasks != int64(r.Throughput.Queries) {
+		return fmt.Errorf("benchutil: contention accounts %d tasks, throughput ran %d",
+			contTasks, r.Throughput.Queries)
+	}
+	if r.Contention.Imbalance < 1 {
+		return fmt.Errorf("benchutil: imbalance %v < 1 (max cannot be below mean)", r.Contention.Imbalance)
+	}
+	if r.Contention.MeanUtilization <= 0 || r.Contention.MeanUtilization > 1 {
+		return fmt.Errorf("benchutil: mean_utilization = %v outside (0,1]", r.Contention.MeanUtilization)
+	}
+	if r.Contention.LockWaitNS < 0 {
+		return fmt.Errorf("benchutil: lock_wait_ns = %d", r.Contention.LockWaitNS)
+	}
+	if math.Abs(r.Contention.SpeedupVsSerial-r.Throughput.Speedup) > 1e-9 {
+		return fmt.Errorf("benchutil: contention speedup %v diverges from throughput speedup %v",
+			r.Contention.SpeedupVsSerial, r.Throughput.Speedup)
 	}
 	if r.Degradation.Aborted < int64(r.Workload.Queries) {
 		return fmt.Errorf("benchutil: only %d/%d cancelled queries aborted",
@@ -527,6 +684,7 @@ func CompareBenchRecords(old, new *BenchRecord, tol float64) ([]Regression, erro
 	check("search.fraction_examined", old.Search.FractionExamined, new.Search.FractionExamined, true)
 	check("throughput.serial_qps", old.Throughput.SerialQPS, new.Throughput.SerialQPS, false)
 	check("throughput.parallel_qps", old.Throughput.ParallelQPS, new.Throughput.ParallelQPS, false)
+	check("contention.speedup_vs_serial", old.Contention.SpeedupVsSerial, new.Contention.SpeedupVsSerial, false)
 	check("qbb.latency.p50_ms", old.QBB.Latency.P50MS, new.QBB.Latency.P50MS, true)
 	check("qbb.rows_scanned", old.QBB.RowsScanned, new.QBB.RowsScanned, true)
 	check("degradation.queue_wait_ms", old.Degradation.QueueWaitMS, new.Degradation.QueueWaitMS, true)

@@ -6,8 +6,10 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lifecycle"
+	"repro/internal/obs"
 	"repro/internal/vptree"
 )
 
@@ -18,6 +20,33 @@ import (
 // wrapper delegates with a background context.
 func (e *Engine) BatchSearch(queries [][]float64, k int) ([][]Neighbor, vptree.Stats, error) {
 	return e.BatchSearchCtx(context.Background(), queries, k)
+}
+
+// batchQueue is one worker's slice of the batch: a contiguous index range
+// [next, end) popped atomically by the owner and, once another worker runs
+// dry, by thieves. Padding keeps two workers' cursors off one cache line —
+// the cursor is the only contended word in the pool's hot path.
+type batchQueue struct {
+	next atomic.Int64
+	end  int64
+	_    [48]byte // pad the 16 bytes above to a 64-byte line
+}
+
+// remaining returns how many indices are still unclaimed (never negative:
+// concurrent pops can push next past end).
+func (q *batchQueue) remaining() int64 {
+	if r := q.end - q.next.Load(); r > 0 {
+		return r
+	}
+	return 0
+}
+
+// pop claims the queue's next index, or returns -1 when drained.
+func (q *batchQueue) pop() int {
+	if i := q.next.Add(1) - 1; i < q.end {
+		return int(i)
+	}
+	return -1
 }
 
 // BatchSearchCtx answers one similarity search per query in queries,
@@ -31,6 +60,13 @@ func (e *Engine) BatchSearch(queries [][]float64, k int) ([][]Neighbor, vptree.S
 // in-flight searches fail fast, so the call returns promptly with ctx's
 // error.
 //
+// Scheduling is work-stealing: each worker owns a contiguous slice of the
+// batch and, once its own slice drains, steals single queries from the
+// worker with the most left. Every worker attributes its own tasks,
+// steals, busy/idle time and nodes visited into a private delta flushed
+// lock-free into the engine's per-worker shards on completion (see
+// Engine.WorkerStats and docs/observability.md).
+//
 // The whole batch runs under one read lock, so it observes a single
 // consistent snapshot of the engine even with a concurrent writer queued.
 func (e *Engine) BatchSearchCtx(ctx context.Context, queries [][]float64, k int) ([][]Neighbor, vptree.Stats, error) {
@@ -43,16 +79,23 @@ func (e *Engine) BatchSearchCtx(ctx context.Context, queries [][]float64, k int)
 	if len(queries) == 0 {
 		return nil, vptree.Stats{}, nil
 	}
+	start := time.Now()
 	defer e.met.batchLat.Start()()
 	e.met.batchTotal.Inc()
 	e.met.batchQueries.Add(int64(len(queries)))
+	ctx, rid := obs.EnsureRequestID(ctx)
 	tr := e.tracer.StartTrace("batch_search")
 	defer tr.Finish()
+	tr.Annotate("request_id", rid)
 	tr.Annotate("queries", strconv.Itoa(len(queries)))
 	tr.Annotate("k", strconv.Itoa(k))
 
+	lockStart := time.Now()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	lockWait := time.Since(lockStart)
+	e.met.readLockWait.Observe(lockWait)
+	e.workers.AddLockWait(lockWait.Nanoseconds())
 
 	workers := e.cfg.Workers
 	if workers > len(queries) {
@@ -60,42 +103,131 @@ func (e *Engine) BatchSearchCtx(ctx context.Context, queries [][]float64, k int)
 	}
 	tr.Annotate("workers", strconv.Itoa(workers))
 
+	// Partition the batch into contiguous per-worker queues. Ceil division
+	// gives the first queues one extra query when the split is uneven; the
+	// last queue may be short (or empty when workers > remaining load —
+	// impossible here because workers <= len(queries)).
+	queues := make([]batchQueue, workers)
+	chunk := (len(queries) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(queries))
+		if lo > hi {
+			lo = hi
+		}
+		queues[w].next.Store(int64(lo))
+		queues[w].end = int64(hi)
+	}
+
 	out := make([][]Neighbor, len(queries))
 	errs := make([]error, len(queries))
 	stats := make([]vptree.Stats, workers)
-	var next atomic.Int64
+	deltas := make([]obs.WorkerDelta, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(queries) {
-					return
-				}
+			workerStart := time.Now()
+			var busy time.Duration
+			d := &deltas[w]
+			run := func(i int, stolen bool) {
+				t0 := time.Now()
 				if err := ctx.Err(); err != nil {
+					// Keep draining so every remaining slot gets the error;
+					// claimed-but-unexecuted indices still count as tasks so
+					// the spread accounts for every index exactly once.
 					errs[i] = err
-					continue // drain remaining indices so every slot gets the error
+				} else {
+					var st vptree.Stats
+					out[i], st, errs[i] = e.searchOneLocked(ctx, queries[i], k)
+					stats[w].Add(st)
+					d.NodesVisited += int64(st.NodesVisited)
 				}
-				var st vptree.Stats
-				out[i], st, errs[i] = e.searchOneLocked(ctx, queries[i], k)
-				stats[w].Add(st)
+				busy += time.Since(t0)
+				d.Tasks++
+				if stolen {
+					d.Steals++
+				}
 			}
+			// Phase 1: drain the worker's own queue.
+			for {
+				i := queues[w].pop()
+				if i < 0 {
+					break
+				}
+				run(i, false)
+			}
+			// Phase 2: steal from the most-loaded queue until every queue
+			// is dry. Re-scanning after each task keeps thieves spread over
+			// victims instead of stampeding one queue.
+			for {
+				victim := -1
+				var most int64
+				for v := range queues {
+					if v == w {
+						continue
+					}
+					if r := queues[v].remaining(); r > most {
+						victim, most = v, r
+					}
+				}
+				if victim < 0 {
+					break
+				}
+				if i := queues[victim].pop(); i >= 0 {
+					run(i, true)
+				}
+			}
+			wall := time.Since(workerStart)
+			d.BusyNS = busy.Nanoseconds()
+			d.IdleNS = (wall - busy).Nanoseconds()
+			if d.IdleNS < 0 {
+				d.IdleNS = 0
+			}
+			// Flush lock-free into the engine-lifetime shards; the slot is
+			// owned by this worker index, so no two flushes contend.
+			e.workers.Flush(w, *d)
 		}(w)
 	}
 	wg.Wait()
+	e.workers.AddBatch()
+	e.met.recordPool(deltas)
 
 	var merged vptree.Stats
 	for _, st := range stats {
 		merged.Add(st)
 	}
 	e.met.recordSearch(merged)
+
+	spread := make([]int64, workers)
+	var steals int64
+	for w, d := range deltas {
+		spread[w] = d.Tasks
+		steals += d.Steals
+	}
+	ev := obs.WideEvent{
+		RequestID:    rid,
+		Time:         start,
+		Op:           "batch_search",
+		K:            k,
+		QueueWaitMS:  0,
+		DurationMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		NodesVisited: merged.NodesVisited,
+		Results:      len(queries),
+		Workers:      workers,
+		WorkerSpread: spread,
+	}
+	tr.Annotate("steals", strconv.FormatInt(steals, 10))
 	for _, err := range errs { // first error by batch position, deterministically
 		if err != nil {
+			ev.Error = err.Error()
+			ev.Abort = abortCause(err)
+			e.reqlog.Record(ev)
 			return nil, merged, err
 		}
 	}
+	e.reqlog.Record(ev)
 	return out, merged, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"slices"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/burst"
 	"repro/internal/burstdb"
@@ -184,6 +185,20 @@ type Engine struct {
 	hub      *obs.Hub
 	tracer   *obs.Tracer
 	met      engineMetrics
+	// workers is the per-worker contention/scheduling attribution table:
+	// one padded slot per pool worker, flushed lock-free by BatchSearch
+	// workers on completion and scraped by /debug/workers and benchutil's
+	// contention section. Always non-nil (independent of the hub).
+	workers *obs.WorkerShards
+	// reqlog receives one wide event per Engine.Query (nil without a hub).
+	reqlog *obs.RequestLog
+}
+
+// WorkerStats returns a frozen view of the engine's cumulative per-worker
+// pool attribution (tasks, steals, busy/idle time, nodes visited) plus the
+// aggregate lock-wait total.
+func (e *Engine) WorkerStats() obs.WorkerShardsSnapshot {
+	return e.workers.Report()
 }
 
 // wireObs installs the observability hub: registry instruments, per-query
@@ -193,6 +208,9 @@ func (e *Engine) wireObs(hub *obs.Hub) {
 	e.hub = hub
 	e.tracer = hub.Tracer()
 	e.met = newEngineMetrics(hub.Registry())
+	e.reqlog = hub.RequestLog()
+	e.workers = obs.NewWorkerShards(e.cfg.Workers)
+	hub.SetWorkerShards(e.workers)
 	if hub.Registry() != nil {
 		e.store = seqstore.Instrument(e.store, hub.Registry())
 		m := burstDBMetrics(hub.Registry())
@@ -346,8 +364,12 @@ func (e *Engine) Add(s *series.Series) (int, error) {
 		}
 	}
 
+	lockStart := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	lockWait := time.Since(lockStart)
+	e.met.writeLockWait.Observe(lockWait)
+	e.workers.AddLockWait(lockWait.Nanoseconds())
 	id, err := e.store.Append(z.Values)
 	if err != nil {
 		return 0, err

@@ -185,6 +185,12 @@ var errBadK = errors.New("core: k must be >= 1")
 //   - Request.Budget expiry degrades gracefully: the best-so-far answer is
 //     returned with Response.Truncated set.
 //
+// Every call runs under a request ID: one already on ctx (see
+// obs.WithRequestID) is reused, otherwise Query mints one. The ID is
+// annotated on the query's trace, echoed by /v1/search, and one structured
+// wide event per request is recorded in the hub's RequestLog, resolvable at
+// /debug/requests?id=<id>.
+//
 // The historical entry points (SimilarQueries, LinearScan, ...) are thin
 // deprecated wrappers over this method. See docs/api.md.
 func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
@@ -197,24 +203,70 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	if req.K < 1 {
 		return nil, errBadK
 	}
+	ctx, rid := obs.EnsureRequestID(ctx)
+	start := time.Now()
+	ev := obs.WideEvent{
+		RequestID:   rid,
+		Time:        start,
+		Op:          req.Kind.String(),
+		K:           req.K,
+		DeadlineMS:  req.Budget.Deadline.Milliseconds(),
+		MaxNodes:    req.Budget.MaxNodeVisits,
+		MaxExact:    req.Budget.MaxExactDistances,
+		QueueWaitMS: float64(req.QueueWait) / float64(time.Millisecond),
+	}
 	// An already-dead context does zero index work: O(1) return from every
 	// search family.
 	if err := ctx.Err(); err != nil {
 		e.met.queryAborted.Inc()
+		ev.Abort = abortCause(err)
+		ev.Error = err.Error()
+		e.reqlog.Record(ev)
 		return nil, err
 	}
-	g := lifecycle.NewGate(ctx, req.Budget.limits(time.Now()))
+	g := lifecycle.NewGate(ctx, req.Budget.limits(start))
 	resp, err := e.dispatch(ctx, g, req)
+	ev.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			e.met.queryAborted.Inc()
 		}
+		ev.Abort = abortCause(err)
+		ev.Error = err.Error()
+		e.reqlog.Record(ev)
 		return nil, err
 	}
 	if resp.Truncated {
 		e.met.queryTruncated.Inc()
+		ev.Truncated = true
+		ev.Abort = "budget"
 	}
+	ev.NodesVisited = resp.Stats.NodesVisited
+	ev.BoundsComputed = resp.Stats.BoundsComputed
+	ev.Candidates = resp.Stats.Candidates
+	ev.FullRetrievals = resp.Stats.FullRetrievals
+	ev.LBPrunes = resp.Stats.LBPrunes
+	ev.UBPrunes = resp.Stats.UBPrunes
+	ev.Results = len(resp.Neighbors) + len(resp.Matches)
+	e.reqlog.Record(ev)
 	return resp, nil
+}
+
+// abortCause classifies why a request failed for the wide event's abort
+// field: "canceled" and "deadline" for the context outcomes, "error" for
+// everything else ("" on nil). Budget truncation is not an abort — it is
+// flagged via WideEvent.Truncated with cause "budget".
+func abortCause(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "error"
+	}
 }
 
 func (e *Engine) dispatch(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
@@ -236,11 +288,15 @@ func (e *Engine) dispatch(ctx context.Context, g *lifecycle.Gate, req Request) (
 	}
 }
 
-// annotateLifecycle attaches budget and admission metadata to a trace so
-// the slow-query log shows why a query was truncated or where it waited.
-func annotateLifecycle(tr *obs.Trace, req Request) {
+// annotateLifecycle attaches the request ID plus budget and admission
+// metadata to a trace so the slow-query log shows why a query was truncated
+// or where it waited, and can be joined with /debug/requests.
+func annotateLifecycle(ctx context.Context, tr *obs.Trace, req Request) {
 	if tr == nil {
 		return
+	}
+	if rid := obs.RequestIDFrom(ctx); rid != "" {
+		tr.Annotate("request_id", rid)
 	}
 	if req.Budget.Deadline != 0 {
 		tr.Annotate("deadline_ms", strconv.FormatInt(req.Budget.Deadline.Milliseconds(), 10))
@@ -297,7 +353,7 @@ func (e *Engine) querySimilar(ctx context.Context, g *lifecycle.Gate, req Reques
 	tr := e.tracer.StartTrace("similar_queries")
 	defer tr.Finish()
 	tr.Annotate("k", strconv.Itoa(req.K))
-	annotateLifecycle(tr, req)
+	annotateLifecycle(ctx, tr, req)
 
 	sp := tr.Span("standardize")
 	z, err := e.standardizeQuery(req.Values)
@@ -331,7 +387,7 @@ func (e *Engine) querySimilarID(ctx context.Context, g *lifecycle.Gate, req Requ
 	defer tr.Finish()
 	tr.Annotate("id", strconv.Itoa(req.ID))
 	tr.Annotate("k", strconv.Itoa(req.K))
-	annotateLifecycle(tr, req)
+	annotateLifecycle(ctx, tr, req)
 
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -372,7 +428,7 @@ func (e *Engine) queryLinear(ctx context.Context, g *lifecycle.Gate, req Request
 	tr := e.tracer.StartTrace("linear_scan")
 	defer tr.Finish()
 	tr.Annotate("k", strconv.Itoa(req.K))
-	annotateLifecycle(tr, req)
+	annotateLifecycle(ctx, tr, req)
 	z, err := e.standardizeQuery(req.Values)
 	if err != nil {
 		return nil, err
@@ -396,7 +452,7 @@ func (e *Engine) queryDTW(ctx context.Context, g *lifecycle.Gate, req Request) (
 	tr.Annotate("id", strconv.Itoa(req.ID))
 	tr.Annotate("band", strconv.Itoa(req.Band))
 	tr.Annotate("k", strconv.Itoa(req.K))
-	annotateLifecycle(tr, req)
+	annotateLifecycle(ctx, tr, req)
 
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -443,7 +499,7 @@ func (e *Engine) querySimilarPeriods(ctx context.Context, g *lifecycle.Gate, req
 	defer tr.Finish()
 	tr.Annotate("id", strconv.Itoa(req.ID))
 	tr.Annotate("k", strconv.Itoa(req.K))
-	annotateLifecycle(tr, req)
+	annotateLifecycle(ctx, tr, req)
 
 	e.mu.RLock()
 	defer e.mu.RUnlock()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/admit"
+	"repro/internal/obs"
 	"repro/internal/vptree"
 )
 
@@ -23,6 +24,11 @@ const SearchSchemaVersion = 1
 type SearchResponse struct {
 	// SchemaVersion identifies this response layout (currently 1).
 	SchemaVersion int `json:"schema_version"`
+	// RequestID identifies this request across the observability surface:
+	// the same ID appears on the query's trace, in the slow-query log, and
+	// on the wide event resolvable at /debug/requests?id=<request_id>. Also
+	// sent as the X-Request-Id response header. (Additive in schema 1.)
+	RequestID string `json:"request_id,omitempty"`
 	// Query and ID identify the indexed series the search ran for.
 	Query string `json:"query"`
 	ID    int    `json:"id"`
@@ -107,8 +113,14 @@ func V1SearchHandler(e *Engine) http.Handler {
 		if mode == "" {
 			mode = "similar"
 		}
+		// Mint (or adopt the middleware's) request ID here so the response
+		// can echo it even when the engine never runs, and thread it through
+		// the engine via the context.
+		ctx, rid := obs.EnsureRequestID(r.Context())
+		w.Header().Set("X-Request-Id", rid)
 		resp := &SearchResponse{
 			SchemaVersion: SearchSchemaVersion,
+			RequestID:     rid,
 			Query:         name, ID: id, Mode: mode, K: k,
 			DeadlineMS:  budget.Deadline.Milliseconds(),
 			QueueWaitMS: float64(admit.QueueWaitFrom(r.Context())) / float64(time.Millisecond),
@@ -173,7 +185,7 @@ func V1SearchHandler(e *Engine) http.Handler {
 			return
 		}
 
-		out, err := e.Query(r.Context(), req)
+		out, err := e.Query(ctx, req)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				// The client hung up (or the middleware's context expired):

@@ -22,11 +22,28 @@ type Route struct {
 	Handler http.Handler
 }
 
+// writeJSONStatus is the single JSON-response path of the debug surface:
+// every JSON endpoint serves the same Content-Type (and sets any non-200
+// status before the body), so scrapers never see a charset or ordering
+// inconsistency between routes.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort debug output
+}
+
 // Handler returns the debug HTTP surface for a hub:
 //
 //	/debug/vars          expvar-style JSON snapshot of every metric
 //	/debug/metrics       Prometheus text exposition (hand-rolled, format 0.0.4)
 //	/debug/traces        recent query traces as JSON (most recent first)
+//	/debug/requests      recent request-scoped wide events (?id= filters)
+//	/debug/workers       per-worker pool attribution (tasks, steals, busy/idle)
+//	/debug/healthz       readiness: 200 when every registered probe passes
 //	/debug/explain       recent query explain reports (most recent first)
 //	/debug/explain/last  the most recent explain report
 //	/debug/slow          retained slow queries (span tree + explain report)
@@ -40,11 +57,9 @@ func Handler(h *Hub, extra ...Route) http.Handler {
 	for _, rt := range extra {
 		mux.Handle(rt.Pattern, rt.Handler)
 	}
+	writeJSON := func(w http.ResponseWriter, v any) { writeJSONStatus(w, http.StatusOK, v) }
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(varsPayload(h.Registry())) //nolint:errcheck // best-effort debug output
+		writeJSON(w, varsPayload(h.Registry()))
 	})
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -60,17 +75,50 @@ func Handler(h *Hub, extra ...Route) http.Handler {
 		if traces == nil {
 			traces = []TraceRecord{}
 		}
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(traces) //nolint:errcheck // best-effort debug output
+		writeJSON(w, traces)
 	})
-	writeJSON := func(w http.ResponseWriter, v any) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(v) //nolint:errcheck // best-effort debug output
-	}
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		if id := r.URL.Query().Get("id"); id != "" {
+			ev, ok := h.RequestLog().Find(id)
+			if !ok {
+				writeJSONStatus(w, http.StatusNotFound,
+					map[string]string{"error": fmt.Sprintf("no wide event retained for request %q", id)})
+				return
+			}
+			writeJSON(w, ev)
+			return
+		}
+		events := h.RequestLog().Snapshot()
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(events) {
+				events = events[:n]
+			}
+		}
+		if events == nil {
+			events = []WideEvent{}
+		}
+		writeJSON(w, events)
+	})
+	mux.HandleFunc("/debug/workers", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, h.WorkerShards().Report())
+	})
+	mux.HandleFunc("/debug/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		status := http.StatusOK
+		checks := map[string]string{}
+		for _, c := range h.HealthChecks() {
+			if err := c.Probe(); err != nil {
+				status = http.StatusServiceUnavailable
+				checks[c.Name] = err.Error()
+			} else {
+				checks[c.Name] = "ok"
+			}
+		}
+		body := map[string]any{"status": "ok", "checks": checks}
+		if status != http.StatusOK {
+			body["status"] = "unavailable"
+		}
+		writeJSONStatus(w, status, body)
+	})
 	mux.HandleFunc("/debug/explain", func(w http.ResponseWriter, _ *http.Request) {
 		entries := h.ExplainStore().Snapshot()
 		if entries == nil {
@@ -81,9 +129,8 @@ func Handler(h *Hub, extra ...Route) http.Handler {
 	mux.HandleFunc("/debug/explain/last", func(w http.ResponseWriter, _ *http.Request) {
 		entry, ok := h.ExplainStore().Last()
 		if !ok {
-			w.Header().Set("Content-Type", "application/json; charset=utf-8")
-			w.WriteHeader(http.StatusNotFound)
-			fmt.Fprintln(w, `{"error": "no explain reports recorded yet"}`)
+			writeJSONStatus(w, http.StatusNotFound,
+				map[string]string{"error": "no explain reports recorded yet"})
 			return
 		}
 		writeJSON(w, entry)

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProfilerOpts shapes a Profiler. Zero fields pick the documented default.
+type ProfilerOpts struct {
+	// Dir is where profile files land (default "profiles"; created on
+	// Start).
+	Dir string
+	// MutexFraction samples 1/n of mutex contention events
+	// (runtime.SetMutexProfileFraction; default 5).
+	MutexFraction int
+	// BlockRateNS samples blocking events lasting at least this many
+	// nanoseconds (runtime.SetBlockProfileRate; default 10µs).
+	BlockRateNS int
+	// Retain bounds how many files of each profile kind are kept; older
+	// captures are deleted (default 8).
+	Retain int
+}
+
+func (o *ProfilerOpts) fill() {
+	if o.Dir == "" {
+		o.Dir = "profiles"
+	}
+	if o.MutexFraction <= 0 {
+		o.MutexFraction = 5
+	}
+	if o.BlockRateNS <= 0 {
+		o.BlockRateNS = 10_000
+	}
+	if o.Retain <= 0 {
+		o.Retain = 8
+	}
+}
+
+// Profiler captures runtime profiles — mutex, block, heap on demand, CPU
+// over an interval — into retention-bounded files. Start enables the
+// runtime's mutex/block sampling (both are off by default and cost nothing
+// until enabled); Stop restores the previous rates, so a profiler can be
+// scoped to one bench run without leaving sampling overhead behind.
+//
+// A nil *Profiler is a no-op everywhere, so callers can wire one in
+// unconditionally (`benchutil.RunBenchWithOptions` takes one; nil means
+// "no profiling").
+type Profiler struct {
+	opts ProfilerOpts
+
+	mu         sync.Mutex
+	active     bool
+	prevMutex  int // fraction to restore on Stop
+	cpuRunning bool
+	seq        atomic.Uint64
+}
+
+// NewProfiler creates a profiler (not yet started).
+func NewProfiler(opts ProfilerOpts) *Profiler {
+	opts.fill()
+	return &Profiler{opts: opts}
+}
+
+// Dir returns the capture directory ("" on a nil profiler).
+func (p *Profiler) Dir() string {
+	if p == nil {
+		return ""
+	}
+	return p.opts.Dir
+}
+
+// Start creates the capture directory and enables mutex and block
+// profiling at the configured rates. Idempotent; no-op on nil.
+func (p *Profiler) Start() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.active {
+		return nil
+	}
+	if err := os.MkdirAll(p.opts.Dir, 0o755); err != nil {
+		return fmt.Errorf("obs: profile dir: %w", err)
+	}
+	p.prevMutex = runtime.SetMutexProfileFraction(p.opts.MutexFraction)
+	runtime.SetBlockProfileRate(p.opts.BlockRateNS)
+	p.active = true
+	return nil
+}
+
+// Stop restores the pre-Start mutex fraction and disables block profiling.
+// Idempotent; no-op on nil or when never started.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active {
+		return
+	}
+	runtime.SetMutexProfileFraction(p.prevMutex)
+	runtime.SetBlockProfileRate(0)
+	p.active = false
+}
+
+// Active reports whether Start has enabled sampling (false on nil).
+func (p *Profiler) Active() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}
+
+// Capture snapshots the mutex, block and heap profiles into
+// `<kind>-<label>-<seq>.pprof` files and returns the paths written. Each
+// kind's retention bound is enforced after the write. No-op nil on a nil
+// profiler.
+func (p *Profiler) Capture(label string) ([]string, error) {
+	if p == nil {
+		return nil, nil
+	}
+	var files []string
+	for _, kind := range []string{"mutex", "block", "heap"} {
+		prof := pprof.Lookup(kind)
+		if prof == nil {
+			return files, fmt.Errorf("obs: unknown profile %q", kind)
+		}
+		path := p.nextPath(kind, label)
+		f, err := os.Create(path)
+		if err != nil {
+			return files, fmt.Errorf("obs: capture %s: %w", kind, err)
+		}
+		// debug=0 writes the compressed protobuf format `go tool pprof`
+		// expects.
+		werr := prof.WriteTo(f, 0)
+		cerr := f.Close()
+		if werr != nil {
+			return files, fmt.Errorf("obs: capture %s: %w", kind, werr)
+		}
+		if cerr != nil {
+			return files, fmt.Errorf("obs: capture %s: %w", kind, cerr)
+		}
+		files = append(files, path)
+		if err := p.prune(kind); err != nil {
+			return files, err
+		}
+	}
+	return files, nil
+}
+
+// CaptureCPU profiles CPU for the given duration (blocking) and writes
+// `cpu-<label>-<seq>.pprof`. Only one CPU profile can run per process; a
+// concurrent call errors. No-op on a nil profiler.
+func (p *Profiler) CaptureCPU(label string, d time.Duration) (string, error) {
+	if p == nil {
+		return "", nil
+	}
+	if d <= 0 {
+		d = time.Second
+	}
+	p.mu.Lock()
+	if p.cpuRunning {
+		p.mu.Unlock()
+		return "", fmt.Errorf("obs: a CPU profile is already running")
+	}
+	p.cpuRunning = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.cpuRunning = false
+		p.mu.Unlock()
+	}()
+
+	path := p.nextPath("cpu", label)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("obs: capture cpu: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return "", fmt.Errorf("obs: capture cpu: %w", err)
+	}
+	time.Sleep(d)
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("obs: capture cpu: %w", err)
+	}
+	return path, p.prune("cpu")
+}
+
+// nextPath names one capture file. The sequence number keeps same-label
+// captures distinct within a run.
+func (p *Profiler) nextPath(kind, label string) string {
+	if label == "" {
+		label = "capture"
+	}
+	return filepath.Join(p.opts.Dir, fmt.Sprintf("%s-%s-%03d.pprof", kind, label, p.seq.Add(1)))
+}
+
+// prune deletes the oldest files of one kind beyond the retention bound.
+func (p *Profiler) prune(kind string) error {
+	matches, err := filepath.Glob(filepath.Join(p.opts.Dir, kind+"-*.pprof"))
+	if err != nil {
+		return err
+	}
+	if len(matches) <= p.opts.Retain {
+		return nil
+	}
+	type aged struct {
+		path string
+		mod  time.Time
+	}
+	files := make([]aged, 0, len(matches))
+	for _, m := range matches {
+		info, err := os.Stat(m)
+		if err != nil {
+			continue // already gone; nothing to retain-bound
+		}
+		files = append(files, aged{m, info.ModTime()})
+	}
+	sort.Slice(files, func(a, b int) bool {
+		if !files[a].mod.Equal(files[b].mod) {
+			return files[a].mod.Before(files[b].mod)
+		}
+		return files[a].path < files[b].path // mod-time ties: name order (embeds seq)
+	})
+	for _, f := range files[:max(0, len(files)-p.opts.Retain)] {
+		if err := os.Remove(f.path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestProfilerCaptureWritesNonEmptyFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProfiler(ProfilerOpts{Dir: dir})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if !p.Active() {
+		t.Fatal("Start did not activate the profiler")
+	}
+	files, err := p.Capture("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("captured %d files, want 3 (mutex/block/heap)", len(files))
+	}
+	for _, f := range files {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("capture file missing: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("capture file %s is empty", f)
+		}
+	}
+}
+
+func TestProfilerStopRestoresRates(t *testing.T) {
+	// Not parallel: mutex profile fraction is process-global.
+	prev := runtime.SetMutexProfileFraction(-1)
+	p := NewProfiler(ProfilerOpts{Dir: t.TempDir(), MutexFraction: 17})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := runtime.SetMutexProfileFraction(-1); got != 17 {
+		t.Errorf("mutex fraction during run = %d, want 17", got)
+	}
+	p.Stop()
+	if got := runtime.SetMutexProfileFraction(-1); got != prev {
+		t.Errorf("mutex fraction after Stop = %d, want restored %d", got, prev)
+	}
+	if p.Active() {
+		t.Error("Stop did not deactivate")
+	}
+	p.Stop() // idempotent
+}
+
+func TestProfilerRetentionPrunesOldest(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProfiler(ProfilerOpts{Dir: dir, Retain: 2})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	for i := 0; i < 4; i++ {
+		if _, err := p.Capture("ret"); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mod times so pruning order is unambiguous on coarse
+		// filesystem clocks.
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, kind := range []string{"mutex", "block", "heap"} {
+		matches, err := filepath.Glob(filepath.Join(dir, kind+"-*.pprof"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) != 2 {
+			t.Errorf("%s retained %d files, want 2: %v", kind, len(matches), matches)
+		}
+	}
+}
+
+func TestProfilerCaptureCPU(t *testing.T) {
+	p := NewProfiler(ProfilerOpts{Dir: t.TempDir()})
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	path, err := p.CaptureCPU("cpu-test", 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("cpu profile file is empty")
+	}
+}
+
+func TestProfilerNilSafe(t *testing.T) {
+	t.Parallel()
+	var p *Profiler
+	if err := p.Start(); err != nil {
+		t.Error(err)
+	}
+	p.Stop()
+	if p.Active() {
+		t.Error("nil profiler active")
+	}
+	if files, err := p.Capture("x"); err != nil || files != nil {
+		t.Errorf("nil Capture = %v, %v", files, err)
+	}
+	if path, err := p.CaptureCPU("x", time.Millisecond); err != nil || path != "" {
+		t.Errorf("nil CaptureCPU = %q, %v", path, err)
+	}
+	if p.Dir() != "" {
+		t.Error("nil profiler has a dir")
+	}
+}

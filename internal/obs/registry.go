@@ -443,18 +443,27 @@ type Hub struct {
 	Slow *SlowLog
 	// Explains rings the most recent query explain reports.
 	Explains *ExplainStore
+	// Requests rings recent request-scoped wide events (/debug/requests).
+	Requests *RequestLog
+
+	// workers is installed by the engine once its pool size is known
+	// (SetWorkerShards); /debug/workers serves its snapshot.
+	workers atomic.Pointer[WorkerShards]
+	// health holds the readiness probes /debug/healthz evaluates.
+	health atomic.Pointer[[]HealthCheck]
 }
 
 // NewHub creates a hub with a fresh registry, a tracer keeping the last 128
-// traces, a disabled slow-query log holding up to 32 entries, and an
-// explain ring of 16 reports. The tracer feeds finished traces into the
-// slow log automatically.
+// traces, a disabled slow-query log holding up to 32 entries, an explain
+// ring of 16 reports, and a request-event ring of 256 unsampled wide
+// events. The tracer feeds finished traces into the slow log automatically.
 func NewHub() *Hub {
 	h := &Hub{
 		Metrics:  NewRegistry(),
 		Traces:   NewTracer(128),
 		Slow:     NewSlowLog(32),
 		Explains: NewExplainStore(16),
+		Requests: NewRequestLog(256, 1),
 	}
 	h.Traces.SetSlowLog(h.Slow)
 	return h
@@ -490,4 +499,58 @@ func (h *Hub) ExplainStore() *ExplainStore {
 		return nil
 	}
 	return h.Explains
+}
+
+// RequestLog returns the hub's wide-event ring (nil on a nil hub).
+func (h *Hub) RequestLog() *RequestLog {
+	if h == nil {
+		return nil
+	}
+	return h.Requests
+}
+
+// SetWorkerShards installs the engine's per-worker statistics table so
+// /debug/workers can serve it. No-op on a nil hub.
+func (h *Hub) SetWorkerShards(ws *WorkerShards) {
+	if h == nil {
+		return
+	}
+	h.workers.Store(ws)
+}
+
+// WorkerShards returns the installed per-worker table (nil until an engine
+// installs one, or on a nil hub).
+func (h *Hub) WorkerShards() *WorkerShards {
+	if h == nil {
+		return nil
+	}
+	return h.workers.Load()
+}
+
+// HealthCheck is one named readiness probe: Probe returns nil when the
+// dependency is ready and an error describing why not otherwise.
+type HealthCheck struct {
+	Name  string
+	Probe func() error
+}
+
+// SetHealthChecks installs the probes /debug/healthz evaluates (replacing
+// any previous set). No-op on a nil hub.
+func (h *Hub) SetHealthChecks(checks ...HealthCheck) {
+	if h == nil {
+		return
+	}
+	cp := append([]HealthCheck(nil), checks...)
+	h.health.Store(&cp)
+}
+
+// HealthChecks returns the installed probes (nil when none).
+func (h *Hub) HealthChecks() []HealthCheck {
+	if h == nil {
+		return nil
+	}
+	if p := h.health.Load(); p != nil {
+		return *p
+	}
+	return nil
 }

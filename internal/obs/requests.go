@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WideEvent is one request-scoped "wide event": everything worth knowing
+// about a single request in one flat, structured JSON record — the query
+// kind, its budgets, how long it queued for admission, how much index work
+// it did, how it ended, and (for batch requests) how the work spread over
+// the worker pool. One event is emitted per request at completion; the
+// sampled RequestLog ring retains recent events for /debug/requests.
+type WideEvent struct {
+	// RequestID joins the event with the /v1/search response, the admission
+	// shed response, the query's trace and the slow-query log.
+	RequestID string `json:"request_id"`
+	// Time is when the request entered the engine (or was shed).
+	Time time.Time `json:"time"`
+	// Op is the request kind (similar, linear, dtw, periods, qbb, qbb_id,
+	// batch_search) or "admission_shed" for requests that never got a slot.
+	Op string `json:"op"`
+	K  int    `json:"k,omitempty"`
+
+	// Budget echo: the limits the request ran under (0 = unlimited).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	MaxNodes   int   `json:"max_nodes,omitempty"`
+	MaxExact   int   `json:"max_exact,omitempty"`
+
+	// QueueWaitMS is time spent queued for admission before execution (or
+	// before being shed).
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	// DurationMS is execution wall time (excluding queue wait).
+	DurationMS float64 `json:"duration_ms"`
+
+	// Index work and prune attribution (index-backed kinds).
+	NodesVisited   int `json:"nodes_visited,omitempty"`
+	BoundsComputed int `json:"bounds_computed,omitempty"`
+	Candidates     int `json:"candidates,omitempty"`
+	FullRetrievals int `json:"full_retrievals,omitempty"`
+	LBPrunes       int `json:"lb_prunes,omitempty"`
+	UBPrunes       int `json:"ub_prunes,omitempty"`
+
+	// Results is how many neighbours/matches were returned.
+	Results int `json:"results"`
+
+	// Truncated marks budget-degraded partial answers; Abort carries the
+	// cause when the request did not complete normally: "canceled",
+	// "deadline", "budget", "queue_full", "wait_timeout" or "error".
+	Truncated bool   `json:"truncated,omitempty"`
+	Abort     string `json:"abort,omitempty"`
+	Error     string `json:"error,omitempty"`
+
+	// Batch-only: pool fan-out and per-worker task spread.
+	Workers      int     `json:"workers,omitempty"`
+	WorkerSpread []int64 `json:"worker_spread,omitempty"`
+}
+
+// RequestLog rings the last N wide events, sampled 1-in-S. Sampling is
+// deterministic: the k-th event offered (1-based) is retained iff
+// (k-1) mod S == 0, so a fixed request sequence always retains the same
+// events — tests and incident reconstructions are reproducible. All
+// methods are nil-safe.
+type RequestLog struct {
+	sample atomic.Int64
+	seen   atomic.Int64
+
+	mu     sync.Mutex
+	ring   []WideEvent
+	next   int
+	filled bool
+}
+
+// NewRequestLog creates a ring retaining the last `capacity` sampled
+// events (default 256 when capacity <= 0), keeping every `sample`-th event
+// (default 1 = keep all when sample <= 0).
+func NewRequestLog(capacity, sample int) *RequestLog {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	l := &RequestLog{ring: make([]WideEvent, capacity)}
+	if sample <= 0 {
+		sample = 1
+	}
+	l.sample.Store(int64(sample))
+	return l
+}
+
+// SetSample changes the sampling rate (1 = keep all; n <= 0 resets to 1).
+func (l *RequestLog) SetSample(n int) {
+	if l == nil {
+		return
+	}
+	if n <= 0 {
+		n = 1
+	}
+	l.sample.Store(int64(n))
+}
+
+// Sample returns the current 1-in-N sampling rate (0 on a nil log).
+func (l *RequestLog) Sample() int {
+	if l == nil {
+		return 0
+	}
+	return int(l.sample.Load())
+}
+
+// Record offers one event to the log and reports whether it was retained
+// (dropped by sampling otherwise). No-op false on a nil log.
+func (l *RequestLog) Record(ev WideEvent) bool {
+	if l == nil {
+		return false
+	}
+	k := l.seen.Add(1)
+	if (k-1)%l.sample.Load() != 0 {
+		return false
+	}
+	l.mu.Lock()
+	l.ring[l.next] = ev
+	l.next = (l.next + 1) % len(l.ring)
+	if l.next == 0 {
+		l.filled = true
+	}
+	l.mu.Unlock()
+	return true
+}
+
+// Seen returns how many events were offered over the log's lifetime,
+// retained or sampled out (0 on a nil log).
+func (l *RequestLog) Seen() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.seen.Load()
+}
+
+// Snapshot returns the retained events, most recent first (nil on a nil
+// log).
+func (l *RequestLog) Snapshot() []WideEvent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := l.next
+	if l.filled {
+		total = len(l.ring)
+	}
+	out := make([]WideEvent, 0, total)
+	for i := 0; i < total; i++ {
+		idx := (l.next - 1 - i + len(l.ring)) % len(l.ring)
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
+
+// Find returns the most recent retained event with the given request ID.
+func (l *RequestLog) Find(id string) (WideEvent, bool) {
+	for _, ev := range l.Snapshot() {
+		if ev.RequestID == id {
+			return ev, true
+		}
+	}
+	return WideEvent{}, false
+}
+
+// Len returns the number of retained events.
+func (l *RequestLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filled {
+		return len(l.ring)
+	}
+	return l.next
+}
+
+// ---------------------------------------------------------------------------
+// Request IDs
+
+// reqNonce distinguishes processes so IDs from two runs never collide in
+// logs; reqSeq orders IDs within a process.
+var (
+	reqNonce = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Degenerate fallback: sequence numbers still make IDs unique
+			// within the process.
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqSeq atomic.Uint64
+)
+
+// NewRequestID mints a process-unique request ID ("q-<nonce>-<seq>").
+func NewRequestID() string {
+	return fmt.Sprintf("q-%s-%d", reqNonce, reqSeq.Add(1))
+}
+
+// requestIDKey carries a request ID through a context.
+type requestIDKey struct{}
+
+// WithRequestID returns ctx annotated with the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID on ctx ("" when absent).
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// EnsureRequestID returns ctx carrying a request ID, minting one if ctx has
+// none, plus the ID itself. A nil ctx is promoted to context.Background.
+func EnsureRequestID(ctx context.Context) (context.Context, string) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewRequestID()
+	return WithRequestID(ctx, id), id
+}

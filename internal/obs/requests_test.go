@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRequestLogWraparound(t *testing.T) {
+	t.Parallel()
+	l := NewRequestLog(4, 1)
+	for i := 0; i < 10; i++ {
+		l.Record(WideEvent{RequestID: fmt.Sprintf("q-%d", i)})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("ring retains %d, want 4", l.Len())
+	}
+	snap := l.Snapshot()
+	for i, want := range []string{"q-9", "q-8", "q-7", "q-6"} {
+		if snap[i].RequestID != want {
+			t.Errorf("snapshot[%d] = %s, want %s (most recent first)", i, snap[i].RequestID, want)
+		}
+	}
+	if _, ok := l.Find("q-5"); ok {
+		t.Error("evicted event still findable")
+	}
+	if ev, ok := l.Find("q-7"); !ok || ev.RequestID != "q-7" {
+		t.Errorf("Find(q-7) = %+v, %v", ev, ok)
+	}
+	if l.Seen() != 10 {
+		t.Errorf("seen %d, want 10", l.Seen())
+	}
+}
+
+// TestRequestLogSamplingDeterministic pins the 1-in-N rule: the k-th offered
+// event (1-based) is retained iff (k-1) mod N == 0, so a fixed request
+// sequence always retains the same events.
+func TestRequestLogSamplingDeterministic(t *testing.T) {
+	t.Parallel()
+	l := NewRequestLog(32, 3)
+	var kept []string
+	for i := 1; i <= 10; i++ {
+		id := fmt.Sprintf("q-%d", i)
+		if l.Record(WideEvent{RequestID: id}) {
+			kept = append(kept, id)
+		}
+	}
+	want := []string{"q-1", "q-4", "q-7", "q-10"}
+	if len(kept) != len(want) {
+		t.Fatalf("kept %v, want %v", kept, want)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Fatalf("kept %v, want %v", kept, want)
+		}
+	}
+	if l.Sample() != 3 {
+		t.Errorf("sample = %d, want 3", l.Sample())
+	}
+	l.SetSample(0) // resets to keep-all
+	if l.Sample() != 1 {
+		t.Errorf("SetSample(0) should reset to 1, got %d", l.Sample())
+	}
+}
+
+func TestRequestLogNilSafe(t *testing.T) {
+	t.Parallel()
+	var l *RequestLog
+	if l.Record(WideEvent{}) {
+		t.Error("nil log retained an event")
+	}
+	if l.Len() != 0 || l.Seen() != 0 || l.Sample() != 0 {
+		t.Error("nil log should report zeros")
+	}
+	if l.Snapshot() != nil {
+		t.Error("nil log snapshot should be nil")
+	}
+	if _, ok := l.Find("x"); ok {
+		t.Error("nil log found an event")
+	}
+	l.SetSample(2) // must not panic
+}
+
+func TestRequestIDMintingAndContext(t *testing.T) {
+	t.Parallel()
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Fatalf("two minted IDs collide: %s", a)
+	}
+	if !strings.HasPrefix(a, "q-") {
+		t.Errorf("ID %q should have the q- prefix", a)
+	}
+
+	ctx, id := EnsureRequestID(context.Background())
+	if id == "" || RequestIDFrom(ctx) != id {
+		t.Fatalf("EnsureRequestID minted %q but context carries %q", id, RequestIDFrom(ctx))
+	}
+	// A second Ensure must adopt, not re-mint.
+	ctx2, id2 := EnsureRequestID(ctx)
+	if id2 != id {
+		t.Errorf("EnsureRequestID re-minted %q over existing %q", id2, id)
+	}
+	if ctx2 != ctx {
+		t.Error("EnsureRequestID should return the same context when the ID exists")
+	}
+
+	if RequestIDFrom(context.Background()) != "" {
+		t.Error("bare context should carry no request ID")
+	}
+	if RequestIDFrom(nil) != "" { //nolint:staticcheck // nil-safety contract
+		t.Error("nil context should carry no request ID")
+	}
+	if _, id := EnsureRequestID(nil); id == "" { //nolint:staticcheck // nil-safety contract
+		t.Error("EnsureRequestID(nil) should still mint")
+	}
+	if got := WithRequestID(context.Background(), ""); RequestIDFrom(got) != "" {
+		t.Error("WithRequestID(\"\") should be a no-op")
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,8 +13,14 @@ import (
 type SlowEntry struct {
 	// Time is when the slow query finished.
 	Time time.Time `json:"time"`
+	// RequestID joins the entry with /debug/requests and the /v1/search
+	// response (empty when the query ran outside the request-ID'd path).
+	RequestID string `json:"request_id,omitempty"`
 	// DurationMS is the root span's wall time.
 	DurationMS float64 `json:"duration_ms"`
+	// QueueWaitMS is the admission queue wait annotated on the trace (0
+	// when the query never queued).
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
 	// ThresholdMS is the threshold that was in force when the entry was
 	// recorded.
 	ThresholdMS float64 `json:"threshold_ms"`
@@ -101,7 +108,9 @@ func (l *SlowLog) Observe(rec TraceRecord, d time.Duration, explain any) {
 	l.total.Add(1)
 	entry := SlowEntry{
 		Time:        time.Now(),
+		RequestID:   rootAttr(rec, "request_id"),
 		DurationMS:  float64(d) / float64(time.Millisecond),
+		QueueWaitMS: rootAttrFloat(rec, "queue_wait_ms"),
 		ThresholdMS: float64(thr) / float64(time.Millisecond),
 		Trace:       rec,
 		Explain:     explain,
@@ -116,11 +125,37 @@ func (l *SlowLog) Observe(rec TraceRecord, d time.Duration, explain any) {
 	l.slogger().Warn("slow query",
 		slog.String("op", rec.Root.Name),
 		slog.Uint64("trace_id", rec.ID),
+		slog.String("request_id", entry.RequestID),
 		slog.Float64("duration_ms", entry.DurationMS),
+		slog.Float64("queue_wait_ms", entry.QueueWaitMS),
 		slog.Float64("threshold_ms", entry.ThresholdMS),
 		slog.Int("spans", countSpans(rec.Root)),
 		slog.Bool("explained", explain != nil),
 	)
+}
+
+// rootAttr returns the value of one root-span annotation ("" when absent).
+func rootAttr(rec TraceRecord, key string) string {
+	for _, a := range rec.Root.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// rootAttrFloat parses a numeric root-span annotation (0 when absent or
+// malformed).
+func rootAttrFloat(rec TraceRecord, key string) float64 {
+	s := rootAttr(rec, key)
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
 }
 
 func countSpans(s SpanRecord) int {

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWorkerShardsFlushAndSnapshot(t *testing.T) {
+	t.Parallel()
+	ws := NewWorkerShards(3)
+	ws.Flush(0, WorkerDelta{Tasks: 4, Steals: 1, BusyNS: 300, IdleNS: 100, NodesVisited: 40})
+	ws.Flush(0, WorkerDelta{Tasks: 2, BusyNS: 100, IdleNS: 100})
+	ws.Flush(2, WorkerDelta{Tasks: 1, BusyNS: 50, IdleNS: 0})
+	ws.AddLockWait(1234)
+	ws.AddBatch()
+	ws.AddBatch()
+
+	snap := ws.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d slots, want 3", len(snap))
+	}
+	if snap[0].Tasks != 6 || snap[0].Steals != 1 || snap[0].BusyNS != 400 || snap[0].IdleNS != 200 || snap[0].NodesVisited != 40 {
+		t.Errorf("slot 0 = %+v, want accumulated deltas", snap[0])
+	}
+	if got, want := snap[0].Utilization, 400.0/600.0; got != want {
+		t.Errorf("slot 0 utilization = %v, want %v", got, want)
+	}
+	if snap[1].Tasks != 0 || snap[1].Utilization != 0 {
+		t.Errorf("untouched slot 1 = %+v, want zeros", snap[1])
+	}
+	if snap[2].Utilization != 1 {
+		t.Errorf("slot 2 utilization = %v, want 1 (no idle)", snap[2].Utilization)
+	}
+	rep := ws.Report()
+	if rep.LockWaitNS != 1234 || rep.Batches != 2 {
+		t.Errorf("report totals = %d ns / %d batches, want 1234/2", rep.LockWaitNS, rep.Batches)
+	}
+}
+
+func TestWorkerShardsIgnoresBadInput(t *testing.T) {
+	t.Parallel()
+	ws := NewWorkerShards(2)
+	ws.Flush(-1, WorkerDelta{Tasks: 1})
+	ws.Flush(2, WorkerDelta{Tasks: 1})
+	ws.AddLockWait(-5)
+	ws.AddLockWait(0)
+	for _, s := range ws.Snapshot() {
+		if s.Tasks != 0 {
+			t.Errorf("out-of-range flush landed in slot %d", s.Worker)
+		}
+	}
+	if ws.LockWaitNS() != 0 {
+		t.Errorf("non-positive lock waits accumulated: %d", ws.LockWaitNS())
+	}
+	if NewWorkerShards(0).Workers() != 1 {
+		t.Errorf("NewWorkerShards(0) should clamp to 1 slot")
+	}
+}
+
+func TestWorkerShardsNilSafe(t *testing.T) {
+	t.Parallel()
+	var ws *WorkerShards
+	ws.Flush(0, WorkerDelta{Tasks: 1})
+	ws.AddLockWait(1)
+	ws.AddBatch()
+	if ws.Workers() != 0 || ws.Batches() != 0 || ws.LockWaitNS() != 0 {
+		t.Error("nil shards should report zeros")
+	}
+	if ws.Snapshot() != nil {
+		t.Error("nil shards snapshot should be nil")
+	}
+	rep := ws.Report()
+	if len(rep.Workers) != 0 {
+		t.Error("nil shards report should carry no workers")
+	}
+}
+
+// TestWorkerShardsConcurrentFlushScrape drives concurrent flushes (one
+// goroutine per slot, plus cross-slot writers) against concurrent scrapes;
+// run under -race this is the lock-freedom proof, and the final snapshot
+// must account every delta exactly once.
+func TestWorkerShardsConcurrentFlushScrape(t *testing.T) {
+	t.Parallel()
+	const workers, rounds = 4, 200
+	ws := NewWorkerShards(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				ws.Flush(w, WorkerDelta{Tasks: 1, BusyNS: 10, IdleNS: 5})
+				ws.AddLockWait(3)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, s := range ws.Snapshot() {
+					if s.Tasks < 0 || s.BusyNS < 0 {
+						t.Error("snapshot observed negative counters")
+						return
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+
+	var total int64
+	for _, s := range ws.Snapshot() {
+		if s.Tasks != rounds {
+			t.Errorf("worker %d accumulated %d tasks, want %d", s.Worker, s.Tasks, rounds)
+		}
+		total += s.Tasks
+	}
+	if total != workers*rounds {
+		t.Errorf("total tasks %d, want %d", total, workers*rounds)
+	}
+	if got := ws.LockWaitNS(); got != int64(workers*rounds*3) {
+		t.Errorf("lock wait %d, want %d", got, workers*rounds*3)
+	}
+}
