@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-lostcancel api-check fmt check bench bench-record bench-smoke fuzz-smoke profile profile-smoke
+.PHONY: all build test race vet vet-lostcancel api-check fmt check bench bench-record bench-smoke fuzz-smoke profile profile-smoke trace-smoke
 
 all: check
 
@@ -42,6 +42,13 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz FuzzSafeBounds -fuzztime $(FUZZTIME) ./internal/spectral
 	$(GO) test -run='^$$' -fuzz FuzzCompressInvariants -fuzztime $(FUZZTIME) ./internal/spectral
+	$(GO) test -run='^$$' -fuzz FuzzParseTraceparent -fuzztime $(FUZZTIME) ./internal/obs
+
+# trace-smoke boots cmd/s2 with a file span exporter, sends a traced
+# /v1/search request and asserts the exported trace's spans and parentage.
+# See scripts/trace_smoke.sh.
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem ./...

@@ -120,6 +120,8 @@ func runRecord(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  contention mean util %.2f  imbalance %.2f  steals %d  lock wait %.3f ms over %d batches\n",
 		rec.Contention.MeanUtilization, rec.Contention.Imbalance,
 		rec.Contention.StealsTotal, float64(rec.Contention.LockWaitNS)/1e6, rec.Contention.Batches)
+	fmt.Fprintf(stdout, "  tracing untraced %.0f qps  traced %.0f qps  overhead %+.2f%%  traces kept %d\n",
+		rec.Tracing.UntracedQPS, rec.Tracing.TracedQPS, rec.Tracing.OverheadPct, rec.Tracing.TracesKept)
 	for _, p := range rec.Profiles {
 		fmt.Fprintf(stdout, "  profile %s\n", p)
 	}

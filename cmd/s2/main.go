@@ -39,9 +39,11 @@ import (
 	"log/slog"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/admit"
@@ -83,6 +85,9 @@ func run() error {
 	maxInFlight := flag.Int("max-inflight", 64, "search requests served concurrently before queueing")
 	maxQueue := flag.Int("max-queue", 0, "search requests allowed to queue for a slot (default 2x -max-inflight)")
 	queueWait := flag.Duration("queue-wait", time.Second, "longest a queued search request waits before being shed with 503")
+	traceExport := flag.String("trace-export", "", "export kept traces as OTLP-style NDJSON to this file (or POST batches to an http(s):// collector URL)")
+	traceSample := flag.Float64("trace-sample", 1, "fraction of healthy traces the tail sampler keeps (slow/errored/shed traces are always kept)")
+	serve := flag.Bool("serve", false, "serve until interrupted instead of reading REPL commands from stdin (requires -debug-addr)")
 	flag.Parse()
 
 	fmt.Printf("S2 — query-log similarity tool (paper §7.5 reproduction)\n")
@@ -91,6 +96,21 @@ func run() error {
 	if *slowQuery > 0 {
 		hub.Slow.SetThreshold(*slowQuery)
 		slog.Info("slow-query log enabled", "threshold", slowQuery.String())
+	}
+	// Tail-based sampling: the decision is made at trace end, keeping every
+	// slow (>= -slow-query), errored, aborted and shed trace and -trace-sample
+	// of the healthy rest. One latency knob: the slow-log threshold IS the
+	// sampler's always-keep signal.
+	hub.Traces.SetSampler(obs.NewTailSampler(*traceSample, hub.Slow))
+	if *traceExport != "" {
+		exp, err := newTraceExporter(*traceExport)
+		if err != nil {
+			return err
+		}
+		sink := obs.NewBatchExporter(exp, obs.BatchExporterOptions{FlushInterval: 500 * time.Millisecond})
+		defer sink.Close()
+		hub.Traces.SetSink(sink)
+		slog.Info("trace export enabled", "target", *traceExport)
 	}
 
 	engine, err := buildEngine(*db, *load, *n, *days, *seed, *budget, hub)
@@ -112,6 +132,10 @@ func run() error {
 		// /debug/requests tells the whole admission story; /debug/healthz
 		// flips to 503 while the controller would shed with queue-full.
 		ac.SetRequestLog(hub.RequestLog())
+		// The middleware owns each request's trace: it extracts or mints
+		// W3C trace context, traces admission (shed included) and echoes
+		// traceparent; the engine joins via the request context.
+		ac.SetTracer(hub.Traces)
 		hub.SetHealthChecks(
 			obs.HealthCheck{Name: "engine", Probe: func() error {
 				if engine.Len() == 0 {
@@ -145,9 +169,30 @@ func run() error {
 		}
 		fmt.Printf("engine state saved to %s (reopen with -db %s)\n", *save, *save)
 	}
+	if *serve {
+		if *debugAddr == "" {
+			return fmt.Errorf("-serve requires -debug-addr")
+		}
+		fmt.Printf("ready: %d series indexed; serving until SIGINT/SIGTERM\n", engine.Len())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		// Returning runs the deferred closes: the trace sink drains and
+		// flushes before the process exits, so no exported trace is lost.
+		return nil
+	}
 	fmt.Printf("ready: %d series indexed. Type 'help'.\n", engine.Len())
 	repl(engine, hub)
 	return nil
+}
+
+// newTraceExporter builds the exporter behind -trace-export: an NDJSON
+// file appender, or an HTTP collector when the target is an http(s) URL.
+func newTraceExporter(target string) (obs.SpanExporter, error) {
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		return obs.NewHTTPExporter(target, nil), nil
+	}
+	return obs.NewFileExporter(target)
 }
 
 // runBenchMode handles `s2 bench`: it builds the benchmark workload's

@@ -80,6 +80,10 @@ type Controller struct {
 	// shed request so /debug/requests shows rejections next to served
 	// queries.
 	reqlog atomic.Pointer[obs.RequestLog]
+	// tracer, when installed via SetTracer, makes Middleware the trace
+	// root: it parses/mints W3C trace context per request and traces
+	// admission (shed requests included) ahead of the handler.
+	tracer atomic.Pointer[obs.Tracer]
 }
 
 // New builds a Controller and registers its instruments on reg (nil reg
@@ -168,6 +172,23 @@ func (c *Controller) RequestLog() *obs.RequestLog {
 		return nil
 	}
 	return c.reqlog.Load()
+}
+
+// SetTracer installs the tracer Middleware roots request traces on (nil
+// detaches it: requests run untraced). Nil-safe.
+func (c *Controller) SetTracer(t *obs.Tracer) {
+	if c == nil {
+		return
+	}
+	c.tracer.Store(t)
+}
+
+// Tracer returns the installed tracer (nil when none).
+func (c *Controller) Tracer() *obs.Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tracer.Load()
 }
 
 // Saturated reports whether a request arriving right now would be shed

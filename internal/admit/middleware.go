@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -67,8 +68,16 @@ func shedCause(err error) string {
 // installed a log, recorded as an "admission_shed" wide event. Admitted
 // requests run with their queue wait and request ID on the context (see
 // QueueWaitFrom, obs.RequestIDFrom), so handlers report admission latency
-// in responses and traces. A nil controller passes everything through
-// untouched.
+// in responses and traces.
+//
+// When SetTracer installed a tracer, Middleware is also the trace root: it
+// extracts the inbound W3C `traceparent`/`tracestate` headers (minting a
+// fresh trace when absent or malformed), opens an "http_request" root span
+// with an "admission" child covering the Acquire, echoes `traceparent`
+// back on the response, and finishes the trace when the handler returns.
+// Shed requests finish their trace too — with a Shed outcome, so the tail
+// sampler always keeps them and 429/503s stay traceable. A nil controller
+// passes everything through untouched.
 func Middleware(c *Controller, next http.Handler) http.Handler {
 	if c == nil {
 		return next
@@ -76,17 +85,38 @@ func Middleware(c *Controller, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx, rid := obs.EnsureRequestID(r.Context())
 		w.Header().Set("X-Request-Id", rid)
+		ctx = obs.ContextWithTraceparent(ctx, r.Header.Get("traceparent"), r.Header.Get("tracestate"))
+		var tr *obs.Trace
+		if t := c.Tracer(); t != nil {
+			tr, ctx = t.StartTraceCtx(ctx, "http_request")
+			tr.Annotate("request_id", rid)
+			tr.Annotate("http_method", r.Method)
+			tr.Annotate("http_path", r.URL.Path)
+			sc := tr.SpanContext()
+			w.Header().Set("traceparent", sc.Traceparent())
+			if sc.State != "" {
+				w.Header().Set("tracestate", sc.State)
+			}
+		}
 		r = r.WithContext(ctx)
 		start := time.Now()
+		adm := tr.Span("admission")
 		release, wait, err := c.Acquire(ctx)
+		waitMS := float64(wait) / float64(time.Millisecond)
+		adm.Annotate("queue_wait_ms", strconv.FormatFloat(waitMS, 'f', -1, 64))
 		if err != nil {
 			code := http.StatusServiceUnavailable
 			if errors.Is(err, ErrQueueFull) {
 				code = http.StatusTooManyRequests
 			}
-			waitMS := float64(wait) / float64(time.Millisecond)
+			adm.Annotate("shed", shedCause(err))
+			adm.Finish()
+			tr.Annotate("queue_wait_ms", strconv.FormatFloat(waitMS, 'f', -1, 64))
+			tr.SetOutcome(obs.Outcome{Shed: true, Error: err.Error(), HTTPStatus: code})
+			tr.Finish()
 			c.RequestLog().Record(obs.WideEvent{
 				RequestID:   rid,
+				TraceID:     tr.TraceID().String(),
 				Time:        start,
 				Op:          "admission_shed",
 				QueueWaitMS: waitMS,
@@ -102,8 +132,11 @@ func Middleware(c *Controller, next http.Handler) http.Handler {
 			})
 			return
 		}
+		adm.Finish()
 		defer release()
+		defer tr.Finish()
 		if wait > 0 {
+			tr.Annotate("queue_wait_ms", strconv.FormatFloat(waitMS, 'f', -1, 64))
 			r = r.WithContext(WithQueueWait(r.Context(), wait))
 		}
 		next.ServeHTTP(w, r)

@@ -1,0 +1,139 @@
+package admit
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSaturatedQueueKeepsShedTraces saturates a one-slot controller at
+// tail-sampling fraction 0 and asserts the sampler's contract: every shed
+// request's trace is retained (reason "outcome", Shed set), every healthy
+// request's trace is sampled out and counted.
+func TestSaturatedQueueKeepsShedTraces(t *testing.T) {
+	t.Parallel()
+	tracer := obs.NewTracer(64)
+	sampler := obs.NewTailSampler(0, nil)
+	tracer.SetSampler(sampler)
+
+	c := New(Options{MaxInFlight: 1, MaxQueue: 1, MaxWait: time.Minute}, nil)
+	c.SetTracer(tracer)
+
+	enter := make(chan struct{}, 16)
+	release := make(chan struct{})
+	srv := httptest.NewServer(Middleware(c, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enter <- struct{}{}
+		<-release
+	})))
+	defer srv.Close()
+
+	const total = 8
+	codes := make(chan int, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := srv.Client().Get(srv.URL)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+		if i == 0 {
+			// Let the first request occupy the slot before the stampede, so
+			// exactly one more queues and the rest shed deterministically.
+			<-enter
+		}
+	}
+	// The in-flight request holds its slot until everyone else has either
+	// queued or been shed with 429.
+	for c.Waiting() < 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := sampler.Stats()
+		if st.KeptOutcome >= total-2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shed traces not finishing: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-enter // the queued request runs after the first releases
+	wg.Wait()
+
+	var ok200, shed int
+	for i := 0; i < total; i++ {
+		switch code := <-codes; code {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("unexpected status %d", code)
+		}
+	}
+	if ok200 != 2 || shed != total-2 {
+		t.Fatalf("got %d ok / %d shed, want 2 / %d", ok200, shed, total-2)
+	}
+
+	// Every shed trace kept; both healthy traces sampled out at fraction 0.
+	if got := tracer.Len(); got != shed {
+		t.Errorf("retained %d traces, want the %d shed ones", got, shed)
+	}
+	for _, rec := range tracer.Snapshot() {
+		if rec.KeepReason != obs.KeepOutcome {
+			t.Errorf("trace %s keep reason %q, want %q", rec.TraceID, rec.KeepReason, obs.KeepOutcome)
+		}
+		if rec.Outcome == nil || !rec.Outcome.Shed || rec.Outcome.HTTPStatus != http.StatusTooManyRequests {
+			t.Errorf("trace %s outcome = %+v, want shed 429", rec.TraceID, rec.Outcome)
+		}
+	}
+	st := sampler.Stats()
+	if st.KeptOutcome != int64(shed) || st.SampledOut != int64(ok200) {
+		t.Errorf("sampler stats = %+v, want %d kept-outcome / %d sampled-out", st, shed, ok200)
+	}
+}
+
+// TestMiddlewareMintsTraceWhenHeaderAbsent asserts the middleware roots a
+// fresh trace (and echoes a valid traceparent) when the caller sent none.
+func TestMiddlewareMintsTraceWhenHeaderAbsent(t *testing.T) {
+	t.Parallel()
+	tracer := obs.NewTracer(8)
+	c := New(Options{MaxInFlight: 4, MaxQueue: 4, MaxWait: time.Second}, nil)
+	c.SetTracer(tracer)
+	srv := httptest.NewServer(Middleware(c, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sc, err := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	if err != nil {
+		t.Fatalf("minted traceparent %q invalid: %v", resp.Header.Get("traceparent"), err)
+	}
+	rec, ok := tracer.Find(sc.TraceID.String())
+	if !ok {
+		t.Fatal("minted trace not retained")
+	}
+	if rec.ParentSpanID != "" {
+		t.Errorf("fresh trace has remote parent %q", rec.ParentSpanID)
+	}
+	if rec.Root.Name != "http_request" {
+		t.Errorf("root span = %q", rec.Root.Name)
+	}
+}

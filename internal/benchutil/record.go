@@ -34,7 +34,12 @@ import (
 // over the parallel throughput phase, steal counts, aggregate mutex-wait
 // nanoseconds, and the parallel-vs-serial speedup — the scheduling evidence
 // the worker-pool optimisation work gates on.
-const BenchSchemaVersion = 4
+//
+// v5 added the tracing section: serial QPS of an identically-built engine
+// with observability disabled versus the hub-attached engine, the relative
+// tracing overhead, and how many traces the run's tracer retained — the
+// evidence the trace-pipeline work gates on (overhead budget: 2%).
+const BenchSchemaVersion = 5
 
 // BenchWorkload pins every knob that shapes a benchmark run, so two records
 // are only ever compared like for like.
@@ -203,6 +208,28 @@ type ContentionBench struct {
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 }
 
+// TracingBench measures the cost of the trace pipeline: the workload's
+// serial search loop is re-timed on a second engine built from the same
+// corpus with no observability hub at all (no tracer, no metrics, no wide
+// events), and the two rates are compared. The overhead budget is 2%;
+// Validate does not gate on it (single-run wall clocks are machine-noisy)
+// but CompareBenchRecords tracks the untraced rate like any other QPS.
+type TracingBench struct {
+	// UntracedQPS is completed searches per second with observability
+	// disabled (Config.Obs == nil).
+	UntracedQPS float64 `json:"untraced_qps"`
+	// TracedQPS mirrors throughput.serial_qps: the same loop on the
+	// hub-attached engine, every query traced end to end.
+	TracedQPS float64 `json:"traced_qps"`
+	// OverheadPct is (untraced − traced) / untraced × 100. Negative means
+	// run-to-run noise favoured the traced engine.
+	OverheadPct float64 `json:"overhead_pct"`
+	// TracesKept is how many traces the hub's tracer retained over the
+	// whole run (ring-capped; with no sampler installed every trace is
+	// kept until the ring wraps).
+	TracesKept int `json:"traces_kept"`
+}
+
 // QBBBench summarizes the query-by-burst half of the workload.
 type QBBBench struct {
 	Latency LatencySummary `json:"latency"`
@@ -231,6 +258,7 @@ type BenchRecord struct {
 	Search      SearchBench      `json:"search"`
 	Throughput  ThroughputBench  `json:"throughput"`
 	Contention  ContentionBench  `json:"contention"`
+	Tracing     TracingBench     `json:"tracing"`
 	QBB         QBBBench         `json:"qbb"`
 	Degradation DegradationBench `json:"degradation"`
 
@@ -363,6 +391,33 @@ func RunBenchWithOptions(w BenchWorkload, label string, opts BenchOptions) (*Ben
 		rec.Throughput.Speedup = rec.Throughput.ParallelQPS / rec.Throughput.SerialQPS
 	}
 	rec.Contention = contentionFromShards(shardsBefore, shardsAfter, rec.Throughput.Speedup)
+
+	// Tracing overhead: the identical serial loop on a twin engine built
+	// with observability disabled, so the delta isolates the trace/metric/
+	// wide-event tax the hub-attached engine pays on every query.
+	eu, err := core.NewEngine(data, core.Config{Budget: w.Budget, Seed: w.Seed, Workers: w.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("benchutil: untraced engine: %w", err)
+	}
+	untracedStart := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i, v := range qvals {
+			if _, _, err := eu.SimilarQueries(v, w.K); err != nil {
+				eu.Close()
+				return nil, fmt.Errorf("benchutil: untraced throughput query %d: %w", i, err)
+			}
+		}
+	}
+	untracedSec := time.Since(untracedStart).Seconds()
+	eu.Close()
+	rec.Tracing = TracingBench{
+		UntracedQPS: float64(total) / untracedSec,
+		TracedQPS:   rec.Throughput.SerialQPS,
+	}
+	if rec.Tracing.UntracedQPS > 0 {
+		rec.Tracing.OverheadPct = (rec.Tracing.UntracedQPS - rec.Tracing.TracedQPS) / rec.Tracing.UntracedQPS * 100
+	}
+
 	if opts.Profiler != nil {
 		files, err := opts.Profiler.Capture(label)
 		if err != nil {
@@ -453,6 +508,7 @@ func RunBenchWithOptions(w BenchWorkload, label string, opts BenchOptions) (*Ben
 		rec.Degradation.QueueWaitMS = float64(waitTotal) / float64(time.Millisecond) / float64(admits)
 	}
 
+	rec.Tracing.TracesKept = hub.Traces.Len()
 	rec.Counters = map[string]int64{}
 	for _, c := range hub.Registry().Snapshot().Counters {
 		rec.Counters[c.Name] = c.Value
@@ -600,6 +656,21 @@ func (r *BenchRecord) Validate() error {
 		return fmt.Errorf("benchutil: contention speedup %v diverges from throughput speedup %v",
 			r.Contention.SpeedupVsSerial, r.Throughput.Speedup)
 	}
+	if r.Tracing.UntracedQPS <= 0 || r.Tracing.TracedQPS <= 0 {
+		return fmt.Errorf("benchutil: tracing qps = %v untraced / %v traced",
+			r.Tracing.UntracedQPS, r.Tracing.TracedQPS)
+	}
+	if math.Abs(r.Tracing.TracedQPS-r.Throughput.SerialQPS) > 1e-9 {
+		return fmt.Errorf("benchutil: tracing traced_qps %v diverges from throughput serial_qps %v",
+			r.Tracing.TracedQPS, r.Throughput.SerialQPS)
+	}
+	if want := (r.Tracing.UntracedQPS - r.Tracing.TracedQPS) / r.Tracing.UntracedQPS * 100; math.Abs(want-r.Tracing.OverheadPct) > 1e-6 {
+		return fmt.Errorf("benchutil: tracing overhead_pct %v inconsistent with rates (want %v)",
+			r.Tracing.OverheadPct, want)
+	}
+	if r.Tracing.TracesKept < 1 {
+		return fmt.Errorf("benchutil: tracing kept no traces; the hub-attached run must trace")
+	}
 	if r.Degradation.Aborted < int64(r.Workload.Queries) {
 		return fmt.Errorf("benchutil: only %d/%d cancelled queries aborted",
 			r.Degradation.Aborted, r.Workload.Queries)
@@ -685,6 +756,7 @@ func CompareBenchRecords(old, new *BenchRecord, tol float64) ([]Regression, erro
 	check("throughput.serial_qps", old.Throughput.SerialQPS, new.Throughput.SerialQPS, false)
 	check("throughput.parallel_qps", old.Throughput.ParallelQPS, new.Throughput.ParallelQPS, false)
 	check("contention.speedup_vs_serial", old.Contention.SpeedupVsSerial, new.Contention.SpeedupVsSerial, false)
+	check("tracing.untraced_qps", old.Tracing.UntracedQPS, new.Tracing.UntracedQPS, false)
 	check("qbb.latency.p50_ms", old.QBB.Latency.P50MS, new.QBB.Latency.P50MS, true)
 	check("qbb.rows_scanned", old.QBB.RowsScanned, new.QBB.RowsScanned, true)
 	check("degradation.queue_wait_ms", old.Degradation.QueueWaitMS, new.Degradation.QueueWaitMS, true)

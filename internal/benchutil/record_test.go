@@ -102,6 +102,8 @@ func TestValidateRejectsCorruptRecords(t *testing.T) {
 		"aborted":    mutate(func(r *BenchRecord) { r.Degradation.Aborted = 0 }),
 		"truncated":  mutate(func(r *BenchRecord) { r.Degradation.Truncated-- }),
 		"queue_wait": mutate(func(r *BenchRecord) { r.Degradation.QueueWaitMS = 0 }),
+		"tracing":    mutate(func(r *BenchRecord) { r.Tracing.UntracedQPS = 0 }),
+		"traces":     mutate(func(r *BenchRecord) { r.Tracing.TracesKept = 0 }),
 		"counters":   mutate(func(r *BenchRecord) { r.Counters = nil }),
 	}
 	for name, rec := range cases {

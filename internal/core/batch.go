@@ -80,15 +80,17 @@ func (e *Engine) BatchSearchCtx(ctx context.Context, queries [][]float64, k int)
 		return nil, vptree.Stats{}, nil
 	}
 	start := time.Now()
-	defer e.met.batchLat.Start()()
 	e.met.batchTotal.Inc()
 	e.met.batchQueries.Add(int64(len(queries)))
 	ctx, rid := obs.EnsureRequestID(ctx)
-	tr := e.tracer.StartTrace("batch_search")
-	defer tr.Finish()
-	tr.Annotate("request_id", rid)
-	tr.Annotate("queries", strconv.Itoa(len(queries)))
-	tr.Annotate("k", strconv.Itoa(k))
+	// Join the HTTP layer's trace when one owns ctx, else root a fresh
+	// engine-owned "batch_search" trace (see Engine.joinTrace).
+	tr, fam, ctx, finishTrace := e.joinTrace(ctx, "batch_search")
+	defer finishTrace()
+	defer e.met.batchLat.StartCtx(ctx)()
+	fam.Annotate("request_id", rid)
+	fam.Annotate("queries", strconv.Itoa(len(queries)))
+	fam.Annotate("k", strconv.Itoa(k))
 
 	lockStart := time.Now()
 	e.mu.RLock()
@@ -101,7 +103,7 @@ func (e *Engine) BatchSearchCtx(ctx context.Context, queries [][]float64, k int)
 	if workers > len(queries) {
 		workers = len(queries)
 	}
-	tr.Annotate("workers", strconv.Itoa(workers))
+	fam.Annotate("workers", strconv.Itoa(workers))
 
 	// Partition the batch into contiguous per-worker queues. Ceil division
 	// gives the first queues one extra query when the split is uneven; the
@@ -208,6 +210,7 @@ func (e *Engine) BatchSearchCtx(ctx context.Context, queries [][]float64, k int)
 	}
 	ev := obs.WideEvent{
 		RequestID:    rid,
+		TraceID:      tr.TraceID().String(),
 		Time:         start,
 		Op:           "batch_search",
 		K:            k,
@@ -218,11 +221,13 @@ func (e *Engine) BatchSearchCtx(ctx context.Context, queries [][]float64, k int)
 		Workers:      workers,
 		WorkerSpread: spread,
 	}
-	tr.Annotate("steals", strconv.FormatInt(steals, 10))
+	fam.Annotate("steals", strconv.FormatInt(steals, 10))
 	for _, err := range errs { // first error by batch position, deterministically
 		if err != nil {
 			ev.Error = err.Error()
 			ev.Abort = abortCause(err)
+			aborted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+			tr.SetOutcome(obs.Outcome{Error: err.Error(), Aborted: aborted})
 			e.reqlog.Record(ev)
 			return nil, merged, err
 		}

@@ -853,22 +853,24 @@ func (e *Engine) filterBursts(det *burst.Detection) []burst.Burst {
 
 // queryBursts runs the §6.3 overlap query; caller holds mu. The gate bounds
 // interval probes and BSim rankings; on budget exhaustion the best-so-far
-// matches are returned with truncated=true.
-func (e *Engine) queryBursts(q []burst.Burst, k int, exclude int64, w BurstWindow, g *lifecycle.Gate) ([]BurstMatch, bool, error) {
-	defer e.met.qbbLat.Start()()
+// matches are returned with truncated=true. The burst-probe phase is
+// recorded as a child of the request's family span (see Engine.joinTrace).
+func (e *Engine) queryBursts(ctx context.Context, q []burst.Burst, k int, exclude int64, w BurstWindow, g *lifecycle.Gate) ([]BurstMatch, bool, error) {
+	defer e.met.qbbLat.StartCtx(ctx)()
 	e.met.qbbTotal.Inc()
-	tr := e.tracer.StartTrace("query_by_burst")
-	defer tr.Finish()
-	tr.Annotate("window", w.String())
-	tr.Annotate("query_bursts", strconv.Itoa(len(q)))
+	fam := obs.SpanFromContext(ctx)
+	fam.Annotate("window", w.String())
+	fam.Annotate("query_bursts", strconv.Itoa(len(q)))
+	sp := fam.Child("burst_probe")
 	matches, st, truncated, err := e.burstDB(w).QueryByBurstLimited(q, k, exclude, burstdb.PlanAuto, g)
+	sp.Finish()
 	if err != nil {
 		return nil, false, err
 	}
-	tr.Annotate("plan", st.Plan.String())
-	tr.Annotate("rows_scanned", strconv.Itoa(st.RowsScanned))
-	tr.Annotate("rows_matched", strconv.Itoa(st.RowsMatched))
-	annotateOutcome(tr, truncated)
+	sp.Annotate("plan", st.Plan.String())
+	sp.Annotate("rows_scanned", strconv.Itoa(st.RowsScanned))
+	sp.Annotate("rows_matched", strconv.Itoa(st.RowsMatched))
+	annotateOutcome(fam, truncated)
 	e.met.qbbResults.Add(int64(len(matches)))
 	out := make([]BurstMatch, len(matches))
 	for i, m := range matches {

@@ -205,8 +205,17 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	}
 	ctx, rid := obs.EnsureRequestID(ctx)
 	start := time.Now()
+	// Start or join the request's trace: when the HTTP layer (admission
+	// middleware or /v1/search) already owns an "http_request" root on ctx,
+	// the family span becomes its child; otherwise the engine starts its
+	// own trace whose root IS the family span (REPL, tests, embedding).
+	tr, sp, ctx, finishTrace := e.joinTrace(ctx, traceName(req.Kind))
+	defer finishTrace()
+	sp.Annotate("k", strconv.Itoa(req.K))
+	annotateLifecycle(ctx, sp, req)
 	ev := obs.WideEvent{
 		RequestID:   rid,
+		TraceID:     tr.TraceID().String(),
 		Time:        start,
 		Op:          req.Kind.String(),
 		K:           req.K,
@@ -221,6 +230,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 		e.met.queryAborted.Inc()
 		ev.Abort = abortCause(err)
 		ev.Error = err.Error()
+		tr.SetOutcome(obs.Outcome{Error: err.Error(), Aborted: true})
 		e.reqlog.Record(ev)
 		return nil, err
 	}
@@ -228,11 +238,13 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	resp, err := e.dispatch(ctx, g, req)
 	ev.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		aborted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		if aborted {
 			e.met.queryAborted.Inc()
 		}
 		ev.Abort = abortCause(err)
 		ev.Error = err.Error()
+		tr.SetOutcome(obs.Outcome{Error: err.Error(), Aborted: aborted})
 		e.reqlog.Record(ev)
 		return nil, err
 	}
@@ -240,6 +252,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 		e.met.queryTruncated.Inc()
 		ev.Truncated = true
 		ev.Abort = "budget"
+		tr.SetOutcome(obs.Outcome{Truncated: true})
 	}
 	ev.NodesVisited = resp.Stats.NodesVisited
 	ev.BoundsComputed = resp.Stats.BoundsComputed
@@ -250,6 +263,49 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 	ev.Results = len(resp.Neighbors) + len(resp.Matches)
 	e.reqlog.Record(ev)
 	return resp, nil
+}
+
+// traceName maps a request kind onto the family's historical trace root
+// name, so engine-owned traces keep the names /debug/traces and the slow
+// log have always shown.
+func traceName(k Kind) string {
+	switch k {
+	case KindSimilar:
+		return "similar_queries"
+	case KindSimilarID:
+		return "similar_to_id"
+	case KindLinear:
+		return "linear_scan"
+	case KindDTW:
+		return "similar_dtw"
+	case KindSimilarPeriods:
+		return "similar_by_periods"
+	case KindBurst, KindBurstID:
+		return "query_by_burst"
+	default:
+		return "query"
+	}
+}
+
+// joinTrace starts or joins the trace one request runs under and returns
+// the trace, the family span, a context carrying both, and the finish
+// function the caller must defer:
+//
+//   - ctx already carries a live trace (the HTTP layer owns the root):
+//     the family span is opened as a child of that root and finish closes
+//     only the span — the owner finishes (and tail-samples) the trace.
+//   - otherwise the engine starts its own trace whose root is the family
+//     span, adopting any remote W3C context on ctx, and finish commits it.
+//
+// With tracing disabled everything returned is nil/no-op.
+func (e *Engine) joinTrace(ctx context.Context, name string) (*obs.Trace, *obs.Span, context.Context, func()) {
+	if tr := obs.TraceFromContext(ctx); tr != nil {
+		sp := tr.Root().Child(name)
+		return tr, sp, obs.ContextWithSpan(ctx, sp), sp.Finish
+	}
+	tr, ctx := e.tracer.StartTraceCtx(ctx, name)
+	sp := tr.Root()
+	return tr, sp, obs.ContextWithSpan(ctx, sp), tr.Finish
 }
 
 // abortCause classifies why a request failed for the wide event's abort
@@ -289,37 +345,37 @@ func (e *Engine) dispatch(ctx context.Context, g *lifecycle.Gate, req Request) (
 }
 
 // annotateLifecycle attaches the request ID plus budget and admission
-// metadata to a trace so the slow-query log shows why a query was truncated
-// or where it waited, and can be joined with /debug/requests.
-func annotateLifecycle(ctx context.Context, tr *obs.Trace, req Request) {
-	if tr == nil {
+// metadata to the family span so the slow-query log shows why a query was
+// truncated or where it waited, and can be joined with /debug/requests.
+func annotateLifecycle(ctx context.Context, sp *obs.Span, req Request) {
+	if sp == nil {
 		return
 	}
 	if rid := obs.RequestIDFrom(ctx); rid != "" {
-		tr.Annotate("request_id", rid)
+		sp.Annotate("request_id", rid)
 	}
 	if req.Budget.Deadline != 0 {
-		tr.Annotate("deadline_ms", strconv.FormatInt(req.Budget.Deadline.Milliseconds(), 10))
+		sp.Annotate("deadline_ms", strconv.FormatInt(req.Budget.Deadline.Milliseconds(), 10))
 	}
 	if req.Budget.MaxNodeVisits > 0 {
-		tr.Annotate("max_node_visits", strconv.Itoa(req.Budget.MaxNodeVisits))
+		sp.Annotate("max_node_visits", strconv.Itoa(req.Budget.MaxNodeVisits))
 	}
 	if req.Budget.MaxExactDistances > 0 {
-		tr.Annotate("max_exact_distances", strconv.Itoa(req.Budget.MaxExactDistances))
+		sp.Annotate("max_exact_distances", strconv.Itoa(req.Budget.MaxExactDistances))
 	}
 	if req.QueueWait > 0 {
-		tr.Annotate("queue_wait_ms", strconv.FormatFloat(
+		sp.Annotate("queue_wait_ms", strconv.FormatFloat(
 			float64(req.QueueWait)/float64(time.Millisecond), 'f', 3, 64))
 	}
 }
 
-// annotateOutcome marks a trace truncated (budget degradation is worth
+// annotateOutcome marks a span truncated (budget degradation is worth
 // seeing in /debug/slow even when the query itself was fast).
-func annotateOutcome(tr *obs.Trace, truncated bool) {
-	if tr == nil || !truncated {
+func annotateOutcome(sp *obs.Span, truncated bool) {
+	if sp == nil || !truncated {
 		return
 	}
-	tr.Annotate("truncated", "true")
+	sp.Annotate("truncated", "true")
 }
 
 // searchIndexLimited runs a gated kNN query on whichever index the engine
@@ -347,15 +403,12 @@ func (e *Engine) searchIndexLimited(ctx context.Context, z []float64, k int, g *
 }
 
 func (e *Engine) querySimilar(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
-	defer e.met.similarLat.Start()()
+	defer e.met.similarLat.StartCtx(ctx)()
 	e.met.similarTotal.Inc()
 	e.met.similarK.Observe(float64(req.K))
-	tr := e.tracer.StartTrace("similar_queries")
-	defer tr.Finish()
-	tr.Annotate("k", strconv.Itoa(req.K))
-	annotateLifecycle(ctx, tr, req)
+	fam := obs.SpanFromContext(ctx)
 
-	sp := tr.Span("standardize")
+	sp := fam.Child("standardize")
 	z, err := e.standardizeQuery(req.Values)
 	sp.Finish()
 	if err != nil {
@@ -363,7 +416,7 @@ func (e *Engine) querySimilar(ctx context.Context, g *lifecycle.Gate, req Reques
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	sp = tr.Span("index_search")
+	sp = fam.Child("index_search")
 	res, st, truncated, err := e.searchIndexLimited(ctx, z, req.K, g)
 	sp.Finish()
 	annotateSearch(sp, st)
@@ -372,7 +425,7 @@ func (e *Engine) querySimilar(ctx context.Context, g *lifecycle.Gate, req Reques
 		return nil, err
 	}
 	e.met.similarResults.Add(int64(len(res)))
-	annotateOutcome(tr, truncated)
+	annotateOutcome(fam, truncated)
 	return &Response{
 		Kind: req.Kind, Neighbors: e.toNeighborsLocked(res),
 		Stats: st, Truncated: truncated,
@@ -380,24 +433,21 @@ func (e *Engine) querySimilar(ctx context.Context, g *lifecycle.Gate, req Reques
 }
 
 func (e *Engine) querySimilarID(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
-	defer e.met.similarLat.Start()()
+	defer e.met.similarLat.StartCtx(ctx)()
 	e.met.similarTotal.Inc()
 	e.met.similarK.Observe(float64(req.K))
-	tr := e.tracer.StartTrace("similar_to_id")
-	defer tr.Finish()
-	tr.Annotate("id", strconv.Itoa(req.ID))
-	tr.Annotate("k", strconv.Itoa(req.K))
-	annotateLifecycle(ctx, tr, req)
+	fam := obs.SpanFromContext(ctx)
+	fam.Annotate("id", strconv.Itoa(req.ID))
 
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	sp := tr.Span("fetch_standardized")
+	sp := fam.Child("fetch_standardized")
 	z, err := e.store.Get(req.ID)
 	sp.Finish()
 	if err != nil {
 		return nil, err
 	}
-	sp = tr.Span("index_search")
+	sp = fam.Child("index_search")
 	res, st, truncated, err := e.searchIndexLimited(ctx, z, req.K+1, g)
 	sp.Finish()
 	annotateSearch(sp, st)
@@ -415,7 +465,7 @@ func (e *Engine) querySimilarID(ctx context.Context, g *lifecycle.Gate, req Requ
 		}
 	}
 	e.met.similarResults.Add(int64(len(out)))
-	annotateOutcome(tr, truncated)
+	annotateOutcome(fam, truncated)
 	return &Response{
 		Kind: req.Kind, Neighbors: e.toNeighborsLocked(out),
 		Stats: st, Truncated: truncated,
@@ -423,36 +473,32 @@ func (e *Engine) querySimilarID(ctx context.Context, g *lifecycle.Gate, req Requ
 }
 
 func (e *Engine) queryLinear(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
-	defer e.met.linearLat.Start()()
+	defer e.met.linearLat.StartCtx(ctx)()
 	e.met.linearTotal.Inc()
-	tr := e.tracer.StartTrace("linear_scan")
-	defer tr.Finish()
-	tr.Annotate("k", strconv.Itoa(req.K))
-	annotateLifecycle(ctx, tr, req)
+	fam := obs.SpanFromContext(ctx)
 	z, err := e.standardizeQuery(req.Values)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	sp := fam.Child("linear_scan")
 	best, err := e.linearScanStandardized(z, req.K, g)
+	sp.Finish()
 	if err != nil {
 		return nil, err
 	}
 	truncated := g.Truncated()
-	annotateOutcome(tr, truncated)
+	annotateOutcome(fam, truncated)
 	return &Response{Kind: req.Kind, Neighbors: best, Truncated: truncated}, nil
 }
 
 func (e *Engine) queryDTW(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
-	defer e.met.dtwLat.Start()()
+	defer e.met.dtwLat.StartCtx(ctx)()
 	e.met.dtwTotal.Inc()
-	tr := e.tracer.StartTrace("similar_dtw")
-	defer tr.Finish()
-	tr.Annotate("id", strconv.Itoa(req.ID))
-	tr.Annotate("band", strconv.Itoa(req.Band))
-	tr.Annotate("k", strconv.Itoa(req.K))
-	annotateLifecycle(ctx, tr, req)
+	fam := obs.SpanFromContext(ctx)
+	fam.Annotate("id", strconv.Itoa(req.ID))
+	fam.Annotate("band", strconv.Itoa(req.Band))
 
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -478,7 +524,9 @@ func (e *Engine) queryDTW(ctx context.Context, g *lifecycle.Gate, req Request) (
 		collection = append(collection, v)
 		ids = append(ids, other)
 	}
+	sp := fam.Child("dtw_cascade")
 	res, _, truncated, err := dtw.SearchKLimited(collection, z, req.Band, req.K, g)
+	sp.Finish()
 	if err != nil {
 		return nil, err
 	}
@@ -486,7 +534,7 @@ func (e *Engine) queryDTW(ctx context.Context, g *lifecycle.Gate, req Request) (
 	for i, r := range res {
 		out[i] = Neighbor{ID: ids[r.Index], Name: e.nameLocked(ids[r.Index]), Dist: r.Dist}
 	}
-	annotateOutcome(tr, truncated)
+	annotateOutcome(fam, truncated)
 	return &Response{Kind: req.Kind, Neighbors: out, Truncated: truncated}, nil
 }
 
@@ -495,11 +543,8 @@ func (e *Engine) querySimilarPeriods(ctx context.Context, g *lifecycle.Gate, req
 	if relTol <= 0 {
 		relTol = 0.05
 	}
-	tr := e.tracer.StartTrace("similar_by_periods")
-	defer tr.Finish()
-	tr.Annotate("id", strconv.Itoa(req.ID))
-	tr.Annotate("k", strconv.Itoa(req.K))
-	annotateLifecycle(ctx, tr, req)
+	fam := obs.SpanFromContext(ctx)
+	fam.Annotate("id", strconv.Itoa(req.ID))
 
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -541,11 +586,11 @@ func (e *Engine) querySimilarPeriods(ctx context.Context, g *lifecycle.Gate, req
 		best = insertNeighbor(best, Neighbor{ID: other, Name: e.nameLocked(other), Dist: d}, req.K)
 	}
 	truncated := g.Truncated()
-	annotateOutcome(tr, truncated)
+	annotateOutcome(fam, truncated)
 	return &Response{Kind: req.Kind, Neighbors: best, Truncated: truncated}, nil
 }
 
-func (e *Engine) queryBurst(_ context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
+func (e *Engine) queryBurst(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
 	if req.Kind == KindBurst {
 		det, err := e.Bursts(req.Values, req.Window) // stateless, pre-lock
 		if err != nil {
@@ -553,7 +598,7 @@ func (e *Engine) queryBurst(_ context.Context, g *lifecycle.Gate, req Request) (
 		}
 		e.mu.RLock()
 		defer e.mu.RUnlock()
-		matches, truncated, err := e.queryBursts(e.filterBursts(det), req.K, -1, req.Window, g)
+		matches, truncated, err := e.queryBursts(ctx, e.filterBursts(det), req.K, -1, req.Window, g)
 		if err != nil {
 			return nil, err
 		}
@@ -561,7 +606,7 @@ func (e *Engine) queryBurst(_ context.Context, g *lifecycle.Gate, req Request) (
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	matches, truncated, err := e.queryBursts(e.burstsOfLocked(req.ID, req.Window), req.K, int64(req.ID), req.Window, g)
+	matches, truncated, err := e.queryBursts(ctx, e.burstsOfLocked(req.ID, req.Window), req.K, int64(req.ID), req.Window, g)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,10 @@ type SearchResponse struct {
 	// on the wide event resolvable at /debug/requests?id=<request_id>. Also
 	// sent as the X-Request-Id response header. (Additive in schema 1.)
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the request's W3C trace ID — the same ID the `traceparent`
+	// response header carries, resolvable at /debug/traces?id=<trace_id>
+	// ("" when tracing is disabled). (Additive in schema 1.)
+	TraceID string `json:"trace_id,omitempty"`
 	// Query and ID identify the indexed series the search ran for.
 	Query string `json:"query"`
 	ID    int    `json:"id"`
@@ -78,49 +82,79 @@ type SearchResult struct {
 // The request's context flows into the engine, so a client hanging up
 // aborts the search mid-traversal. When mounted behind admit.Middleware the
 // time spent queued for admission is reported as queue_wait_ms.
+//
+// Trace contract: when the middleware already owns an "http_request" trace
+// on the context, the handler (and engine) join it; when mounted bare, the
+// handler extracts/mints W3C trace context itself, echoes `traceparent`
+// back, and finishes the trace. Either way every terminal path — 400, 404,
+// 429/503, 500, success — stamps the trace's outcome, so error responses
+// are tail-kept and traceable, and the response body carries trace_id.
 func V1SearchHandler(e *Engine) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Mint (or adopt the middleware's) request ID first so every
+		// response — including validation failures — echoes it, then start
+		// or join the request trace the same way.
+		ctx, rid := obs.EnsureRequestID(r.Context())
+		w.Header().Set("X-Request-Id", rid)
+		tr := obs.TraceFromContext(ctx)
+		if tr == nil {
+			tctx := obs.ContextWithTraceparent(ctx, r.Header.Get("traceparent"), r.Header.Get("tracestate"))
+			if owned, octx := e.tracer.StartTraceCtx(tctx, "http_request"); owned != nil {
+				owned.Annotate("request_id", rid)
+				owned.Annotate("http_method", r.Method)
+				owned.Annotate("http_path", r.URL.Path)
+				sc := owned.SpanContext()
+				w.Header().Set("traceparent", sc.Traceparent())
+				if sc.State != "" {
+					w.Header().Set("tracestate", sc.State)
+				}
+				defer owned.Finish()
+				tr, ctx = owned, octx
+			}
+		}
+		// fail stamps the trace outcome before answering, so 4xx/5xx traces
+		// survive tail sampling instead of vanishing.
+		fail := func(code int, msg string) {
+			tr.SetOutcome(obs.Outcome{Error: msg, HTTPStatus: code})
+			httpError(w, code, msg)
+		}
 		if r.Method != http.MethodGet {
-			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			fail(http.StatusMethodNotAllowed, "GET only")
 			return
 		}
 		q := r.URL.Query()
 		name := q.Get("q")
 		if name == "" {
-			httpError(w, http.StatusBadRequest, "missing q parameter")
+			fail(http.StatusBadRequest, "missing q parameter")
 			return
 		}
 		id, ok := e.Lookup(name)
 		if !ok {
-			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown query %q", name))
+			fail(http.StatusNotFound, fmt.Sprintf("unknown query %q", name))
 			return
 		}
 		k := 5
 		if ks := q.Get("k"); ks != "" {
 			v, err := strconv.Atoi(ks)
 			if err != nil || v < 1 {
-				httpError(w, http.StatusBadRequest, "k must be a positive integer")
+				fail(http.StatusBadRequest, "k must be a positive integer")
 				return
 			}
 			k = v
 		}
 		budget, err := parseBudget(q)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
+			fail(http.StatusBadRequest, err.Error())
 			return
 		}
 		mode := q.Get("mode")
 		if mode == "" {
 			mode = "similar"
 		}
-		// Mint (or adopt the middleware's) request ID here so the response
-		// can echo it even when the engine never runs, and thread it through
-		// the engine via the context.
-		ctx, rid := obs.EnsureRequestID(r.Context())
-		w.Header().Set("X-Request-Id", rid)
 		resp := &SearchResponse{
 			SchemaVersion: SearchSchemaVersion,
 			RequestID:     rid,
+			TraceID:       tr.TraceID().String(),
 			Query:         name, ID: id, Mode: mode, K: k,
 			DeadlineMS:  budget.Deadline.Milliseconds(),
 			QueueWaitMS: float64(admit.QueueWaitFrom(r.Context())) / float64(time.Millisecond),
@@ -138,7 +172,7 @@ func V1SearchHandler(e *Engine) http.Handler {
 			// and drop it.
 			s, err := e.Series(id)
 			if err != nil {
-				httpError(w, http.StatusInternalServerError, err.Error())
+				fail(http.StatusInternalServerError, err.Error())
 				return
 			}
 			req.Kind, req.Values, req.K = KindLinear, s.Values, k+1
@@ -148,7 +182,7 @@ func V1SearchHandler(e *Engine) http.Handler {
 			if bs := q.Get("band"); bs != "" {
 				v, err := strconv.Atoi(bs)
 				if err != nil || v < 0 {
-					httpError(w, http.StatusBadRequest, "band must be a non-negative integer")
+					fail(http.StatusBadRequest, "band must be a non-negative integer")
 					return
 				}
 				req.Band = v
@@ -157,13 +191,13 @@ func V1SearchHandler(e *Engine) http.Handler {
 			req.Kind = KindSimilarPeriods
 			req.Periods, err = parsePeriods(q.Get("period"))
 			if err != nil {
-				httpError(w, http.StatusBadRequest, err.Error())
+				fail(http.StatusBadRequest, err.Error())
 				return
 			}
 			if rt := q.Get("rel_tol"); rt != "" {
 				v, err := strconv.ParseFloat(rt, 64)
 				if err != nil || v <= 0 {
-					httpError(w, http.StatusBadRequest, "rel_tol must be a positive number")
+					fail(http.StatusBadRequest, "rel_tol must be a positive number")
 					return
 				}
 				req.RelTol = v
@@ -176,12 +210,12 @@ func V1SearchHandler(e *Engine) http.Handler {
 			case "long":
 				req.Window = Long
 			default:
-				httpError(w, http.StatusBadRequest, "window must be short or long")
+				fail(http.StatusBadRequest, "window must be short or long")
 				return
 			}
 			resp.Window = req.Window.String()
 		default:
-			httpError(w, http.StatusBadRequest, "mode must be similar, linear, dtw, periods or qbb")
+			fail(http.StatusBadRequest, "mode must be similar, linear, dtw, periods or qbb")
 			return
 		}
 
@@ -190,10 +224,11 @@ func V1SearchHandler(e *Engine) http.Handler {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				// The client hung up (or the middleware's context expired):
 				// nothing useful to send, but status the abort anyway.
+				tr.SetOutcome(obs.Outcome{Error: err.Error(), Aborted: true, HTTPStatus: http.StatusServiceUnavailable})
 				httpError(w, http.StatusServiceUnavailable, err.Error())
 				return
 			}
-			httpError(w, http.StatusInternalServerError, err.Error())
+			fail(http.StatusInternalServerError, err.Error())
 			return
 		}
 		resp.Truncated = out.Truncated

@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanExporter ships batches of kept traces out of the process. Exporters
+// are driven by a BatchExporter worker goroutine, never by the request
+// path, so they may block (file I/O, HTTP round trips) without affecting
+// serving latency.
+type SpanExporter interface {
+	// ExportTraces writes one batch. An error drops the batch (counted by
+	// the BatchExporter); exporters do not retry internally.
+	ExportTraces(recs []TraceRecord) error
+	// Close flushes and releases the exporter's resources.
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// OTLP-style JSON shape
+
+// ExportedSpan is one span flattened out of the trace tree, using
+// OTLP-style field names (camelCase IDs, unix-nano timestamps, typed
+// attribute values) so standard trace tooling can ingest the output with a
+// thin adapter. This is "OTLP-style", not wire-conformant OTLP: timestamps
+// are JSON numbers and only string attribute values exist.
+type ExportedSpan struct {
+	TraceID           string       `json:"traceId"`
+	SpanID            string       `json:"spanId"`
+	ParentSpanID      string       `json:"parentSpanId,omitempty"`
+	Name              string       `json:"name"`
+	StartTimeUnixNano int64        `json:"startTimeUnixNano"`
+	EndTimeUnixNano   int64        `json:"endTimeUnixNano"`
+	Attributes        []ExportedKV `json:"attributes,omitempty"`
+}
+
+// ExportedKV is one OTLP-style attribute: {"key": k, "value": {"stringValue": v}}.
+type ExportedKV struct {
+	Key   string        `json:"key"`
+	Value ExportedValue `json:"value"`
+}
+
+// ExportedValue holds the attribute value (string-typed only).
+type ExportedValue struct {
+	StringValue string `json:"stringValue"`
+}
+
+// ExportedTrace is one kept trace as exported: identity, retention reason,
+// outcome, and the flattened span list (root first, then depth-first).
+type ExportedTrace struct {
+	TraceID    string         `json:"traceId"`
+	Sequence   uint64         `json:"sequence"`
+	KeepReason string         `json:"keepReason,omitempty"`
+	Outcome    *Outcome       `json:"outcome,omitempty"`
+	Spans      []ExportedSpan `json:"spans"`
+}
+
+// FlattenTrace converts a TraceRecord's span tree into the exported form.
+// The root span's parent is the remote span adopted from the inbound
+// traceparent header (absent when this process started the trace).
+func FlattenTrace(rec TraceRecord) ExportedTrace {
+	out := ExportedTrace{
+		TraceID:    rec.TraceID,
+		Sequence:   rec.ID,
+		KeepReason: rec.KeepReason,
+		Outcome:    rec.Outcome,
+	}
+	var walk func(sp SpanRecord, parent string)
+	walk = func(sp SpanRecord, parent string) {
+		es := ExportedSpan{
+			TraceID:           rec.TraceID,
+			SpanID:            sp.SpanID,
+			ParentSpanID:      parent,
+			Name:              sp.Name,
+			StartTimeUnixNano: sp.Start.UnixNano(),
+			EndTimeUnixNano:   sp.Start.Add(time.Duration(sp.DurationMS * float64(time.Millisecond))).UnixNano(),
+		}
+		for _, a := range sp.Attrs {
+			es.Attributes = append(es.Attributes, ExportedKV{Key: a.Key, Value: ExportedValue{StringValue: a.Value}})
+		}
+		out.Spans = append(out.Spans, es)
+		for _, c := range sp.Children {
+			walk(c, sp.SpanID)
+		}
+	}
+	root := rec.Root
+	walk(root, rec.ParentSpanID)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// File exporter
+
+// FileExporter appends one JSON line per trace (NDJSON of ExportedTrace)
+// to a file. Safe for use behind a BatchExporter; Close syncs and closes.
+type FileExporter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// NewFileExporter opens (appending, creating) the NDJSON trace file.
+func NewFileExporter(path string) (*FileExporter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open trace export file: %w", err)
+	}
+	return &FileExporter{f: f}, nil
+}
+
+// ExportTraces appends each trace as one JSON line.
+func (e *FileExporter) ExportTraces(recs []TraceRecord) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return fmt.Errorf("obs: file exporter closed")
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, rec := range recs {
+		if err := enc.Encode(FlattenTrace(rec)); err != nil {
+			return err
+		}
+	}
+	_, err := e.f.Write(buf.Bytes())
+	return err
+}
+
+// Close syncs and closes the file (idempotent).
+func (e *FileExporter) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return nil
+	}
+	err := e.f.Sync()
+	if cerr := e.f.Close(); err == nil {
+		err = cerr
+	}
+	e.f = nil
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// HTTP exporter
+
+// HTTPExporter POSTs each batch as a JSON document
+// {"traces": [ExportedTrace, ...]} to a collector endpoint.
+type HTTPExporter struct {
+	url    string
+	client *http.Client
+}
+
+// NewHTTPExporter creates an exporter POSTing to url. client may be nil
+// (a default client with a 5s timeout is used — the BatchExporter worker,
+// not the request path, eats this latency).
+func NewHTTPExporter(url string, client *http.Client) *HTTPExporter {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &HTTPExporter{url: url, client: client}
+}
+
+// ExportTraces POSTs one batch; non-2xx responses are errors.
+func (e *HTTPExporter) ExportTraces(recs []TraceRecord) error {
+	payload := struct {
+		Traces []ExportedTrace `json:"traces"`
+	}{Traces: make([]ExportedTrace, 0, len(recs))}
+	for _, rec := range recs {
+		payload.Traces = append(payload.Traces, FlattenTrace(rec))
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	resp, err := e.client.Post(e.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("obs: trace collector returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Close is a no-op (the HTTP client owns no resources needing release).
+func (e *HTTPExporter) Close() error { return nil }
+
+// ---------------------------------------------------------------------------
+// Batching sink
+
+// BatchExporterOptions tunes the bounded export queue.
+type BatchExporterOptions struct {
+	// QueueSize bounds traces buffered between Finish and the export
+	// worker (default 256). When full, Enqueue drops and counts.
+	QueueSize int
+	// BatchSize is the max traces per ExportTraces call (default 32).
+	BatchSize int
+	// FlushInterval bounds how long a non-full batch waits (default 1s).
+	FlushInterval time.Duration
+}
+
+func (o BatchExporterOptions) withDefaults() BatchExporterOptions {
+	if o.QueueSize <= 0 {
+		o.QueueSize = 256
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 32
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = time.Second
+	}
+	return o
+}
+
+// BatchExporter is the TraceSink installed on a Tracer: a bounded queue
+// drained by one worker goroutine that batches traces into a SpanExporter.
+// Enqueue never blocks — a full queue drops the trace and increments a
+// counter — so export backpressure can never stall the serving hot path.
+type BatchExporter struct {
+	opts  BatchExporterOptions
+	exp   SpanExporter
+	queue chan TraceRecord
+	stop  chan struct{}
+	done  chan struct{}
+
+	closed   atomic.Bool
+	enqueued atomic.Int64
+	exported atomic.Int64
+	dropped  atomic.Int64 // queue-full drops
+	failed   atomic.Int64 // traces lost to exporter errors
+}
+
+// NewBatchExporter starts the export worker over exp (which the returned
+// BatchExporter now owns: Close closes it).
+func NewBatchExporter(exp SpanExporter, opts BatchExporterOptions) *BatchExporter {
+	opts = opts.withDefaults()
+	b := &BatchExporter{
+		opts:  opts,
+		exp:   exp,
+		queue: make(chan TraceRecord, opts.QueueSize),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Enqueue offers one trace to the export queue without blocking; reports
+// false (and counts the drop) when the queue is full or the sink closed.
+func (b *BatchExporter) Enqueue(rec TraceRecord) bool {
+	if b == nil || b.closed.Load() {
+		return false
+	}
+	select {
+	case b.queue <- rec:
+		b.enqueued.Add(1)
+		return true
+	default:
+		b.dropped.Add(1)
+		return false
+	}
+}
+
+// run is the export worker: batch until full or the flush interval fires.
+func (b *BatchExporter) run() {
+	defer close(b.done)
+	ticker := time.NewTicker(b.opts.FlushInterval)
+	defer ticker.Stop()
+	batch := make([]TraceRecord, 0, b.opts.BatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := b.exp.ExportTraces(batch); err != nil {
+			b.failed.Add(int64(len(batch)))
+		} else {
+			b.exported.Add(int64(len(batch)))
+		}
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case rec := <-b.queue:
+			batch = append(batch, rec)
+			if len(batch) >= b.opts.BatchSize {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		case <-b.stop:
+			// Drain whatever made it into the queue, then flush and exit.
+			for {
+				select {
+				case rec := <-b.queue:
+					batch = append(batch, rec)
+					if len(batch) >= b.opts.BatchSize {
+						flush()
+					}
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// Close stops accepting traces, drains the queue, flushes the final batch
+// and closes the underlying exporter. Idempotent.
+func (b *BatchExporter) Close() error {
+	if b == nil {
+		return nil
+	}
+	if !b.closed.CompareAndSwap(false, true) {
+		<-b.done
+		return nil
+	}
+	close(b.stop)
+	<-b.done
+	return b.exp.Close()
+}
+
+// ExporterStats is a point-in-time snapshot of export accounting.
+type ExporterStats struct {
+	Enqueued int64 `json:"enqueued"`
+	Exported int64 `json:"exported"`
+	Dropped  int64 `json:"dropped"`
+	Failed   int64 `json:"failed"`
+	Queued   int   `json:"queued"`
+}
+
+// Stats returns the sink's counters (zero value on nil).
+func (b *BatchExporter) Stats() ExporterStats {
+	if b == nil {
+		return ExporterStats{}
+	}
+	return ExporterStats{
+		Enqueued: b.enqueued.Load(),
+		Exported: b.exported.Load(),
+		Dropped:  b.dropped.Load(),
+		Failed:   b.failed.Load(),
+		Queued:   len(b.queue),
+	}
+}

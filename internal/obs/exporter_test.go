@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testRecord builds a minimal two-span TraceRecord for exporter tests.
+func testRecord(seq uint64) TraceRecord {
+	start := time.Unix(1700000000, 0)
+	return TraceRecord{
+		ID:           seq,
+		TraceID:      fmt.Sprintf("%032x", seq+1),
+		ParentSpanID: "00f067aa0ba902b7",
+		KeepReason:   KeepSampled,
+		Root: SpanRecord{
+			Name: "http_request", SpanID: "1111111111111111",
+			Start: start, DurationMS: 5,
+			Attrs: []Attr{{Key: "request_id", Value: "r-" + strconv.FormatUint(seq, 10)}},
+			Children: []SpanRecord{{
+				Name: "index_search", SpanID: "2222222222222222",
+				Start: start.Add(time.Millisecond), DurationMS: 3,
+			}},
+		},
+	}
+}
+
+func TestFlattenTrace(t *testing.T) {
+	t.Parallel()
+	et := FlattenTrace(testRecord(7))
+	if len(et.Spans) != 2 {
+		t.Fatalf("flattened %d spans, want 2", len(et.Spans))
+	}
+	root, child := et.Spans[0], et.Spans[1]
+	if root.Name != "http_request" || root.ParentSpanID != "00f067aa0ba902b7" {
+		t.Errorf("root = %+v", root)
+	}
+	if child.ParentSpanID != root.SpanID {
+		t.Errorf("child parent = %q, want root %q", child.ParentSpanID, root.SpanID)
+	}
+	for _, sp := range et.Spans {
+		if sp.TraceID != et.TraceID {
+			t.Errorf("span %q trace %q, want %q", sp.Name, sp.TraceID, et.TraceID)
+		}
+		if sp.EndTimeUnixNano <= sp.StartTimeUnixNano {
+			t.Errorf("span %q has no duration: %d .. %d", sp.Name, sp.StartTimeUnixNano, sp.EndTimeUnixNano)
+		}
+	}
+	if got := time.Duration(root.EndTimeUnixNano - root.StartTimeUnixNano); got != 5*time.Millisecond {
+		t.Errorf("root duration = %v, want 5ms", got)
+	}
+	if len(root.Attributes) != 1 || root.Attributes[0].Value.StringValue != "r-7" {
+		t.Errorf("root attributes = %+v", root.Attributes)
+	}
+}
+
+func TestFileExporterNDJSON(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "traces.ndjson")
+	exp, err := NewFileExporter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.ExportTraces([]TraceRecord{testRecord(1), testRecord(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := exp.ExportTraces([]TraceRecord{testRecord(3)}); err == nil {
+		t.Error("export after Close succeeded")
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var et ExportedTrace
+		if err := json.Unmarshal(sc.Bytes(), &et); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines+1, err)
+		}
+		if len(et.Spans) != 2 || et.KeepReason != KeepSampled {
+			t.Errorf("line %d = %+v", lines+1, et)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("exported %d NDJSON lines, want 2", lines)
+	}
+}
+
+func TestHTTPExporter(t *testing.T) {
+	t.Parallel()
+	var mu sync.Mutex
+	var got int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var payload struct {
+			Traces []ExportedTrace `json:"traces"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+			t.Errorf("bad payload: %v", err)
+		}
+		mu.Lock()
+		got += len(payload.Traces)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+	exp := NewHTTPExporter(srv.URL, srv.Client())
+	if err := exp.ExportTraces([]TraceRecord{testRecord(1), testRecord(2)}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if got != 2 {
+		t.Errorf("collector received %d traces, want 2", got)
+	}
+	mu.Unlock()
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadGateway)
+	}))
+	defer bad.Close()
+	if err := NewHTTPExporter(bad.URL, bad.Client()).ExportTraces([]TraceRecord{testRecord(3)}); err == nil {
+		t.Error("non-2xx collector response not surfaced as error")
+	}
+}
+
+// blockingExporter holds every ExportTraces call until released.
+type blockingExporter struct {
+	release chan struct{}
+	mu      sync.Mutex
+	seen    int
+}
+
+func (b *blockingExporter) ExportTraces(recs []TraceRecord) error {
+	<-b.release
+	b.mu.Lock()
+	b.seen += len(recs)
+	b.mu.Unlock()
+	return nil
+}
+func (b *blockingExporter) Close() error { return nil }
+
+func TestBatchExporterDropsWhenSaturated(t *testing.T) {
+	t.Parallel()
+	blocked := &blockingExporter{release: make(chan struct{})}
+	be := NewBatchExporter(blocked, BatchExporterOptions{QueueSize: 4, BatchSize: 2, FlushInterval: time.Millisecond})
+	// The worker may pull up to one batch out of the queue while blocked, so
+	// overfill generously: queue(4) + in-flight batch(2) + margin.
+	for i := 0; i < 32; i++ {
+		be.Enqueue(testRecord(uint64(i)))
+	}
+	st := be.Stats()
+	if st.Dropped == 0 {
+		t.Errorf("saturated queue dropped nothing: %+v", st)
+	}
+	if st.Enqueued+st.Dropped != 32 {
+		t.Errorf("accounting leak: %+v", st)
+	}
+	close(blocked.release)
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blocked.mu.Lock()
+	defer blocked.mu.Unlock()
+	if int64(blocked.seen) != be.Stats().Exported {
+		t.Errorf("exporter saw %d traces, stats say %d", blocked.seen, be.Stats().Exported)
+	}
+	if be.Enqueue(testRecord(99)) {
+		t.Error("Enqueue accepted after Close")
+	}
+}
+
+func TestBatchExporterCloseDrains(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "drain.ndjson")
+	exp, err := NewFileExporter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long flush interval proves Close — not the ticker — does the flush.
+	be := NewBatchExporter(exp, BatchExporterOptions{QueueSize: 64, BatchSize: 64, FlushInterval: time.Hour})
+	for i := 0; i < 10; i++ {
+		if !be.Enqueue(testRecord(uint64(i))) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := be.Stats(); st.Exported != 10 || st.Dropped != 0 || st.Failed != 0 {
+		t.Errorf("stats after drain = %+v", st)
+	}
+	if len(b) == 0 {
+		t.Fatal("Close did not flush queued traces to the file")
+	}
+}
+
+// failingExporter rejects every batch.
+type failingExporter struct{}
+
+func (failingExporter) ExportTraces(recs []TraceRecord) error { return errors.New("collector down") }
+func (failingExporter) Close() error                          { return nil }
+
+func TestBatchExporterCountsFailures(t *testing.T) {
+	t.Parallel()
+	be := NewBatchExporter(failingExporter{}, BatchExporterOptions{QueueSize: 8, BatchSize: 4, FlushInterval: time.Hour})
+	for i := 0; i < 8; i++ {
+		be.Enqueue(testRecord(uint64(i)))
+	}
+	be.Close()
+	if st := be.Stats(); st.Failed != st.Enqueued || st.Exported != 0 {
+		t.Errorf("stats = %+v, want every enqueued trace counted failed", st)
+	}
+}
+
+// TestBatchExporterConcurrentStress hammers Enqueue from many goroutines
+// racing a Close, for the -race build. No trace may be double-counted.
+func TestBatchExporterConcurrentStress(t *testing.T) {
+	t.Parallel()
+	exp, err := NewFileExporter(filepath.Join(t.TempDir(), "stress.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewBatchExporter(exp, BatchExporterOptions{QueueSize: 16, BatchSize: 4, FlushInterval: time.Millisecond})
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				be.Enqueue(testRecord(uint64(w*per + i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close twice concurrently-safely (idempotent).
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := be.Stats()
+	if st.Enqueued+st.Dropped != workers*per {
+		t.Errorf("enqueued %d + dropped %d != %d offered", st.Enqueued, st.Dropped, workers*per)
+	}
+	if st.Exported+st.Failed != st.Enqueued {
+		t.Errorf("exported %d + failed %d != enqueued %d", st.Exported, st.Failed, st.Enqueued)
+	}
+	var nilBE *BatchExporter
+	if nilBE.Enqueue(testRecord(1)) || nilBE.Close() != nil {
+		t.Error("nil BatchExporter not inert")
+	}
+	if nilBE.Stats() != (ExporterStats{}) {
+		t.Error("nil BatchExporter stats non-zero")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Route mounts an application handler onto the debug surface, so callers
@@ -39,9 +40,12 @@ func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 // Handler returns the debug HTTP surface for a hub:
 //
 //	/debug/vars          expvar-style JSON snapshot of every metric
-//	/debug/metrics       Prometheus text exposition (hand-rolled, format 0.0.4)
-//	/debug/traces        recent query traces as JSON (most recent first)
-//	/debug/requests      recent request-scoped wide events (?id= filters)
+//	/debug/metrics       Prometheus text exposition (hand-rolled, format 0.0.4;
+//	                     ?format=openmetrics adds trace-linked exemplars)
+//	/debug/traces        recent kept traces as JSON (?id=/?trace= resolve a
+//	                     trace or request ID; ?stats=1 for sampler counters)
+//	/debug/requests      recent request-scoped wide events (?id=/?trace=
+//	                     resolve a request or trace ID)
 //	/debug/workers       per-worker pool attribution (tasks, steals, busy/idle)
 //	/debug/healthz       readiness: 200 when every registered probe passes
 //	/debug/explain       recent query explain reports (most recent first)
@@ -61,11 +65,44 @@ func Handler(h *Hub, extra ...Route) http.Handler {
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, varsPayload(h.Registry()))
 	})
-	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// OpenMetrics (opt-in via ?format=openmetrics or content
+		// negotiation) adds trace-linked exemplars to histogram buckets;
+		// the default stays classic 0.0.4 text, which many parsers would
+		// reject exemplar syntax in.
+		if wantsOpenMetrics(r) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			WriteOpenMetrics(w, h.Registry().Snapshot())
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w, h.Registry().Snapshot())
 	})
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		// ?id= / ?trace= resolve one retained trace by W3C trace ID or
+		// request ID — the same keys /debug/requests accepts, so either
+		// surface reaches the same request.
+		key := r.URL.Query().Get("id")
+		if key == "" {
+			key = r.URL.Query().Get("trace")
+		}
+		if key != "" {
+			rec, ok := h.Tracer().Find(key)
+			if !ok {
+				writeJSONStatus(w, http.StatusNotFound,
+					map[string]string{"error": fmt.Sprintf("no kept trace for key %q", key)})
+				return
+			}
+			writeJSON(w, rec)
+			return
+		}
+		if r.URL.Query().Get("stats") != "" {
+			writeJSON(w, map[string]any{
+				"kept":    h.Tracer().Len(),
+				"sampler": h.Tracer().Sampler().Stats(),
+			})
+			return
+		}
 		traces := h.Tracer().Snapshot()
 		if nStr := r.URL.Query().Get("n"); nStr != "" {
 			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(traces) {
@@ -78,11 +115,17 @@ func Handler(h *Hub, extra ...Route) http.Handler {
 		writeJSON(w, traces)
 	})
 	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, r *http.Request) {
-		if id := r.URL.Query().Get("id"); id != "" {
-			ev, ok := h.RequestLog().Find(id)
+		// ?id= (request ID or trace ID) and ?trace= are equivalent — the
+		// wide-event ring indexes both keys.
+		key := r.URL.Query().Get("id")
+		if key == "" {
+			key = r.URL.Query().Get("trace")
+		}
+		if key != "" {
+			ev, ok := h.RequestLog().FindByKey(key)
 			if !ok {
 				writeJSONStatus(w, http.StatusNotFound,
-					map[string]string{"error": fmt.Sprintf("no wide event retained for request %q", id)})
+					map[string]string{"error": fmt.Sprintf("no wide event retained for request %q", key)})
 				return
 			}
 			writeJSON(w, ev)
@@ -239,6 +282,56 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		fmt.Fprintf(w, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
 		fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count)
 	}
+}
+
+// wantsOpenMetrics reports whether the scrape asked for the OpenMetrics
+// exposition (explicit ?format=openmetrics, or an Accept header naming
+// application/openmetrics-text).
+func wantsOpenMetrics(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "openmetrics" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+}
+
+// WriteOpenMetrics renders a snapshot as OpenMetrics text: the same series
+// as WritePrometheus, plus per-bucket exemplars linking histogram buckets
+// to the trace that most recently landed in them
+// (`... # {trace_id="<id>"} <value> <unix-seconds>`) and the mandatory
+// `# EOF` terminator. Classic 0.0.4 scrapes never see exemplar syntax.
+func WriteOpenMetrics(w io.Writer, s Snapshot) {
+	for _, c := range s.Counters {
+		writeHeader(w, c.Name, c.Help, "counter")
+		fmt.Fprintf(w, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		writeHeader(w, g.Name, g.Help, "gauge")
+		fmt.Fprintf(w, "%s %s\n", g.Name, formatFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		writeHeader(w, h.Name, h.Help, "histogram")
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n",
+				h.Name, formatFloat(b.UpperBound), cum, formatExemplar(b.Exemplar))
+		}
+		cum += h.Overflow
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum)
+		fmt.Fprintf(w, "%s_sum %s\n", h.Name, formatFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count)
+	}
+	fmt.Fprintf(w, "# EOF\n")
+}
+
+// formatExemplar renders the OpenMetrics exemplar suffix for one bucket
+// ("" when the bucket has none).
+func formatExemplar(e *Exemplar) string {
+	if e == nil || e.TraceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %s",
+		e.TraceID, formatFloat(e.Value), formatFloat(float64(e.Time.UnixNano())/1e9))
 }
 
 func writeHeader(w io.Writer, name, help, kind string) {

@@ -20,6 +20,10 @@ type WideEvent struct {
 	// RequestID joins the event with the /v1/search response, the admission
 	// shed response, the query's trace and the slow-query log.
 	RequestID string `json:"request_id"`
+	// TraceID is the W3C trace ID of the request's trace ("" when the
+	// request ran untraced) — the join key into /debug/traces, the slow
+	// log and metric exemplars.
+	TraceID string `json:"trace_id,omitempty"`
 	// Time is when the request entered the engine (or was shed).
 	Time time.Time `json:"time"`
 	// Op is the request kind (similar, linear, dtw, periods, qbb, qbb_id,
@@ -163,6 +167,21 @@ func (l *RequestLog) Snapshot() []WideEvent {
 func (l *RequestLog) Find(id string) (WideEvent, bool) {
 	for _, ev := range l.Snapshot() {
 		if ev.RequestID == id {
+			return ev, true
+		}
+	}
+	return WideEvent{}, false
+}
+
+// FindByKey returns the most recent retained event whose request ID *or*
+// trace ID equals key — the cross-surface join /debug/requests and
+// /debug/traces share: either identifier resolves the same request.
+func (l *RequestLog) FindByKey(key string) (WideEvent, bool) {
+	if key == "" {
+		return WideEvent{}, false
+	}
+	for _, ev := range l.Snapshot() {
+		if ev.RequestID == key || (ev.TraceID != "" && ev.TraceID == key) {
 			return ev, true
 		}
 	}

@@ -16,6 +16,9 @@ type SlowEntry struct {
 	// RequestID joins the entry with /debug/requests and the /v1/search
 	// response (empty when the query ran outside the request-ID'd path).
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the W3C trace ID of the retained trace — the same join
+	// key /debug/traces, wide events and metric exemplars carry.
+	TraceID string `json:"trace_id,omitempty"`
 	// DurationMS is the root span's wall time.
 	DurationMS float64 `json:"duration_ms"`
 	// QueueWaitMS is the admission queue wait annotated on the trace (0
@@ -109,6 +112,7 @@ func (l *SlowLog) Observe(rec TraceRecord, d time.Duration, explain any) {
 	entry := SlowEntry{
 		Time:        time.Now(),
 		RequestID:   rootAttr(rec, "request_id"),
+		TraceID:     rec.TraceID,
 		DurationMS:  float64(d) / float64(time.Millisecond),
 		QueueWaitMS: rootAttrFloat(rec, "queue_wait_ms"),
 		ThresholdMS: float64(thr) / float64(time.Millisecond),
@@ -124,7 +128,8 @@ func (l *SlowLog) Observe(rec TraceRecord, d time.Duration, explain any) {
 	l.mu.Unlock()
 	l.slogger().Warn("slow query",
 		slog.String("op", rec.Root.Name),
-		slog.Uint64("trace_id", rec.ID),
+		slog.String("trace_id", rec.TraceID),
+		slog.Uint64("trace_seq", rec.ID),
 		slog.String("request_id", entry.RequestID),
 		slog.Float64("duration_ms", entry.DurationMS),
 		slog.Float64("queue_wait_ms", entry.QueueWaitMS),

@@ -78,9 +78,9 @@ func TestSlowLogLogger(t *testing.T) {
 	l.SetThreshold(time.Millisecond)
 	var buf bytes.Buffer
 	l.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
-	l.Observe(TraceRecord{ID: 7, Root: SpanRecord{Name: "similar_queries"}}, 3*time.Millisecond, struct{}{})
+	l.Observe(TraceRecord{ID: 7, TraceID: "0123456789abcdef0123456789abcdef", Root: SpanRecord{Name: "similar_queries"}}, 3*time.Millisecond, struct{}{})
 	out := buf.String()
-	for _, want := range []string{"slow query", "op=similar_queries", "trace_id=7", "explained=true"} {
+	for _, want := range []string{"slow query", "op=similar_queries", "trace_id=0123456789abcdef0123456789abcdef", "trace_seq=7", "explained=true"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("log output missing %q: %s", want, out)
 		}
