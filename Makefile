@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-lostcancel api-check fmt check bench bench-record bench-smoke fuzz-smoke profile profile-smoke trace-smoke
+.PHONY: all build test race vet vet-lostcancel api-check fmt check bench bench-record bench-smoke fuzz-smoke kernel-check profile profile-smoke trace-smoke
 
 all: check
 
@@ -42,7 +42,20 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz FuzzSafeBounds -fuzztime $(FUZZTIME) ./internal/spectral
 	$(GO) test -run='^$$' -fuzz FuzzCompressInvariants -fuzztime $(FUZZTIME) ./internal/spectral
+	$(GO) test -run='^$$' -fuzz FuzzArenaKernel -fuzztime $(FUZZTIME) ./internal/spectral
 	$(GO) test -run='^$$' -fuzz FuzzParseTraceparent -fuzztime $(FUZZTIME) ./internal/obs
+	$(GO) test -run='^$$' -fuzz FuzzFlatSearch -fuzztime $(FUZZTIME) ./internal/vptree
+
+# kernel-check is the flat-kernel acceptance suite: the arena/flat-path
+# equivalence and property tests plus the scheduler-spread regressions, all
+# under the race detector, followed by a smoke bench record pushed through
+# validate, the kernel gate and a self-compare.
+kernel-check:
+	$(GO) test -race -run 'TestArena|TestFlat|TestSplitBatch|TestPopBlock|TestBatchSpread|TestConcurrentFlatStress' ./internal/spectral ./internal/vptree ./internal/core
+	$(GO) run ./cmd/benchrec record -smoke -label kernelsmoke -o /tmp/BENCH_kernelsmoke.json
+	$(GO) run ./cmd/benchrec validate /tmp/BENCH_kernelsmoke.json
+	$(GO) run ./cmd/benchrec gate /tmp/BENCH_kernelsmoke.json
+	$(GO) run ./cmd/benchrec compare /tmp/BENCH_kernelsmoke.json /tmp/BENCH_kernelsmoke.json
 
 # trace-smoke boots cmd/s2 with a file span exporter, sends a traced
 # /v1/search request and asserts the exported trace's spans and parentage.

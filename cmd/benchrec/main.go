@@ -8,6 +8,13 @@
 //	benchrec record [-label dev] [-o FILE] [-smoke] [-profile-dir DIR] [-series N] [-queries Q] [-days D] [-seed S] [-budget B] [-k K] [-workers W]
 //	benchrec compare [-tol 0.15] OLD.json NEW.json    # exit 1 on regression
 //	benchrec validate FILE.json                       # exit 1 on structural problems
+//	benchrec gate [-min-speedup 4] FILE.json          # exit 1 on kernel-gate failure
+//
+// gate applies the flat-kernel acceptance criteria to a record: the batch
+// and flat-path correctness bits must hold, no worker may own more than
+// half the batch, and — on machines whose gomaxprocs covers the workload's
+// worker count — the parallel speedup must reach -min-speedup. On smaller
+// machines the speedup floor is reported as skipped rather than enforced.
 //
 // With -profile-dir, mutex/block sampling is enabled for the run and one
 // mutex/block/heap pprof capture is written right after the parallel
@@ -45,6 +52,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	case "validate":
 		err = runValidate(args[1:], stdout)
+	case "gate":
+		var failed bool
+		failed, err = runGate(args[1:], stdout)
+		if err == nil && failed {
+			return 1
+		}
 	case "-h", "-help", "--help", "help":
 		usage(stdout)
 		return 0
@@ -64,7 +77,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   benchrec record [-label dev] [-o FILE] [-smoke] [-profile-dir DIR] [workload flags]
   benchrec compare [-tol 0.15] OLD.json NEW.json
-  benchrec validate FILE.json`)
+  benchrec validate FILE.json
+  benchrec gate [-min-speedup 4] FILE.json`)
 }
 
 func runRecord(args []string, stdout io.Writer) error {
@@ -120,6 +134,10 @@ func runRecord(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  contention mean util %.2f  imbalance %.2f  steals %d  lock wait %.3f ms over %d batches\n",
 		rec.Contention.MeanUtilization, rec.Contention.Imbalance,
 		rec.Contention.StealsTotal, float64(rec.Contention.LockWaitNS)/1e6, rec.Contention.Batches)
+	fmt.Fprintf(stdout, "  kernels flat=%v block %d  searches %d  evals %d  blocks %d (pruned %d)  matches pointer=%v\n",
+		rec.Kernels.FlatPath, rec.Kernels.BlockSize, rec.Kernels.FlatSearches,
+		rec.Kernels.KernelEvals, rec.Kernels.LeafBlocks, rec.Kernels.BlocksPruned,
+		rec.Kernels.FlatMatchesPointer)
 	fmt.Fprintf(stdout, "  tracing untraced %.0f qps  traced %.0f qps  overhead %+.2f%%  traces kept %d\n",
 		rec.Tracing.UntracedQPS, rec.Tracing.TracedQPS, rec.Tracing.OverheadPct, rec.Tracing.TracesKept)
 	for _, p := range rec.Profiles {
@@ -158,6 +176,37 @@ func runCompare(args []string, stdout io.Writer) (regressed bool, err error) {
 	for _, r := range regs {
 		fmt.Fprintf(stdout, "REGRESSION %-26s %10.4f -> %10.4f  (%+.1f%%)\n",
 			r.Metric, r.Old, r.New, r.Delta*100)
+	}
+	return true, nil
+}
+
+func runGate(args []string, stdout io.Writer) (failed bool, err error) {
+	fs := flag.NewFlagSet("gate", flag.ContinueOnError)
+	minSpeedup := fs.Float64("min-speedup", 4.0, "parallel speedup floor (enforced only when gomaxprocs >= workload workers)")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 1 {
+		return false, fmt.Errorf("gate needs exactly one record path, got %d", fs.NArg())
+	}
+	rec, err := benchutil.LoadRecord(fs.Arg(0))
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(stdout, "gating %s: workers %d, gomaxprocs %d, speedup %.2fx, max task share %.3f\n",
+		fs.Arg(0), rec.Workload.Workers, rec.GoMaxProcs,
+		rec.Throughput.Speedup, rec.Contention.MaxTaskShare)
+	if rec.GoMaxProcs < rec.Workload.Workers {
+		fmt.Fprintf(stdout, "  speedup floor %.1fx skipped: gomaxprocs %d < %d workers (machine cannot show wall-clock parallelism)\n",
+			*minSpeedup, rec.GoMaxProcs, rec.Workload.Workers)
+	}
+	fails := benchutil.GateRecord(rec, *minSpeedup)
+	if len(fails) == 0 {
+		fmt.Fprintln(stdout, "gate passed")
+		return false, nil
+	}
+	for _, f := range fails {
+		fmt.Fprintf(stdout, "GATE FAILURE: %s\n", f)
 	}
 	return true, nil
 }

@@ -61,6 +61,56 @@ func TestRecordValidateCompare(t *testing.T) {
 	}
 }
 
+func TestGateSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_g.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"record", "-smoke", "-label", "g", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("record exited %d: %s", code, errOut.String())
+	}
+	rec, err := benchutil.LoadRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin gomaxprocs below the worker count so the speedup floor is skipped
+	// and the result does not depend on the machine running the tests.
+	rec.GoMaxProcs = 1
+	if err := benchutil.WriteRecord(rec, path); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"gate", path}, &out, &errOut); code != 0 {
+		t.Fatalf("gate exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "gate passed") || !strings.Contains(out.String(), "skipped") {
+		t.Errorf("gate output: %s", out.String())
+	}
+
+	// Concentrate the whole batch on one worker (kept self-consistent so the
+	// record still validates): the gate must flag the single-owner pathology.
+	var total int64
+	for _, n := range rec.Contention.TasksPerWorker {
+		total += n
+	}
+	for i := range rec.Contention.TasksPerWorker {
+		rec.Contention.TasksPerWorker[i] = 0
+	}
+	rec.Contention.TasksPerWorker[0] = total
+	rec.Contention.MaxTaskShare = 1
+	hogged := filepath.Join(dir, "BENCH_hog.json")
+	if err := benchutil.WriteRecord(rec, hogged); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"gate", hogged}, &out, &errOut); code != 1 {
+		t.Fatalf("hogged gate exited %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "single-owner") {
+		t.Errorf("gate output missing task-share failure: %s", out.String())
+	}
+}
+
 func TestValidateRejectsCorruptFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_bad.json")

@@ -39,7 +39,14 @@ import (
 // with observability disabled versus the hub-attached engine, the relative
 // tracing overhead, and how many traces the run's tracer retained — the
 // evidence the trace-pipeline work gates on (overhead budget: 2%).
-const BenchSchemaVersion = 5
+//
+// v6 added gomaxprocs (the scheduler parallelism the run actually had —
+// speedup numbers are meaningless without it), the kernels section (flat
+// arena block size, kernel evaluations, blocks pruned, and the
+// flat-matches-pointer correctness bit), and contention.max_task_share
+// (largest fraction of the batch any one worker executed — the single-owner
+// pathology regression guard).
+const BenchSchemaVersion = 6
 
 // BenchWorkload pins every knob that shapes a benchmark run, so two records
 // are only ever compared like for like.
@@ -199,6 +206,10 @@ type ContentionBench struct {
 	MeanUtilization float64 `json:"mean_utilization"`
 	// Imbalance is max/mean tasks per worker (1 = perfectly balanced).
 	Imbalance float64 `json:"imbalance"`
+	// MaxTaskShare is the largest fraction of the phase's tasks executed by
+	// any single worker (max/sum; 1/workers = perfectly balanced, 1 = the
+	// single-owner pathology where one goroutine ran the whole batch).
+	MaxTaskShare float64 `json:"max_task_share"`
 	// LockWaitNS is the aggregate engine mutex-acquisition wait accumulated
 	// during the phase (read-lock waits of the batches; any concurrent
 	// writer's write-lock waits would land here too).
@@ -230,6 +241,32 @@ type TracingBench struct {
 	TracesKept int `json:"traces_kept"`
 }
 
+// KernelsBench is the flat-kernel evidence of the run: whether the engine's
+// searches routed through the flat-memory arena path, how the batched leaf
+// kernel behaved (evaluations vs whole blocks pruned), and the correctness
+// bit proving the flat path answers bit-identically to the pointer tree.
+type KernelsBench struct {
+	// FlatPath records whether the engine's index carried a flat arena and
+	// routed searches through the batched kernels.
+	FlatPath bool `json:"flat_path"`
+	// BlockSize is the largest leaf block the batched kernel evaluates in
+	// one call (the tree's leaf capacity).
+	BlockSize int `json:"block_size"`
+	// FlatSearches counts searches answered on the flat path over the run.
+	FlatSearches int64 `json:"flat_searches"`
+	// LeafBlocks counts whole leaf blocks fed through the batched kernel.
+	LeafBlocks int64 `json:"leaf_blocks"`
+	// KernelEvals counts per-entry bound evaluations inside those blocks.
+	KernelEvals int64 `json:"kernel_evals"`
+	// BlocksPruned counts leaf blocks skipped wholesale because an ancestor
+	// ball-bound test pruned their subtree.
+	BlocksPruned int64 `json:"blocks_pruned"`
+	// FlatMatchesPointer records whether a pointer-path twin engine (flat
+	// kernels disabled) returned exactly the flat engine's neighbours for
+	// the workload's query set — the "fast but wrong" tripwire.
+	FlatMatchesPointer bool `json:"flat_matches_pointer"`
+}
+
 // QBBBench summarizes the query-by-burst half of the workload.
 type QBBBench struct {
 	Latency LatencySummary `json:"latency"`
@@ -247,6 +284,11 @@ type BenchRecord struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
+	// GoMaxProcs is runtime.GOMAXPROCS at record time. Speedup and task-
+	// spread numbers are only meaningful relative to it: a 1-core container
+	// cannot show wall-clock parallel speedup no matter how well the pool
+	// schedules (see GateRecord).
+	GoMaxProcs int `json:"gomaxprocs"`
 
 	Workload BenchWorkload `json:"workload"`
 
@@ -258,6 +300,7 @@ type BenchRecord struct {
 	Search      SearchBench      `json:"search"`
 	Throughput  ThroughputBench  `json:"throughput"`
 	Contention  ContentionBench  `json:"contention"`
+	Kernels     KernelsBench     `json:"kernels"`
 	Tracing     TracingBench     `json:"tracing"`
 	QBB         QBBBench         `json:"qbb"`
 	Degradation DegradationBench `json:"degradation"`
@@ -311,14 +354,15 @@ func RunBenchWithOptions(w BenchWorkload, label string, opts BenchOptions) (*Ben
 	}
 	defer e.Close()
 	rec := &BenchRecord{
-		Schema:    BenchSchemaVersion,
-		Label:     label,
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Workload:  w,
-		BuildMS:   float64(time.Since(buildStart)) / float64(time.Millisecond),
+		Schema:     BenchSchemaVersion,
+		Label:      label,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workload:   w,
+		BuildMS:    float64(time.Since(buildStart)) / float64(time.Millisecond),
 	}
 	rec.TreeHeight = e.Tree().Height()
 
@@ -391,6 +435,37 @@ func RunBenchWithOptions(w BenchWorkload, label string, opts BenchOptions) (*Ben
 		rec.Throughput.Speedup = rec.Throughput.ParallelQPS / rec.Throughput.SerialQPS
 	}
 	rec.Contention = contentionFromShards(shardsBefore, shardsAfter, rec.Throughput.Speedup)
+
+	// Kernel evidence: the flat-path counters the engine's tree accumulated
+	// over the search and throughput phases, plus the flat-vs-pointer
+	// correctness bit measured against a twin engine with the kernels
+	// disabled. The twin is separate so the hub engine's counters stay
+	// exactly the workload's (the twin runs unobserved).
+	ks := e.Tree().KernelStats()
+	rec.Kernels = KernelsBench{
+		FlatPath:     e.Tree().FlatEnabled(),
+		BlockSize:    ks.MaxBlock,
+		FlatSearches: ks.FlatSearches,
+		LeafBlocks:   ks.LeafBlocks,
+		KernelEvals:  ks.KernelEvals,
+		BlocksPruned: ks.BlocksPruned,
+	}
+	ep, err := core.NewEngine(data, core.Config{Budget: w.Budget, Seed: w.Seed, Workers: w.Workers, NoFlatKernels: true})
+	if err != nil {
+		return nil, fmt.Errorf("benchutil: pointer twin engine: %w", err)
+	}
+	rec.Kernels.FlatMatchesPointer = true
+	for i, v := range qvals {
+		nbs, _, err := ep.SimilarQueries(v, w.K)
+		if err != nil {
+			ep.Close()
+			return nil, fmt.Errorf("benchutil: pointer twin query %d: %w", i, err)
+		}
+		if !reflect.DeepEqual(nbs, serial[i]) {
+			rec.Kernels.FlatMatchesPointer = false
+		}
+	}
+	ep.Close()
 
 	// Tracing overhead: the identical serial loop on a twin engine built
 	// with observability disabled, so the delta isolates the trace/metric/
@@ -553,6 +628,7 @@ func contentionFromShards(before, after obs.WorkerShardsSnapshot, speedup float6
 	}
 	if sumTasks > 0 && n > 0 {
 		c.Imbalance = float64(maxTasks) / (float64(sumTasks) / float64(n))
+		c.MaxTaskShare = float64(maxTasks) / float64(sumTasks)
 	}
 	return c
 }
@@ -572,6 +648,9 @@ func (r *BenchRecord) Validate() error {
 	}
 	if err := r.Workload.validate(); err != nil {
 		return err
+	}
+	if r.GoMaxProcs < 1 {
+		return fmt.Errorf("benchutil: gomaxprocs = %d", r.GoMaxProcs)
 	}
 	if r.BuildMS <= 0 {
 		return fmt.Errorf("benchutil: build_ms = %v", r.BuildMS)
@@ -656,6 +735,35 @@ func (r *BenchRecord) Validate() error {
 		return fmt.Errorf("benchutil: contention speedup %v diverges from throughput speedup %v",
 			r.Contention.SpeedupVsSerial, r.Throughput.Speedup)
 	}
+	if r.Contention.MaxTaskShare < 0 || r.Contention.MaxTaskShare > 1 {
+		return fmt.Errorf("benchutil: max_task_share = %v outside [0,1]", r.Contention.MaxTaskShare)
+	}
+	var maxWorkerTasks int64
+	for _, t := range r.Contention.TasksPerWorker {
+		if t > maxWorkerTasks {
+			maxWorkerTasks = t
+		}
+	}
+	if contTasks > 0 {
+		if want := float64(maxWorkerTasks) / float64(contTasks); math.Abs(want-r.Contention.MaxTaskShare) > 1e-9 {
+			return fmt.Errorf("benchutil: max_task_share %v inconsistent with task spread (want %v)",
+				r.Contention.MaxTaskShare, want)
+		}
+	}
+	if r.Kernels.FlatPath {
+		if r.Kernels.BlockSize < 1 {
+			return fmt.Errorf("benchutil: kernels block_size = %d on the flat path", r.Kernels.BlockSize)
+		}
+		if r.Kernels.FlatSearches < 1 || r.Kernels.KernelEvals < 1 || r.Kernels.LeafBlocks < 1 {
+			return fmt.Errorf("benchutil: flat path enabled but unused: %+v", r.Kernels)
+		}
+	}
+	if r.Kernels.FlatSearches < 0 || r.Kernels.LeafBlocks < 0 || r.Kernels.KernelEvals < 0 || r.Kernels.BlocksPruned < 0 {
+		return fmt.Errorf("benchutil: negative kernel counters: %+v", r.Kernels)
+	}
+	if !r.Kernels.FlatMatchesPointer {
+		return fmt.Errorf("benchutil: flat kernels diverged from the pointer path")
+	}
 	if r.Tracing.UntracedQPS <= 0 || r.Tracing.TracedQPS <= 0 {
 		return fmt.Errorf("benchutil: tracing qps = %v untraced / %v traced",
 			r.Tracing.UntracedQPS, r.Tracing.TracedQPS)
@@ -714,6 +822,36 @@ func LoadRecord(path string) (*BenchRecord, error) {
 	return &r, nil
 }
 
+// GateRecord applies the flat-kernel acceptance gate to a single record and
+// returns the list of failures (empty = pass). Unlike Validate, which only
+// checks structural integrity, this gates on outcomes: correctness bits must
+// hold, the flat path must be in use, no worker may own more than half the
+// batch, and — only when the machine can physically exhibit parallelism
+// (gomaxprocs >= workers) — the parallel speedup must reach minSpeedup. On
+// smaller machines the speedup check is skipped (the task-share and
+// correctness gates still apply); callers should surface that skip.
+func GateRecord(r *BenchRecord, minSpeedup float64) []string {
+	var fails []string
+	if !r.Throughput.BatchMatchesSerial {
+		fails = append(fails, "throughput.batch_matches_serial = false")
+	}
+	if !r.Kernels.FlatPath {
+		fails = append(fails, "kernels.flat_path = false (searches bypassed the flat kernels)")
+	}
+	if !r.Kernels.FlatMatchesPointer {
+		fails = append(fails, "kernels.flat_matches_pointer = false")
+	}
+	if r.Workload.Workers >= 2 && r.Contention.MaxTaskShare > 0.5 {
+		fails = append(fails, fmt.Sprintf("contention.max_task_share = %.3f > 0.5 (single-owner pathology)",
+			r.Contention.MaxTaskShare))
+	}
+	if r.GoMaxProcs >= r.Workload.Workers && r.Throughput.Speedup < minSpeedup {
+		fails = append(fails, fmt.Sprintf("throughput.speedup = %.2f < %.2f at gomaxprocs=%d",
+			r.Throughput.Speedup, minSpeedup, r.GoMaxProcs))
+	}
+	return fails
+}
+
 // Regression is one metric that moved in the bad direction beyond the
 // comparison tolerance.
 type Regression struct {
@@ -756,6 +894,8 @@ func CompareBenchRecords(old, new *BenchRecord, tol float64) ([]Regression, erro
 	check("throughput.serial_qps", old.Throughput.SerialQPS, new.Throughput.SerialQPS, false)
 	check("throughput.parallel_qps", old.Throughput.ParallelQPS, new.Throughput.ParallelQPS, false)
 	check("contention.speedup_vs_serial", old.Contention.SpeedupVsSerial, new.Contention.SpeedupVsSerial, false)
+	check("contention.max_task_share", old.Contention.MaxTaskShare, new.Contention.MaxTaskShare, true)
+	check("kernels.kernel_evals", float64(old.Kernels.KernelEvals), float64(new.Kernels.KernelEvals), true)
 	check("tracing.untraced_qps", old.Tracing.UntracedQPS, new.Tracing.UntracedQPS, false)
 	check("qbb.latency.p50_ms", old.QBB.Latency.P50MS, new.QBB.Latency.P50MS, true)
 	check("qbb.rows_scanned", old.QBB.RowsScanned, new.QBB.RowsScanned, true)

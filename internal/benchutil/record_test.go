@@ -56,8 +56,52 @@ func TestRunBenchValidates(t *testing.T) {
 	if !rec.Throughput.BatchMatchesSerial {
 		t.Error("batch search diverged from serial")
 	}
+	if !rec.Kernels.FlatPath || !rec.Kernels.FlatMatchesPointer {
+		t.Errorf("kernels = %+v, want flat path in use and matching the pointer twin", rec.Kernels)
+	}
+	if rec.Kernels.FlatSearches < int64(w.Queries) || rec.Kernels.KernelEvals < 1 {
+		t.Errorf("kernels = %+v, want at least the workload's searches on the flat path", rec.Kernels)
+	}
+	if rec.GoMaxProcs < 1 {
+		t.Errorf("gomaxprocs = %d", rec.GoMaxProcs)
+	}
+	if s := rec.Contention.MaxTaskShare; s <= 0 || s > 1 {
+		t.Errorf("max_task_share = %v outside (0,1]", s)
+	}
 	if _, err := RunBench(BenchWorkload{}, "zero"); err == nil {
 		t.Error("zero workload should be rejected")
+	}
+}
+
+func TestGateRecord(t *testing.T) {
+	rec := smokeRecord(t)
+	// A fresh record passes everything but possibly the speedup check, which
+	// only arms on machines with one core per worker.
+	rec.GoMaxProcs = 1 // disarm speedup regardless of the host
+	if fails := GateRecord(rec, 4.0); len(fails) != 0 {
+		t.Errorf("fresh record fails gate: %v", fails)
+	}
+
+	bad := *rec
+	bad.Throughput.BatchMatchesSerial = false
+	bad.Kernels.FlatMatchesPointer = false
+	bad.Kernels.FlatPath = false
+	bad.Contention.MaxTaskShare = 0.9
+	if fails := GateRecord(&bad, 4.0); len(fails) != 4 {
+		t.Errorf("corrupt record produced %d failures, want 4: %v", len(fails), fails)
+	}
+
+	// With gomaxprocs >= workers the speedup floor arms.
+	slow := *rec
+	slow.GoMaxProcs = slow.Workload.Workers
+	slow.Throughput.Speedup = 1.0
+	fails := GateRecord(&slow, 4.0)
+	if len(fails) != 1 || !strings.Contains(fails[0], "speedup") {
+		t.Errorf("slow record failures = %v, want one speedup failure", fails)
+	}
+	slow.Throughput.Speedup = 5.0
+	if fails := GateRecord(&slow, 4.0); len(fails) != 0 {
+		t.Errorf("fast record fails gate: %v", fails)
 	}
 }
 
@@ -105,6 +149,14 @@ func TestValidateRejectsCorruptRecords(t *testing.T) {
 		"tracing":    mutate(func(r *BenchRecord) { r.Tracing.UntracedQPS = 0 }),
 		"traces":     mutate(func(r *BenchRecord) { r.Tracing.TracesKept = 0 }),
 		"counters":   mutate(func(r *BenchRecord) { r.Counters = nil }),
+		"gomaxprocs": mutate(func(r *BenchRecord) { r.GoMaxProcs = 0 }),
+		"task_share": mutate(func(r *BenchRecord) { r.Contention.MaxTaskShare = 1.5 }),
+		"share_drift": mutate(func(r *BenchRecord) {
+			r.Contention.MaxTaskShare = r.Contention.MaxTaskShare/2 + 0.01
+		}),
+		"kernels_unused": mutate(func(r *BenchRecord) { r.Kernels.FlatSearches = 0 }),
+		"kernels_neg":    mutate(func(r *BenchRecord) { r.Kernels.BlocksPruned = -1 }),
+		"flat_mismatch":  mutate(func(r *BenchRecord) { r.Kernels.FlatMatchesPointer = false }),
 	}
 	for name, rec := range cases {
 		if err := rec.Validate(); err == nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -23,17 +24,26 @@ func (e *Engine) BatchSearch(queries [][]float64, k int) ([][]Neighbor, vptree.S
 }
 
 // batchQueue is one worker's slice of the batch: a contiguous index range
-// [next, end) popped atomically by the owner and, once another worker runs
-// dry, by thieves. Padding keeps two workers' cursors off one cache line —
-// the cursor is the only contended word in the pool's hot path.
+// [next, end) claimed atomically in blocks by the owner and, once another
+// worker runs dry, by thieves. Padding keeps two workers' cursors off one
+// cache line — the cursor is the only contended word in the pool's hot path.
 type batchQueue struct {
 	next atomic.Int64
 	end  int64
 	_    [48]byte // pad the 16 bytes above to a 64-byte line
 }
 
+// batchBlockSize is the scheduling granule: workers claim contiguous blocks
+// of up to this many queries per cursor bump instead of one at a time. The
+// coarser granule amortizes the atomic op and — with the yield between
+// blocks — bounds how far ahead any one worker can run before siblings get
+// scheduled, which is what fixes the single-owner pathology (one goroutine
+// executing the whole batch while the rest only steal) on machines where
+// goroutines outnumber GOMAXPROCS.
+const batchBlockSize = 8
+
 // remaining returns how many indices are still unclaimed (never negative:
-// concurrent pops can push next past end).
+// concurrent claims can push next past end).
 func (q *batchQueue) remaining() int64 {
 	if r := q.end - q.next.Load(); r > 0 {
 		return r
@@ -41,12 +51,32 @@ func (q *batchQueue) remaining() int64 {
 	return 0
 }
 
-// pop claims the queue's next index, or returns -1 when drained.
-func (q *batchQueue) pop() int {
-	if i := q.next.Add(1) - 1; i < q.end {
-		return int(i)
+// popBlock claims up to max contiguous indices and returns them as [lo, hi);
+// hi <= lo means the queue is drained. A single fetch-add claims the block,
+// so concurrent claimants always receive disjoint ranges; over-claiming past
+// end is harmless (remaining() clamps at zero).
+func (q *batchQueue) popBlock(max int64) (lo, hi int64) {
+	claimed := q.next.Add(max)
+	lo = claimed - max
+	if lo >= q.end {
+		return lo, -1
 	}
-	return -1
+	return lo, min(claimed, q.end)
+}
+
+// splitBatch partitions n tasks into per-worker contiguous [lo, hi) ranges.
+// Ceil division gives the first workers one extra task when the split is
+// uneven; the ranges tile [0, n) exactly and each holds at most
+// ceil(n/workers) tasks.
+func splitBatch(n, workers int) [][2]int {
+	parts := make([][2]int, workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := min(w*chunk, n)
+		hi := min(lo+chunk, n)
+		parts[w] = [2]int{lo, hi}
+	}
+	return parts
 }
 
 // BatchSearchCtx answers one similarity search per query in queries,
@@ -105,20 +135,12 @@ func (e *Engine) BatchSearchCtx(ctx context.Context, queries [][]float64, k int)
 	}
 	fam.Annotate("workers", strconv.Itoa(workers))
 
-	// Partition the batch into contiguous per-worker queues. Ceil division
-	// gives the first queues one extra query when the split is uneven; the
-	// last queue may be short (or empty when workers > remaining load —
-	// impossible here because workers <= len(queries)).
+	// Partition the batch into contiguous per-worker queues (see splitBatch;
+	// the last queue may be short, never empty because workers <= len(queries)).
 	queues := make([]batchQueue, workers)
-	chunk := (len(queries) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(queries))
-		if lo > hi {
-			lo = hi
-		}
-		queues[w].next.Store(int64(lo))
-		queues[w].end = int64(hi)
+	for w, p := range splitBatch(len(queries), workers) {
+		queues[w].next.Store(int64(p[0]))
+		queues[w].end = int64(p[1])
 	}
 
 	out := make([][]Neighbor, len(queries))
@@ -152,17 +174,31 @@ func (e *Engine) BatchSearchCtx(ctx context.Context, queries [][]float64, k int)
 					d.Steals++
 				}
 			}
-			// Phase 1: drain the worker's own queue.
+			// yield parks this goroutine behind runnable siblings between
+			// blocks. When the pool is oversubscribed (workers > GOMAXPROCS)
+			// this is what keeps one worker from racing through the whole
+			// batch before the others are ever scheduled; with a spare core
+			// per worker it is a no-op costing one scheduler call per block.
+			yield := func() {
+				if workers > 1 {
+					runtime.Gosched()
+				}
+			}
+			// Phase 1: drain the worker's own queue, one block at a time.
 			for {
-				i := queues[w].pop()
-				if i < 0 {
+				lo, hi := queues[w].popBlock(batchBlockSize)
+				if hi <= lo {
 					break
 				}
-				run(i, false)
+				for i := lo; i < hi; i++ {
+					run(int(i), false)
+				}
+				yield()
 			}
-			// Phase 2: steal from the most-loaded queue until every queue
-			// is dry. Re-scanning after each task keeps thieves spread over
-			// victims instead of stampeding one queue.
+			// Phase 2: steal from the most-loaded queue until every queue is
+			// dry, taking half the victim's remainder (capped at one block)
+			// per claim. Re-scanning after each block keeps thieves spread
+			// over victims instead of stampeding one queue.
 			for {
 				victim := -1
 				var most int64
@@ -177,9 +213,15 @@ func (e *Engine) BatchSearchCtx(ctx context.Context, queries [][]float64, k int)
 				if victim < 0 {
 					break
 				}
-				if i := queues[victim].pop(); i >= 0 {
-					run(i, true)
+				take := min((most+1)/2, batchBlockSize)
+				lo, hi := queues[victim].popBlock(take)
+				if hi <= lo {
+					continue // lost the race to another thief; re-scan
 				}
+				for i := lo; i < hi; i++ {
+					run(int(i), true)
+				}
+				yield()
 			}
 			wall := time.Since(workerStart)
 			d.BusyNS = busy.Nanoseconds()

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/querylog"
+)
+
+// splitBatch must tile [0, n) exactly, in order, with ceil(n/workers)-sized
+// parts (the last possibly short) — the initial task distribution the
+// work-stealing pool starts from.
+func TestSplitBatchDistribution(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ n, workers int }{
+		{128, 8}, {16, 16}, {10, 4}, {7, 3}, {1, 1}, {5, 5}, {100, 7}, {64, 2},
+	}
+	for _, c := range cases {
+		parts := splitBatch(c.n, c.workers)
+		if len(parts) != c.workers {
+			t.Fatalf("n=%d w=%d: %d parts", c.n, c.workers, len(parts))
+		}
+		chunk := (c.n + c.workers - 1) / c.workers
+		next := 0
+		for w, p := range parts {
+			if p[0] != next || p[1] < p[0] || p[1]-p[0] > chunk {
+				t.Fatalf("n=%d w=%d: part %d = %v (next=%d, chunk=%d)", c.n, c.workers, w, p, next, chunk)
+			}
+			next = p[1]
+		}
+		if next != c.n {
+			t.Fatalf("n=%d w=%d: parts cover [0,%d), want [0,%d)", c.n, c.workers, next, c.n)
+		}
+		// No worker may start with more than the ceil chunk — the seed
+		// distribution itself can never concentrate the batch.
+		for w, p := range parts {
+			if size := p[1] - p[0]; size > chunk {
+				t.Fatalf("n=%d w=%d: part %d holds %d > chunk %d", c.n, c.workers, w, size, chunk)
+			}
+		}
+	}
+}
+
+// Concurrent block claims — owner-style and thief-style mixed — must hand
+// out every index exactly once.
+func TestPopBlockConcurrentDisjoint(t *testing.T) {
+	t.Parallel()
+	const total = 4096
+	var q batchQueue
+	q.end = total
+	counts := make([]int32, total)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			max := int64(1 + g%batchBlockSize) // varied claim sizes
+			for {
+				lo, hi := q.popBlock(max)
+				if hi <= lo {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					counts[i]++ // disjoint ranges: no two goroutines share i
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d claimed %d times", i, c)
+		}
+	}
+	if q.remaining() != 0 {
+		t.Fatalf("remaining = %d after drain", q.remaining())
+	}
+}
+
+// Regression for the single-owner pathology (schema-v5 BENCH showed one
+// worker executing all 128 tasks while seven others stole 112 times): on
+// the standard bench shape — 8 workers, 128 queries — every query must be
+// attributed exactly once and no worker may own more than half the batch,
+// regardless of GOMAXPROCS.
+func TestBatchSpreadNoSingleOwner(t *testing.T) {
+	hub := obs.NewHub()
+	g := querylog.NewGenerator(querylog.DefaultStart, 128, 7)
+	data := append(g.Exemplars(), g.Dataset(24)...)
+	e, err := NewEngine(data, Config{Budget: 8, Seed: 7, Workers: 8, Obs: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	qs := g.Queries(16)
+	queries := make([][]float64, 0, 128)
+	for len(queries) < 128 {
+		queries = append(queries, qs[len(queries)%len(qs)].Values)
+	}
+	if _, _, err := e.BatchSearchCtx(context.Background(), queries, 3); err != nil {
+		t.Fatal(err)
+	}
+	rep := e.WorkerStats()
+	var total int64
+	var most int64
+	for _, w := range rep.Workers {
+		total += w.Tasks
+		if w.Tasks > most {
+			most = w.Tasks
+		}
+	}
+	if total != int64(len(queries)) {
+		t.Fatalf("tasks sum to %d, want %d", total, len(queries))
+	}
+	if most > int64(len(queries))/2 {
+		t.Fatalf("one worker owns %d of %d tasks (> 50%%): spread %+v", most, len(queries), rep.Workers)
+	}
+}

@@ -67,6 +67,10 @@ type Config struct {
 	LeafSize    int
 	Seed        int64
 	PaperBounds bool
+	// NoFlatKernels forwards to the index: disable the flat-memory batched
+	// bound kernels and keep searches on the pointer-tree path. Results are
+	// identical either way (ablation / equivalence-testing knob).
+	NoFlatKernels bool
 	// Index selects the metric-index implementation (default the paper's
 	// binary VP-tree; IndexMVPTree uses the multi-vantage-point variant).
 	Index IndexKind
@@ -309,13 +313,14 @@ func NewEngine(data []*series.Series, cfg Config) (*Engine, error) {
 			return nil, errors.New("core: DynamicIndex is incompatible with FeaturesPath")
 		}
 		e.tree, err = vptree.Build(specs, ids, vptree.Options{
-			Method:       cfg.Method,
-			Budget:       cfg.Budget,
-			LeafSize:     cfg.LeafSize,
-			Seed:         cfg.Seed,
-			PaperBounds:  cfg.PaperBounds,
-			Dynamic:      cfg.DynamicIndex,
-			BuildWorkers: cfg.Workers,
+			Method:        cfg.Method,
+			Budget:        cfg.Budget,
+			LeafSize:      cfg.LeafSize,
+			Seed:          cfg.Seed,
+			PaperBounds:   cfg.PaperBounds,
+			Dynamic:       cfg.DynamicIndex,
+			BuildWorkers:  cfg.Workers,
+			NoFlatKernels: cfg.NoFlatKernels,
 		})
 		if err != nil {
 			return nil, err
@@ -583,21 +588,35 @@ func (e *Engine) linearScanStandardized(z []float64, k int, g *lifecycle.Gate) (
 // aborts mid-range, budget exhaustion keeps the best-so-far prefix.
 func (e *Engine) linearScanRange(z []float64, k, lo, hi int, g *lifecycle.Gate) ([]Neighbor, error) {
 	best := make([]Neighbor, 0, k+1)
-	buf := make([]float64, e.SeqLen())
+	// Flat path: the memory backend exposes its rows as stable read-only
+	// views, so the scan walks them in place — no per-row copy, no buffer.
+	// Disk-backed stores fall back to copying reads. Read accounting is
+	// identical on both paths (Row counts like GetInto).
+	rows, flat := seqstore.Rows(e.store)
+	var buf []float64
+	if !flat {
+		buf = make([]float64, e.SeqLen())
+	}
 	for id := lo; id < hi; id++ {
 		if ok, gerr := g.Visit(); gerr != nil {
 			return nil, gerr
 		} else if !ok {
 			break // budget exhausted: return the rows scanned so far
 		}
-		if err := e.store.GetInto(id, buf); err != nil {
+		row := buf
+		if flat {
+			var err error
+			if row, err = rows.Row(id); err != nil {
+				return nil, err
+			}
+		} else if err := e.store.GetInto(id, buf); err != nil {
 			return nil, err
 		}
 		bound := math.Inf(1)
 		if len(best) == k {
 			bound = best[len(best)-1].Dist
 		}
-		d, abandoned, err := series.EuclideanEarlyAbandon(z, buf, bound)
+		d, abandoned, err := series.EuclideanEarlyAbandon(z, row, bound)
 		if err != nil {
 			return nil, err
 		}

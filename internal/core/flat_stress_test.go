@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/querylog"
+	"repro/internal/seqstore"
+	"repro/internal/spectral"
+	"repro/internal/vptree"
+)
+
+// transientStress reports whether err is tolerable while the rollback writer
+// holds a sabotage entry: between planting the duplicate tree ID and Add's
+// rollback removing it, the tree briefly references an ID the store cannot
+// resolve yet, so concurrent refines may fail with seqstore.ErrNotFound.
+// That window is created by the test's own sabotage, not by the engine.
+func transientStress(err error) bool {
+	return err == nil || errors.Is(err, seqstore.ErrNotFound)
+}
+
+// TestConcurrentFlatStressWithRollback hammers the flat-kernel hot path
+// while the engine churns: a writer alternates sabotaged Adds (forced
+// ErrDuplicateID → store rollback) with successful ones — each of which
+// rebuilds the flat index under the write lock — while readers run
+// flat-path batch searches, a canceller fires mid-traversal aborts and an
+// HTTP client scrapes /debug. Run under -race in CI; also asserts the flat
+// kernels were genuinely exercised throughout.
+func TestConcurrentFlatStressWithRollback(t *testing.T) {
+	hub := obs.NewHub()
+	g := querylog.NewGenerator(querylog.DefaultStart, 128, 7)
+	data := append(g.Exemplars(), g.Dataset(16)...)
+	e, err := NewEngine(data, Config{Budget: 8, Seed: 7, DynamicIndex: true, Workers: 8, Obs: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if !e.Tree().FlatEnabled() {
+		t.Fatal("dynamic engine built without flat index")
+	}
+
+	srv := httptest.NewServer(obs.Handler(hub,
+		obs.Route{Pattern: "/v1/search", Handler: V1SearchHandler(e)}))
+	defer srv.Close()
+
+	extra := querylog.NewGenerator(querylog.DefaultStart, 128, 99).Queries(6)
+	sab := querylog.NewGenerator(querylog.DefaultStart, 128, 55).Queries(6)
+	qs := g.Queries(8)
+	batch := make([][]float64, 0, len(qs))
+	for _, q := range qs {
+		batch = append(batch, q.Values)
+	}
+	probe := batch[0]
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: rollback-forcing failure, then success, per series
+		defer wg.Done()
+		for i, s := range extra {
+			// Occupy the ID the next Add will draw, under the write lock,
+			// so Add's tree insert fails after the store append and the
+			// rollback path (store.Truncate) runs.
+			h, err := spectral.FromValues(sab[i].Standardized().Values)
+			if err != nil {
+				t.Errorf("sabotage spectrum: %v", err)
+				return
+			}
+			e.mu.Lock()
+			nextID := e.store.Len()
+			if err := e.tree.Insert(h, nextID); err != nil {
+				e.mu.Unlock()
+				t.Errorf("sabotage insert: %v", err)
+				return
+			}
+			e.features = e.tree.Features()
+			e.mu.Unlock()
+
+			if _, err := e.Add(s); !errors.Is(err, vptree.ErrDuplicateID) {
+				t.Errorf("sabotaged Add(%q): err = %v, want ErrDuplicateID", s.Name, err)
+			}
+
+			e.mu.Lock()
+			if ok, err := e.tree.Delete(nextID); err != nil || !ok {
+				t.Errorf("removing sabotage: ok=%v err=%v", ok, err)
+			}
+			e.features = e.tree.Features()
+			e.mu.Unlock()
+
+			if _, err := e.Add(s); err != nil {
+				t.Errorf("recovered Add(%q): %v", s.Name, err)
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) { // flat-path batch + serial readers
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if _, _, err := e.BatchSearchCtx(context.Background(), batch, 3); !transientStress(err) {
+					t.Errorf("batch search: %v", err)
+				}
+				if _, _, err := e.SimilarQueries(probe, 2+r); !transientStress(err) {
+					t.Errorf("SimilarQueries: %v", err)
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() { // canceller: aborts batches mid-flight
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				if _, _, err := e.BatchSearchCtx(ctx, batch, 3); !transientStress(err) &&
+					!errors.Is(err, context.Canceled) {
+					t.Errorf("cancelled batch: %v", err)
+				}
+			}()
+			if i%2 == 0 {
+				cancel()
+			}
+			<-done
+			cancel()
+		}
+	}()
+	wg.Add(1)
+	go func() { // /debug scraper
+		defer wg.Done()
+		urls := []string{
+			srv.URL + "/debug/vars",
+			srv.URL + "/debug/metrics",
+			srv.URL + "/v1/search?q=" + querylog.Cinema + "&k=3",
+		}
+		for i := 0; i < 10; i++ {
+			for _, u := range urls {
+				resp, err := http.Get(u)
+				if err != nil {
+					t.Errorf("GET %s: %v", u, err)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// /v1/search may 500 while a sabotage entry is planted
+				// (see transientStress); the debug surfaces must not.
+				if resp.StatusCode != http.StatusOK && !strings.Contains(u, "/v1/search") {
+					t.Errorf("GET %s: status %d", u, resp.StatusCode)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := e.Len(); got != len(data)+len(extra) {
+		t.Errorf("engine holds %d series after stress, want %d", got, len(data)+len(extra))
+	}
+	if !e.Tree().FlatEnabled() {
+		t.Error("flat index lost during stress")
+	}
+	if ks := e.Tree().KernelStats(); ks.FlatSearches == 0 || ks.KernelEvals == 0 {
+		t.Errorf("flat kernels unused during stress: %+v", ks)
+	}
+	// The engine must still answer exactly like its pointer path after churn.
+	res, _, err := e.SimilarQueries(probe, 5)
+	if err != nil {
+		t.Fatalf("post-stress search: %v", err)
+	}
+	z, err := e.standardizeQuery(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.RLock()
+	ptr, _, err := e.tree.SearchPointer(z, 5, e.features, e.store)
+	e.mu.RUnlock()
+	if err != nil {
+		t.Fatalf("pointer twin search: %v", err)
+	}
+	if len(res) != len(ptr) {
+		t.Fatalf("post-stress flat/pointer disagree: %d vs %d", len(res), len(ptr))
+	}
+	for i := range ptr {
+		if res[i].ID != ptr[i].ID || res[i].Dist != ptr[i].Dist {
+			t.Fatalf("post-stress result %d: flat %+v vs pointer %+v", i, res[i], ptr[i])
+		}
+	}
+}

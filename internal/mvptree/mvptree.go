@@ -89,6 +89,12 @@ type Tree struct {
 	seqLen   int
 	opts     Options
 	features []*spectral.Compressed
+	// arena is the flat structure-of-arrays packing of features (see
+	// spectral.Arena); bound evaluations read it instead of chasing the
+	// per-feature heap objects. nil when packing failed, in which case
+	// searches fall back to the feature slice — results are identical
+	// either way (the arena kernel is bit-identical to the scalar path).
+	arena *spectral.Arena
 }
 
 // Stats reports one search's work.
@@ -137,6 +143,9 @@ func Build(specs []*spectral.HalfSpectrum, ids []int, opts Options) (*Tree, erro
 	t.root, err = t.build(specs, ids, idx, nil, rng)
 	if err != nil {
 		return nil, err
+	}
+	if a, err := spectral.NewArena(t.features); err == nil {
+		t.arena = a
 	}
 	return t, nil
 }

@@ -152,6 +152,14 @@ func insertResult(res []Result, r Result, k int) []Result {
 
 func (s *searcher) bounds(ref int) (lb, ub float64, err error) {
 	s.st.BoundsComputed++
+	// The flat arena and the per-feature scalar path are bit-identical
+	// (spectral.Arena); the arena just reads contiguous memory. MVP leaves
+	// prune entries by stored path distances against the evolving sigmaUB
+	// before any bound is computed, so evaluation stays per-entry here
+	// rather than whole-block.
+	if s.t.arena != nil {
+		return s.t.arena.BoundsAt(s.ctx, ref, !s.t.opts.PaperBounds)
+	}
 	c := s.t.features[ref]
 	if s.t.opts.PaperBounds {
 		return c.BoundsFast(s.ctx)

@@ -1,6 +1,10 @@
 package seqstore
 
-import "repro/internal/obs"
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
 
 // instrumented mirrors every Store operation into obs counters while
 // delegating to the wrapped backend. Counts are in addition to the
@@ -78,6 +82,25 @@ func (s *instrumented) Truncate(n int) error {
 		s.errors.Inc()
 	}
 	return err
+}
+
+// Row implements RowReader by delegating to the backend, mirroring the
+// read into the same counters as Get/GetInto. Callers reach it through
+// Rows, which verifies the backend supports row views first.
+func (s *instrumented) Row(id int) ([]float64, error) {
+	rr, ok := s.Store.(RowReader)
+	if !ok {
+		s.errors.Inc()
+		return nil, errors.New("seqstore: backend does not expose rows")
+	}
+	row, err := rr.Row(id)
+	if err == nil {
+		s.reads.Inc()
+		s.readBytes.Add(s.recordBytes())
+	} else {
+		s.errors.Inc()
+	}
+	return row, err
 }
 
 // Unwrap returns the underlying backend (for callers needing a concrete

@@ -58,6 +58,41 @@ type Store interface {
 // ErrNotFound is returned for out-of-range sequence IDs.
 var ErrNotFound = errors.New("seqstore: sequence not found")
 
+// RowReader is an optional zero-copy read fast path: Row returns a
+// read-only view of the stored sequence without copying it out. Only
+// backends whose rows are stable in memory implement it (Memory rows are
+// immutable once appended); the disk backend does not — it must read into a
+// buffer anyway. Resolve it through Rows, never by direct type assertion:
+// instrumentation wrappers forward Row unconditionally, and Rows checks the
+// base backend actually supports it.
+type RowReader interface {
+	// Row returns the stored sequence as a read-only view. Callers must not
+	// modify or retain it past the surrounding read-locked section.
+	Row(id int) ([]float64, error)
+}
+
+// Rows resolves s's zero-copy row reader, unwrapping instrumentation
+// wrappers (via Unwrap) to check that the base backend supports row views.
+// ok=false means callers should fall back to GetInto.
+func Rows(s Store) (RowReader, bool) {
+	rr, ok := s.(RowReader)
+	if !ok {
+		return nil, false
+	}
+	base := s
+	for {
+		u, uok := base.(interface{ Unwrap() Store })
+		if !uok {
+			break
+		}
+		base = u.Unwrap()
+	}
+	if _, bok := base.(RowReader); !bok {
+		return nil, false
+	}
+	return rr, true
+}
+
 // ErrBadLength is returned when a sequence's length does not match the store.
 var ErrBadLength = errors.New("seqstore: sequence length mismatch")
 
@@ -104,6 +139,19 @@ func (m *Memory) Get(id int) ([]float64, error) {
 		return nil, err
 	}
 	return dst, nil
+}
+
+// Row implements RowReader: the returned slice is the stored row itself,
+// valid indefinitely for reading (rows are copied on Append and never
+// mutated; Truncate drops references but cannot recycle the backing array).
+func (m *Memory) Row(id int) ([]float64, error) {
+	m.reads.Add(1)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if id < 0 || id >= len(m.data) {
+		return nil, ErrNotFound
+	}
+	return m.data[id], nil
 }
 
 // GetInto implements Store.

@@ -1,0 +1,246 @@
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Arena packs a set of Compressed features into contiguous structure-of-
+// arrays storage so bound evaluation walks flat float64/int32 slices instead
+// of chasing one heap object (and its Positions/Coeffs slices) per feature.
+// The VP-tree's block-organized leaves evaluate all their entries against a
+// query in a single allocation-free kernel loop over this layout
+// (BoundsBlock); the results are bit-identical to the per-feature scalar
+// path (Compressed.BoundsFast / SafeBoundsFast) because the kernel performs
+// exactly the same floating-point operations in the same order — complex
+// subtraction is componentwise, and every cached query-side value equals
+// what the scalar path recomputes.
+//
+// An arena is homogeneous: one method, one sequence length, one basis. That
+// is the invariant every index in this repository already maintains (a tree
+// compresses all its objects under one Options), and it lets the kernel
+// hoist the method dispatch and compatibility checks out of the per-feature
+// loop.
+//
+// Arenas are immutable after construction except for Append, which callers
+// must serialize with readers (the VP-tree rebuilds its arena under the
+// engine's write lock instead of appending in place).
+type Arena struct {
+	method Method
+	n      int
+	basis  basis
+	// starts[i] .. starts[i+1] delimit feature i's rows in positions/re/im.
+	starts    []int32
+	positions []int32
+	re, im    []float64
+	// minPower[i] and errv[i] are feature i's MinPower and Err.
+	minPower []float64
+	errv     []float64
+}
+
+// ErrArenaMixed is returned when the features handed to NewArena do not
+// share one method, sequence length and basis.
+var ErrArenaMixed = errors.New("spectral: arena requires homogeneous features")
+
+// NewArena packs feats into a flat arena. Feature i keeps index i (the
+// caller's feature refs stay valid). All features must share one method,
+// sequence length and basis; nil features are rejected.
+func NewArena(feats []*Compressed) (*Arena, error) {
+	if len(feats) == 0 {
+		return nil, errors.New("spectral: arena requires at least one feature")
+	}
+	first := feats[0]
+	if first == nil {
+		return nil, errors.New("spectral: arena feature 0 is nil")
+	}
+	if !knownMethod(first.Method) {
+		return nil, errUnknownMethod(first.Method)
+	}
+	total := 0
+	for i, c := range feats {
+		if c == nil {
+			return nil, fmt.Errorf("spectral: arena feature %d is nil", i)
+		}
+		if c.Method != first.Method || c.N != first.N || c.basis != first.basis {
+			return nil, ErrArenaMixed
+		}
+		total += len(c.Positions)
+	}
+	a := &Arena{
+		method:    first.Method,
+		n:         first.N,
+		basis:     first.basis,
+		starts:    make([]int32, 1, len(feats)+1),
+		positions: make([]int32, 0, total),
+		re:        make([]float64, 0, total),
+		im:        make([]float64, 0, total),
+		minPower:  make([]float64, 0, len(feats)),
+		errv:      make([]float64, 0, len(feats)),
+	}
+	for _, c := range feats {
+		a.pack(c)
+	}
+	return a, nil
+}
+
+func knownMethod(m Method) bool {
+	switch m {
+	case GEMINI, Wang, BestMin, BestError, BestMinError:
+		return true
+	}
+	return false
+}
+
+// pack appends one (already validated) feature's rows.
+func (a *Arena) pack(c *Compressed) {
+	for i, p := range c.Positions {
+		a.positions = append(a.positions, int32(p))
+		a.re = append(a.re, real(c.Coeffs[i]))
+		a.im = append(a.im, imag(c.Coeffs[i]))
+	}
+	a.starts = append(a.starts, int32(len(a.positions)))
+	a.minPower = append(a.minPower, c.MinPower)
+	a.errv = append(a.errv, c.Err)
+}
+
+// Append packs one more feature at the next index. The feature must match
+// the arena's method/length/basis. Not safe against concurrent readers.
+func (a *Arena) Append(c *Compressed) error {
+	if c == nil {
+		return errors.New("spectral: arena append of nil feature")
+	}
+	if c.Method != a.method || c.N != a.n || c.basis != a.basis {
+		return ErrArenaMixed
+	}
+	a.pack(c)
+	return nil
+}
+
+// Len returns the number of packed features.
+func (a *Arena) Len() int { return len(a.minPower) }
+
+// Method returns the arena's (uniform) representation method.
+func (a *Arena) Method() Method { return a.method }
+
+// Coeffs returns the total number of packed coefficient rows.
+func (a *Arena) Coeffs() int { return len(a.positions) }
+
+// BoundsAt evaluates the bounds of feature ref against the context's query
+// — the scalar view of the kernel, bit-identical to BoundsBlock on a
+// one-entry block and to Compressed.(Safe)BoundsFast.
+func (a *Arena) BoundsAt(ctx *QueryContext, ref int, safe bool) (lb, ub float64, err error) {
+	refs := [1]int32{int32(ref)}
+	var lbs, ubs [1]float64
+	if err := a.BoundsBlock(ctx, refs[:], safe, lbs[:], ubs[:]); err != nil {
+		return 0, 0, err
+	}
+	return lbs[0], ubs[0], nil
+}
+
+// BoundsBlock evaluates the query bounds against a block of features in one
+// loop, writing lb[i], ub[i] for refs[i]. safe selects SafeBounds (provably
+// sound) over the paper-faithful bounds, exactly as on the scalar path. The
+// call allocates nothing; lb and ub must be at least len(refs) long.
+//
+// Exactness: for every ref the kernel performs the same floating-point
+// operations in the same order as Compressed.boundsFast, so the results are
+// bit-identical (property- and fuzz-tested) — downstream σ_UB updates and
+// prune decisions therefore cannot diverge between the two paths.
+func (a *Arena) BoundsBlock(ctx *QueryContext, refs []int32, safe bool, lb, ub []float64) error {
+	q := ctx.q
+	if q.N != a.n || q.basis != a.basis {
+		return ErrMismatch
+	}
+	if len(lb) < len(refs) || len(ub) < len(refs) {
+		return errors.New("spectral: bounds block output shorter than refs")
+	}
+	method := a.method
+	for bi, r := range refs {
+		if r < 0 || int(r) >= len(a.minPower) {
+			return fmt.Errorf("spectral: arena ref %d out of range", r)
+		}
+		mp := a.minPower[r]
+
+		// Whole-spectrum aggregates at threshold mp (see boundsFast).
+		a0, a1, a2 := ctx.aboveMoments(mp)
+		lbMinSq := a2 - 2*mp*a1 + mp*mp*a0
+		ubMinSq := ctx.totalWM2 + 2*mp*ctx.totalWM + mp*mp*ctx.totalW
+		qNusedSq := ctx.totalWM2 - a2
+		caseOneW := a0
+		qErr := ctx.totalWM2
+
+		// Correct for the stored rows: they are not omitted.
+		var distSq float64
+		for j := a.starts[r]; j < a.starts[r+1]; j++ {
+			b := a.positions[j]
+			w := ctx.weights[b]
+			m := ctx.mags[b]
+			dre := ctx.qre[b] - a.re[j]
+			dim := ctx.qim[b] - a.im[j]
+			d := math.Sqrt(dre*dre + dim*dim)
+			distSq += w * d * d
+			qErr -= w * m * m
+			ubMinSq -= w * (m + mp) * (m + mp)
+			if m > mp {
+				lbMinSq -= w * (m - mp) * (m - mp)
+				caseOneW -= w
+			} else {
+				qNusedSq -= w * m * m
+			}
+		}
+		tErr := a.errv[r]
+		tNusedSq := tErr - mp*mp*caseOneW
+		if tNusedSq < 0 {
+			tNusedSq = 0
+		}
+		// Guard tiny negative float residue from the subtractive corrections.
+		if lbMinSq < 0 {
+			lbMinSq = 0
+		}
+		if ubMinSq < 0 {
+			ubMinSq = 0
+		}
+		if qNusedSq < 0 {
+			qNusedSq = 0
+		}
+		if qErr < 0 {
+			qErr = 0
+		}
+
+		switch method {
+		case GEMINI:
+			lb[bi], ub[bi] = math.Sqrt(distSq), math.Inf(1)
+
+		case Wang, BestError:
+			dq, dt := math.Sqrt(qErr), math.Sqrt(tErr)
+			lb[bi] = math.Sqrt(distSq + (dq-dt)*(dq-dt))
+			ub[bi] = math.Sqrt(distSq + (dq+dt)*(dq+dt))
+
+		case BestMin:
+			lb[bi], ub[bi] = math.Sqrt(distSq+lbMinSq), math.Sqrt(distSq+ubMinSq)
+
+		case BestMinError:
+			qn, tn, te := math.Sqrt(qNusedSq), math.Sqrt(tNusedSq), math.Sqrt(tErr)
+			dq := math.Sqrt(qErr)
+			ubA := distSq + ubMinSq
+			ubB := distSq + (dq+te)*(dq+te)
+			ub[bi] = math.Sqrt(math.Min(ubA, ubB))
+			if !safe {
+				lb[bi] = math.Sqrt(distSq + lbMinSq + (qn-tn)*(qn-tn))
+				break
+			}
+			var lb2 float64
+			switch {
+			case qn > te:
+				lb2 = qn - te
+			case qn < tn:
+				lb2 = tn - qn
+			}
+			lbA := lbMinSq + lb2*lb2
+			lbB := (dq - te) * (dq - te)
+			lb[bi] = math.Sqrt(distSq + math.Max(lbA, lbB))
+		}
+	}
+	return nil
+}

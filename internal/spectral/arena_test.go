@@ -1,0 +1,305 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/querylog"
+	"repro/internal/stats"
+)
+
+// mustArena packs the compressions of every series in values under (m,
+// budget) and returns the arena plus the per-feature Compressed views so
+// tests can compare both paths.
+func mustArena(t testing.TB, values [][]float64, m Method, budget int) (*Arena, []*Compressed) {
+	t.Helper()
+	feats := make([]*Compressed, len(values))
+	for i, v := range values {
+		c, err := Compress(mustSpectrum(t, v), m, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feats[i] = c
+	}
+	a, err := NewArena(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, feats
+}
+
+// The block kernel must be *bit-identical* to the scalar path — not merely
+// close. Both run the same float64 operations in the same order, so any
+// difference at all is a kernel bug that could flip a prune decision.
+func TestArenaBlockBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{16, 33, 64, 128} {
+		values := make([][]float64, 12)
+		for i := range values {
+			values[i] = stats.Standardize(randSeries(rng, n))
+		}
+		q := mustSpectrum(t, stats.Standardize(randSeries(rng, n)))
+		ctx := NewQueryContext(q)
+		for _, m := range Methods() {
+			for _, budget := range []int{2, 5, 8} {
+				a, feats := mustArena(t, values, m, budget)
+				refs := make([]int32, len(feats))
+				for i := range refs {
+					refs[i] = int32(i)
+				}
+				lbs := make([]float64, len(refs))
+				ubs := make([]float64, len(refs))
+				for _, safe := range []bool{false, true} {
+					if err := a.BoundsBlock(ctx, refs, safe, lbs, ubs); err != nil {
+						t.Fatal(err)
+					}
+					for i, c := range feats {
+						var lbW, ubW float64
+						var err error
+						if safe {
+							lbW, ubW, err = c.SafeBoundsFast(ctx)
+						} else {
+							lbW, ubW, err = c.BoundsFast(ctx)
+						}
+						if err != nil {
+							t.Fatal(err)
+						}
+						if lbs[i] != lbW || (ubs[i] != ubW && !(math.IsInf(ubs[i], 1) && math.IsInf(ubW, 1))) {
+							t.Fatalf("n=%d %v budget=%d safe=%v feat %d: block (%v,%v) vs scalar (%v,%v)",
+								n, m, budget, safe, i, lbs[i], ubs[i], lbW, ubW)
+						}
+						// The one-entry view must agree exactly too.
+						lb1, ub1, err := a.BoundsAt(ctx, i, safe)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if lb1 != lbs[i] || (ub1 != ubs[i] && !(math.IsInf(ub1, 1) && math.IsInf(ubs[i], 1))) {
+							t.Fatalf("BoundsAt(%d) diverges from BoundsBlock", i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property over randomized inputs: for every method/budget/length, block
+// kernel == scalar path bit for bit, including variable-k CompressEnergy
+// features and the Haar basis.
+func TestArenaKernelEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, budgetRaw uint8, haar bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(120)
+		if haar {
+			// Haar requires a power-of-two length.
+			n = 1 << (4 + rng.Intn(4))
+		}
+		budget := 2 + int(budgetRaw)%12
+		count := 3 + rng.Intn(20)
+		spectrum := func(x []float64) *HalfSpectrum {
+			var h *HalfSpectrum
+			var err error
+			if haar {
+				h, err = FromValuesHaar(x)
+			} else {
+				h, err = FromValues(x)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			return h
+		}
+		ctx := NewQueryContext(spectrum(stats.Standardize(randSeries(rng, n))))
+		for _, m := range Methods() {
+			feats := make([]*Compressed, count)
+			for i := range feats {
+				h := spectrum(stats.Standardize(randSeries(rng, n)))
+				var c *Compressed
+				var err error
+				// Exercise variable-k features alongside fixed budgets.
+				if m == BestMinError && i%3 == 2 {
+					c, err = CompressEnergy(h, 0.6+0.3*rng.Float64())
+				} else {
+					c, err = Compress(h, m, budget)
+				}
+				if err != nil {
+					return false
+				}
+				feats[i] = c
+			}
+			a, err := NewArena(feats)
+			if err != nil {
+				return false
+			}
+			refs := make([]int32, count)
+			for i := range refs {
+				refs[i] = int32(i)
+			}
+			lbs := make([]float64, count)
+			ubs := make([]float64, count)
+			for _, safe := range []bool{false, true} {
+				if err := a.BoundsBlock(ctx, refs, safe, lbs, ubs); err != nil {
+					return false
+				}
+				for i, c := range feats {
+					var lbW, ubW float64
+					if safe {
+						lbW, ubW, err = c.SafeBoundsFast(ctx)
+					} else {
+						lbW, ubW, err = c.BoundsFast(ctx)
+					}
+					if err != nil {
+						return false
+					}
+					if lbs[i] != lbW {
+						t.Logf("%v safe=%v feat %d: lb %v vs %v", m, safe, i, lbs[i], lbW)
+						return false
+					}
+					if ubs[i] != ubW && !(math.IsInf(ubs[i], 1) && math.IsInf(ubW, 1)) {
+						t.Logf("%v safe=%v feat %d: ub %v vs %v", m, safe, i, ubs[i], ubW)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prune decisions — not just distances — must match: for any threshold the
+// kernel's lb/ub land on the same side as the scalar path's.
+func TestArenaPruneDecisionsMatchScalar(t *testing.T) {
+	g := querylog.New(83)
+	data := querylog.StandardizeAll(g.Dataset(30))
+	values := make([][]float64, len(data))
+	for i, s := range data {
+		values[i] = s.Values
+	}
+	q := mustSpectrum(t, g.Queries(1)[0].Standardized().Values)
+	ctx := NewQueryContext(q)
+	a, feats := mustArena(t, values, BestMinError, 8)
+	refs := make([]int32, len(feats))
+	for i := range refs {
+		refs[i] = int32(i)
+	}
+	lbs := make([]float64, len(refs))
+	ubs := make([]float64, len(refs))
+	if err := a.BoundsBlock(ctx, refs, true, lbs, ubs); err != nil {
+		t.Fatal(err)
+	}
+	for _, sigma := range []float64{0.5, 1, 2, 5, 10, 20} {
+		for i, c := range feats {
+			lbW, ubW, err := c.SafeBoundsFast(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (lbs[i] > sigma) != (lbW > sigma) || (ubs[i] < sigma) != (ubW < sigma) {
+				t.Fatalf("sigma=%v feat %d: prune decision diverges", sigma, i)
+			}
+		}
+	}
+}
+
+func TestArenaRejectsMixedFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h16 := mustSpectrum(t, stats.Standardize(randSeries(rng, 16)))
+	h32 := mustSpectrum(t, stats.Standardize(randSeries(rng, 32)))
+	cBME, _ := Compress(h16, BestMinError, 4)
+	cWang, _ := Compress(h16, Wang, 4)
+	cLong, _ := Compress(h32, BestMinError, 4)
+
+	if _, err := NewArena(nil); err == nil {
+		t.Error("expected error for empty arena")
+	}
+	if _, err := NewArena([]*Compressed{cBME, nil}); err == nil {
+		t.Error("expected error for nil feature")
+	}
+	if _, err := NewArena([]*Compressed{cBME, cWang}); err != ErrArenaMixed {
+		t.Errorf("mixed method: got %v", err)
+	}
+	if _, err := NewArena([]*Compressed{cBME, cLong}); err != ErrArenaMixed {
+		t.Errorf("mixed length: got %v", err)
+	}
+	if _, err := NewArena([]*Compressed{{Method: methodUnset, N: 16}}); err == nil {
+		t.Error("expected error for unset method")
+	}
+
+	a, err := NewArena([]*Compressed{cBME})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(cWang); err != ErrArenaMixed {
+		t.Errorf("append mixed: got %v", err)
+	}
+	if err := a.Append(nil); err == nil {
+		t.Error("expected error appending nil")
+	}
+	if err := a.Append(cBME); err != nil || a.Len() != 2 {
+		t.Fatalf("append: err=%v len=%d", err, a.Len())
+	}
+}
+
+func TestArenaErrorPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	h16 := mustSpectrum(t, stats.Standardize(randSeries(rng, 16)))
+	h32 := mustSpectrum(t, stats.Standardize(randSeries(rng, 32)))
+	c, err := Compress(h16, BestMinError, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewArena([]*Compressed{c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lb, ub [1]float64
+	if err := a.BoundsBlock(NewQueryContext(h32), []int32{0}, true, lb[:], ub[:]); err != ErrMismatch {
+		t.Errorf("length mismatch: got %v", err)
+	}
+	ctx := NewQueryContext(h16)
+	if err := a.BoundsBlock(ctx, []int32{5}, true, lb[:], ub[:]); err == nil {
+		t.Error("expected error for out-of-range ref")
+	}
+	if err := a.BoundsBlock(ctx, []int32{-1}, true, lb[:], ub[:]); err == nil {
+		t.Error("expected error for negative ref")
+	}
+	if err := a.BoundsBlock(ctx, []int32{0, 0}, true, lb[:], ub[:]); err == nil {
+		t.Error("expected error for short output slices")
+	}
+	if a.Len() != 1 || a.Coeffs() != len(c.Positions) || a.Method() != BestMinError {
+		t.Errorf("accessors: len=%d coeffs=%d method=%v", a.Len(), a.Coeffs(), a.Method())
+	}
+}
+
+func BenchmarkArenaBoundsBlock32(b *testing.B) {
+	g := querylog.New(90)
+	data := querylog.StandardizeAll(g.Dataset(32))
+	values := make([][]float64, len(data))
+	for i, s := range data {
+		values[i] = s.Values
+	}
+	q := mustSpectrum(b, g.Queries(1)[0].Standardized().Values)
+	ctx := NewQueryContext(q)
+	a, _ := mustArena(b, values, BestMinError, 16)
+	refs := make([]int32, a.Len())
+	for i := range refs {
+		refs[i] = int32(i)
+	}
+	lbs := make([]float64, len(refs))
+	ubs := make([]float64, len(refs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.BoundsBlock(ctx, refs, true, lbs, ubs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -205,3 +205,86 @@ func FuzzCompressInvariants(f *testing.F) {
 		}
 	})
 }
+
+// FuzzArenaKernel fuzzes the flat-arena build→pack→query round trip: packing
+// arbitrary compressions of fuzz-derived series must never panic, the block
+// kernel's bounds must be finite (lb always; ub outside GEMINI) and
+// non-negative, and every value must be bit-identical to the scalar
+// QueryContext path — the invariant the VP-tree's flat search relies on for
+// exactness.
+func FuzzArenaKernel(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1})
+	f.Add([]byte("flat-arena-block-kernel"))
+	f.Add([]byte{0x80, 0x7f, 0x00, 0xff, 0x55, 0xaa})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		const n = 32
+		count := 2 + int(data[0])%7
+		budget := 2 + int(data[len(data)-1])%8
+		for _, m := range Methods() {
+			feats := make([]*Compressed, count)
+			for i := range feats {
+				// Shift the byte window so each packed feature differs.
+				av, _ := fuzzSeries(append([]byte{byte(i)}, data...), n)
+				h, err := FromValues(av)
+				if err != nil {
+					t.Fatalf("FromValues: %v", err)
+				}
+				feats[i], err = Compress(h, m, budget)
+				if err != nil {
+					t.Fatalf("%v: Compress: %v", m, err)
+				}
+			}
+			a, err := NewArena(feats)
+			if err != nil {
+				t.Fatalf("%v: NewArena: %v", m, err)
+			}
+			if a.Len() != count {
+				t.Fatalf("%v: packed %d of %d features", m, a.Len(), count)
+			}
+			qv, _ := fuzzSeries(data, n)
+			hq, err := FromValues(qv)
+			if err != nil {
+				t.Fatalf("FromValues(q): %v", err)
+			}
+			ctx := NewQueryContext(hq)
+			refs := make([]int32, count)
+			for i := range refs {
+				refs[i] = int32(i)
+			}
+			lbs := make([]float64, count)
+			ubs := make([]float64, count)
+			for _, safe := range []bool{false, true} {
+				if err := a.BoundsBlock(ctx, refs, safe, lbs, ubs); err != nil {
+					t.Fatalf("%v: BoundsBlock: %v", m, err)
+				}
+				for i, c := range feats {
+					if math.IsNaN(lbs[i]) || math.IsInf(lbs[i], 0) || lbs[i] < 0 {
+						t.Errorf("%v safe=%v: lb[%d] = %v", m, safe, i, lbs[i])
+					}
+					if math.IsNaN(ubs[i]) || (m != GEMINI && math.IsInf(ubs[i], 0)) {
+						t.Errorf("%v safe=%v: ub[%d] = %v", m, safe, i, ubs[i])
+					}
+					var lbW, ubW float64
+					if safe {
+						lbW, ubW, err = c.SafeBoundsFast(ctx)
+					} else {
+						lbW, ubW, err = c.BoundsFast(ctx)
+					}
+					if err != nil {
+						t.Fatalf("%v: scalar bounds: %v", m, err)
+					}
+					if lbs[i] != lbW {
+						t.Errorf("%v safe=%v: kernel lb[%d] %v != scalar %v", m, safe, i, lbs[i], lbW)
+					}
+					if ubs[i] != ubW && !(math.IsInf(ubs[i], 1) && math.IsInf(ubW, 1)) {
+						t.Errorf("%v safe=%v: kernel ub[%d] %v != scalar %v", m, safe, i, ubs[i], ubW)
+					}
+				}
+			}
+		}
+	})
+}

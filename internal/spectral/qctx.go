@@ -34,6 +34,13 @@ type QueryContext struct {
 	pw, pwm, pwm2   []float64
 	totalW, totalWM float64
 	totalWM2        float64
+	// weights[b], qre[b], qim[b] cache Weight(b) and the coefficient
+	// components per bin so the arena kernel reads flat float64 slices
+	// instead of chasing q.Coeffs / calling Weight per stored bin. The
+	// cached values are exactly what the methods return, so the scalar and
+	// batched paths stay bit-identical.
+	weights  []float64
+	qre, qim []float64
 }
 
 // absFast is |c| without math.Hypot's overflow guard — safe here because
@@ -48,16 +55,23 @@ func absFast(c complex128) float64 {
 func NewQueryContext(q *HalfSpectrum) *QueryContext {
 	bins := q.Bins()
 	ctx := &QueryContext{
-		q:      q,
-		mags:   make([]float64, bins),
-		sorted: make([]float64, bins),
+		q:       q,
+		mags:    make([]float64, bins),
+		sorted:  make([]float64, bins),
+		weights: make([]float64, bins),
+		qre:     make([]float64, bins),
+		qim:     make([]float64, bins),
 	}
 	type mw struct{ m, w float64 }
 	tmp := make([]mw, bins)
 	for b := 0; b < bins; b++ {
 		m := absFast(q.Coeffs[b])
 		ctx.mags[b] = m
-		tmp[b] = mw{m: m, w: q.Weight(b)}
+		w := q.Weight(b)
+		ctx.weights[b] = w
+		ctx.qre[b] = real(q.Coeffs[b])
+		ctx.qim[b] = imag(q.Coeffs[b])
+		tmp[b] = mw{m: m, w: w}
 	}
 	sort.Slice(tmp, func(a, b int) bool { return tmp[a].m < tmp[b].m })
 	ctx.pw = make([]float64, bins+1)

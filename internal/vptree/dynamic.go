@@ -47,6 +47,10 @@ func (t *Tree) Insert(spec *spectral.HalfSpectrum, id int) error {
 	t.root = nd
 	t.specByID[id] = spec
 	t.n++
+	// The flat mirror is structure-dependent; re-derive it from the updated
+	// tree and feature table. Callers (the engine) hold the write lock, so
+	// no search observes the window between update and rebuild.
+	t.rebuildFlat()
 	return nil
 }
 
@@ -146,6 +150,7 @@ func (t *Tree) Delete(id int) (bool, error) {
 		if !t.isVantage(t.root, id) {
 			delete(t.specByID, id)
 		}
+		t.rebuildFlat()
 	}
 	return removed, nil
 }

@@ -1,0 +1,352 @@
+package vptree
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lifecycle"
+	"repro/internal/querylog"
+	"repro/internal/seqstore"
+	"repro/internal/spectral"
+)
+
+// sameResults asserts two result lists are identical (IDs, distances, order).
+func sameResults(t *testing.T, label string, flat, ptr []Result) {
+	t.Helper()
+	if len(flat) != len(ptr) {
+		t.Fatalf("%s: flat returned %d results, pointer %d", label, len(flat), len(ptr))
+	}
+	for i := range flat {
+		if flat[i] != ptr[i] {
+			t.Fatalf("%s: result %d differs: flat %+v vs pointer %+v", label, i, flat[i], ptr[i])
+		}
+	}
+}
+
+// The flat batched-kernel path must be indistinguishable from the pointer
+// path: identical neighbours, identical distances, identical Stats — over
+// randomized trees covering varied sizes, leaf widths, duplicate values
+// (duplicate distances) and k ≥ n edge cases. 100 trials.
+func TestFlatSearchMatchesPointer100Trials(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		n := 8 + rng.Intn(120)
+		leaf := 2 + rng.Intn(30) // spans the 16–64-entry block regime at the top end
+		opts := Options{
+			LeafSize:    leaf,
+			Seed:        int64(trial + 1),
+			PaperBounds: trial%4 == 0,
+		}
+		fx := buildFixture(t, n, 64, opts, int64(trial+7))
+		if !fx.tree.FlatEnabled() {
+			t.Fatalf("trial %d: flat index missing after build", trial)
+		}
+		// Duplicate some rows so distance ties exist in the tree.
+		if trial%3 == 0 && n > 4 {
+			fx.values[1] = fx.values[0]
+		}
+		k := 1 + rng.Intn(n+4) // sometimes k ≥ n
+		q := fx.queries[trial%len(fx.queries)]
+		feats := fx.tree.Features()
+
+		resF, stF, err := fx.tree.Search(q, k, feats, fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resP, stP, err := fx.tree.SearchPointer(q, k, feats, fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "search", resF, resP)
+		if stF != stP {
+			t.Fatalf("trial %d: stats diverge: flat %+v vs pointer %+v", trial, stF, stP)
+		}
+	}
+}
+
+// Under a lifecycle gate the two paths must also truncate identically: same
+// neighbours, same truncated flag, same stats, for node budgets from 1 up.
+func TestFlatSearchLimitedEquivalenceUnderBudgets(t *testing.T) {
+	fx := buildFixture(t, 80, 64, Options{LeafSize: 8, Seed: 3}, 11)
+	feats := fx.tree.Features()
+	for _, maxNodes := range []int{1, 2, 3, 5, 8, 13, 21, 100000} {
+		for qi, q := range fx.queries {
+			gF := lifecycle.NewGate(context.Background(), lifecycle.Limits{MaxNodes: maxNodes})
+			resF, stF, truncF, err := fx.tree.SearchLimited(q, 5, feats, fx.store, gF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gP := lifecycle.NewGate(context.Background(), lifecycle.Limits{MaxNodes: maxNodes})
+			resP, stP, truncP, err := fx.tree.SearchPointerLimited(q, 5, feats, fx.store, gP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if truncF != truncP {
+				t.Fatalf("budget %d query %d: truncated %v vs %v", maxNodes, qi, truncF, truncP)
+			}
+			sameResults(t, "limited", resF, resP)
+			if stF != stP {
+				t.Fatalf("budget %d query %d: stats diverge: %+v vs %+v", maxNodes, qi, stF, stP)
+			}
+		}
+	}
+}
+
+// A cancelled context must abort the flat path with the same error as the
+// pointer path.
+func TestFlatSearchCancelledContext(t *testing.T) {
+	fx := buildFixture(t, 40, 64, Options{Seed: 5}, 13)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := lifecycle.NewGate(ctx, lifecycle.Limits{})
+	_, _, _, errF := fx.tree.SearchLimited(fx.queries[0], 3, fx.tree.Features(), fx.store, g)
+	g2 := lifecycle.NewGate(ctx, lifecycle.Limits{})
+	_, _, _, errP := fx.tree.SearchPointerLimited(fx.queries[0], 3, fx.tree.Features(), fx.store, g2)
+	if errF == nil || errP == nil || errF.Error() != errP.Error() {
+		t.Fatalf("cancellation errors diverge: flat %v vs pointer %v", errF, errP)
+	}
+}
+
+// Foreign feature sources (disk features, test doubles) and explain runs
+// must fall back to the pointer path; NoFlatKernels must disable the flat
+// index outright. The kernel counters only move on genuine flat searches.
+func TestFlatRoutingFallbacks(t *testing.T) {
+	fx := buildFixture(t, 60, 64, Options{Seed: 9}, 17)
+	q := fx.queries[0]
+
+	before := fx.tree.KernelStats()
+	if _, _, err := fx.tree.Search(q, 3, fx.tree.Features(), fx.store); err != nil {
+		t.Fatal(err)
+	}
+	after := fx.tree.KernelStats()
+	if after.FlatSearches != before.FlatSearches+1 || after.KernelEvals <= before.KernelEvals {
+		t.Fatalf("flat search did not advance kernel counters: %+v -> %+v", before, after)
+	}
+	if after.MaxBlock <= 0 {
+		t.Fatalf("expected positive max block, got %d", after.MaxBlock)
+	}
+
+	// Disk features: not the arena's table — pointer path, counters frozen.
+	path := filepath.Join(t.TempDir(), "feats.bin")
+	disk, err := WriteFeatures(path, fx.tree.Features())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	resD, _, err := fx.tree.Search(q, 3, disk, fx.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resM, _, err := fx.tree.Search(q, 3, fx.tree.Features(), fx.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "disk-vs-memory", resD, resM)
+	mid := fx.tree.KernelStats()
+	if mid.FlatSearches != after.FlatSearches+1 {
+		t.Fatalf("expected exactly the memory search on the flat path, got %+v", mid)
+	}
+
+	// Explain: needs per-node attribution — pointer path.
+	if _, _, exp, err := fx.tree.SearchExplain(q, 3, fx.tree.Features(), fx.store); err != nil || exp == nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if got := fx.tree.KernelStats(); got.FlatSearches != mid.FlatSearches {
+		t.Fatalf("explain search took the flat path: %+v", got)
+	}
+
+	// Ablation knob: no flat index at all.
+	fxOff := buildFixture(t, 60, 64, Options{Seed: 9, NoFlatKernels: true}, 17)
+	if fxOff.tree.FlatEnabled() {
+		t.Fatal("NoFlatKernels built a flat index")
+	}
+	resOff, _, err := fxOff.tree.Search(q, 3, fxOff.tree.Features(), fxOff.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "ablation", resOff, resM)
+	if got := fxOff.tree.KernelStats(); got.FlatSearches != 0 || got.MaxBlock != 0 {
+		t.Fatalf("disabled tree advanced kernel counters: %+v", got)
+	}
+}
+
+// Dynamic updates rebuild the flat mirror: after inserts (including leaf
+// splits) and deletes (including vantage-point tombstones) the flat path
+// still exists and still matches the pointer path exactly.
+func TestFlatDynamicRebuild(t *testing.T) {
+	const seqLen = 64
+	fx := buildFixture(t, 30, seqLen, Options{Dynamic: true, LeafSize: 4, Seed: 21}, 23)
+	g := querylog.NewGenerator(querylog.DefaultStart, seqLen, 77)
+	extra := querylog.StandardizeAll(g.Dataset(25))
+	for _, s := range extra {
+		id, err := fx.store.Append(s.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := spectral.FromValues(s.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fx.tree.Insert(spec, id); err != nil {
+			t.Fatal(err)
+		}
+		if !fx.tree.FlatEnabled() {
+			t.Fatalf("flat index lost after insert of id %d", id)
+		}
+	}
+	for _, id := range []int{0, 7, 13} {
+		if ok, err := fx.tree.Delete(id); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", id, ok, err)
+		}
+	}
+	if !fx.tree.FlatEnabled() {
+		t.Fatal("flat index lost after deletes")
+	}
+	feats := fx.tree.Features()
+	for _, q := range fx.queries {
+		resF, stF, err := fx.tree.Search(q, 7, feats, fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resP, stP, err := fx.tree.SearchPointer(q, 7, feats, fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "dynamic", resF, resP)
+		if stF != stP {
+			t.Fatalf("dynamic stats diverge: %+v vs %+v", stF, stP)
+		}
+		for _, r := range resF {
+			if r.ID == 0 || r.ID == 7 || r.ID == 13 {
+				t.Fatalf("deleted id %d resurfaced", r.ID)
+			}
+		}
+	}
+}
+
+// Persisted trees regain the flat path on Load, with identical results.
+func TestFlatSurvivesPersistence(t *testing.T) {
+	fx := buildFixture(t, 50, 64, Options{Seed: 31}, 37)
+	path := filepath.Join(t.TempDir(), "tree.vpt")
+	if err := fx.tree.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.FlatEnabled() {
+		t.Fatal("loaded tree has no flat index")
+	}
+	for _, q := range fx.queries {
+		resL, _, err := loaded.Search(q, 4, loaded.Features(), fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resO, _, err := fx.tree.SearchPointer(q, 4, fx.tree.Features(), fx.store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "persisted", resL, resO)
+	}
+}
+
+// The blocks-pruned counter must account exactly: over one search, blocks
+// evaluated plus blocks pruned never exceeds the total leaf blocks, and on
+// an unpruned exhaustive search (huge k) every block is evaluated.
+func TestFlatBlockAccounting(t *testing.T) {
+	fx := buildFixture(t, 100, 64, Options{LeafSize: 8, Seed: 43}, 47)
+	totalBlocks := int64(fx.tree.flat.nodes[0].leafBlocks)
+	base := fx.tree.KernelStats()
+	if _, _, err := fx.tree.Search(fx.queries[0], 200, fx.tree.Features(), fx.store); err != nil {
+		t.Fatal(err)
+	}
+	exhaustive := fx.tree.KernelStats()
+	if got := exhaustive.LeafBlocks - base.LeafBlocks; got != totalBlocks {
+		t.Fatalf("k≥n search evaluated %d of %d blocks", got, totalBlocks)
+	}
+	if _, _, err := fx.tree.Search(fx.queries[1], 1, fx.tree.Features(), fx.store); err != nil {
+		t.Fatal(err)
+	}
+	tight := fx.tree.KernelStats()
+	ev := tight.LeafBlocks - exhaustive.LeafBlocks
+	pr := tight.BlocksPruned - exhaustive.BlocksPruned
+	if ev+pr > totalBlocks {
+		t.Fatalf("blocks evaluated (%d) + pruned (%d) exceed total (%d)", ev, pr, totalBlocks)
+	}
+}
+
+// FuzzFlatSearch fuzzes the full flat search pipeline: a tree built from
+// fuzz-derived series, searched under fuzz-derived k and node budgets, must
+// never panic, must return finite non-negative sorted distances, and must
+// agree exactly — results, truncation flag, stats — with the pointer path
+// under an identical budget.
+func FuzzFlatSearch(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint8(3), uint8(0))
+	f.Add([]byte("flat-search-roundtrip"), uint8(1), uint8(5))
+	f.Add([]byte{0xff, 0x01, 0x80, 0x7f}, uint8(10), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, budgetRaw uint8) {
+		if len(data) == 0 {
+			t.Skip()
+		}
+		const seqLen = 32
+		n := 6 + int(data[0])%40
+		store, err := seqstore.NewMemory(seqLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := make([]*spectral.HalfSpectrum, n)
+		ids := make([]int, n)
+		values := make([][]float64, n)
+		for i := range specs {
+			row := make([]float64, seqLen)
+			for j := range row {
+				row[j] = float64(int8(data[(i*13+j*7+1)%len(data)]))
+			}
+			values[i] = row
+			if ids[i], err = store.Append(row); err != nil {
+				t.Fatal(err)
+			}
+			if specs[i], err = spectral.FromValues(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr, err := Build(specs, ids, Options{LeafSize: 1 + int(data[len(data)-1])%12, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := make([]float64, seqLen)
+		for j := range q {
+			q[j] = float64(int8(data[(j*11+5)%len(data)]))
+		}
+		k := 1 + int(kRaw)%(n+2)
+		maxNodes := int(budgetRaw) % 24 // 0 = unlimited
+		gate := func() *lifecycle.Gate {
+			return lifecycle.NewGate(context.Background(), lifecycle.Limits{MaxNodes: maxNodes})
+		}
+		resF, stF, truncF, err := tr.SearchLimited(q, k, tr.Features(), store, gate())
+		if err != nil {
+			t.Fatalf("flat search: %v", err)
+		}
+		resP, stP, truncP, err := tr.SearchPointerLimited(q, k, tr.Features(), store, gate())
+		if err != nil {
+			t.Fatalf("pointer search: %v", err)
+		}
+		if truncF != truncP || stF != stP || len(resF) != len(resP) {
+			t.Fatalf("paths diverge: trunc %v/%v stats %+v/%+v len %d/%d",
+				truncF, truncP, stF, stP, len(resF), len(resP))
+		}
+		prev := 0.0
+		for i, r := range resF {
+			if r != resP[i] {
+				t.Fatalf("result %d: %+v vs %+v", i, r, resP[i])
+			}
+			if r.Dist < 0 || r.Dist != r.Dist || r.Dist < prev {
+				t.Fatalf("result %d: bad distance %v (prev %v)", i, r.Dist, prev)
+			}
+			prev = r.Dist
+		}
+	})
+}

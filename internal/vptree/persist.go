@@ -175,6 +175,7 @@ func Load(path string) (*Tree, error) {
 	if _, err := r.ReadByte(); err != io.EOF {
 		return nil, ErrCorrupt
 	}
+	t.rebuildFlat()
 	return t, nil
 }
 

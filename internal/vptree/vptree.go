@@ -72,6 +72,11 @@ type Options struct {
 	// the worker count: every node derives its sampling RNG from its
 	// position in the tree rather than from a shared sequential stream.
 	BuildWorkers int
+	// NoFlatKernels disables the flat-memory batched bound kernels and keeps
+	// every search on the pointer-tree path (ablation / equivalence-testing
+	// knob; results are identical by construction, only the memory access
+	// pattern changes).
+	NoFlatKernels bool
 }
 
 func (o *Options) fill() {
@@ -152,6 +157,11 @@ type Tree struct {
 	features MemoryFeatures // populated at build; may be swapped to disk
 	// specByID retains the uncompressed spectra in Dynamic mode.
 	specByID map[int]*spectral.HalfSpectrum
+	// flat is the cache-friendly mirror of the pointer tree (see flat.go);
+	// nil when unavailable, in which case searches use the pointer path.
+	flat *flatIndex
+	// kernels accumulates flat-path kernel work across searches.
+	kernels kernelCounters
 }
 
 // Stats reports the work one search performed. Every field is a plain
@@ -261,6 +271,7 @@ func Build(specs []*spectral.HalfSpectrum, ids []int, opts Options) (*Tree, erro
 	if err != nil {
 		return nil, err
 	}
+	t.rebuildFlat()
 	return t, nil
 }
 
@@ -533,8 +544,23 @@ type candidate struct {
 // features (pass t.Features() for the in-memory configuration or a
 // DiskFeatures for the on-disk one).
 func (t *Tree) Search(query []float64, k int, feats FeatureSource, store seqstore.Store) ([]Result, Stats, error) {
-	res, st, _, err := t.search(query, k, feats, store, nil, nil)
+	res, st, _, err := t.search(query, k, feats, store, nil, nil, false)
 	return res, st, err
+}
+
+// SearchPointer is Search forced onto the pointer-tree scalar path,
+// bypassing the flat kernels even when available. It exists as the reference
+// implementation for the flat≡pointer equivalence harness and benchmarks;
+// results and Stats are identical to Search by construction.
+func (t *Tree) SearchPointer(query []float64, k int, feats FeatureSource, store seqstore.Store) ([]Result, Stats, error) {
+	res, st, _, err := t.search(query, k, feats, store, nil, nil, true)
+	return res, st, err
+}
+
+// SearchPointerLimited is SearchLimited forced onto the pointer-tree path
+// (the reference twin of the flat path, for equivalence testing).
+func (t *Tree) SearchPointerLimited(query []float64, k int, feats FeatureSource, store seqstore.Store, g *lifecycle.Gate) (res []Result, st Stats, truncated bool, err error) {
+	return t.search(query, k, feats, store, g, nil, true)
 }
 
 // SearchLimited is Search under a request-lifecycle gate: cancellation is
@@ -544,7 +570,7 @@ func (t *Tree) Search(query []float64, k int, feats FeatureSource, store seqstor
 // candidates and returning the best-so-far neighbours with truncated=true.
 // A nil gate makes it identical to Search.
 func (t *Tree) SearchLimited(query []float64, k int, feats FeatureSource, store seqstore.Store, g *lifecycle.Gate) (res []Result, st Stats, truncated bool, err error) {
-	return t.search(query, k, feats, store, g, nil)
+	return t.search(query, k, feats, store, g, nil, false)
 }
 
 // SearchExplain runs Search while additionally collecting a structured
@@ -561,12 +587,12 @@ func (t *Tree) SearchExplain(query []float64, k int, feats FeatureSource, store 
 		TreeSize:    t.n,
 		TreeHeight:  t.Height(),
 	}
-	res, st, _, err := t.search(query, k, feats, store, nil, exp)
+	res, st, _, err := t.search(query, k, feats, store, nil, exp, false)
 	exp.Stats = st
 	return res, st, exp, err
 }
 
-func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstore.Store, g *lifecycle.Gate, exp *Explain) ([]Result, Stats, bool, error) {
+func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstore.Store, g *lifecycle.Gate, exp *Explain, forcePointer bool) ([]Result, Stats, bool, error) {
 	var st Stats
 	if k < 1 {
 		return nil, st, false, errors.New("vptree: k must be >= 1")
@@ -592,7 +618,19 @@ func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstor
 		ctx:     spectral.NewQueryContext(hq),
 		sigmaUB: math.Inf(1),
 	}
-	if err := s.visit(t.root, 0); err != nil {
+	// The flat batched-kernel path handles every plain search over the tree's
+	// own in-memory feature table; explain runs, foreign feature sources
+	// (disk) and explicit pointer requests use the pointer tree. Both paths
+	// produce bit-identical results and Stats (see flat.go).
+	if !forcePointer && exp == nil && t.flat != nil && t.flat.covers(feats) {
+		s.lbBuf = make([]float64, t.flat.maxLeaf)
+		s.ubBuf = make([]float64, t.flat.maxLeaf)
+		err = s.visitFlat(t.flat, 0)
+		s.flushKernelCounters()
+	} else {
+		err = s.visit(t.root, 0)
+	}
+	if err != nil {
 		return nil, st, false, err
 	}
 	// A budget that expired during traversal still grants refinement of up
@@ -697,6 +735,12 @@ type searcher struct {
 	cands   []candidate
 	sigmaUB float64
 	ubTop   []float64 // max-heap of the k smallest upper bounds seen
+	// lbBuf/ubBuf are the per-search kernel output buffers (flat path only),
+	// sized to the largest leaf block so BoundsBlock never allocates.
+	lbBuf, ubBuf []float64
+	// kBlocks/kEvals/kBlocksPruned are this search's flat-kernel counters,
+	// flushed once to the tree's atomics at the end of traversal.
+	kBlocks, kEvals, kBlocksPruned int64
 }
 
 // bounds evaluates the query bounds against a stored compressed object.
