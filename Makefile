@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-lostcancel api-check fmt check bench bench-record bench-smoke fuzz-smoke kernel-check profile profile-smoke trace-smoke
+.PHONY: all build test race vet vet-lostcancel api-check fmt check bench bench-record bench-smoke fuzz-smoke kernel-check shard-check profile profile-smoke trace-smoke
 
 all: check
 
@@ -45,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz FuzzArenaKernel -fuzztime $(FUZZTIME) ./internal/spectral
 	$(GO) test -run='^$$' -fuzz FuzzParseTraceparent -fuzztime $(FUZZTIME) ./internal/obs
 	$(GO) test -run='^$$' -fuzz FuzzFlatSearch -fuzztime $(FUZZTIME) ./internal/vptree
+	$(GO) test -run='^$$' -fuzz FuzzShardRoute -fuzztime $(FUZZTIME) ./internal/shard
 
 # kernel-check is the flat-kernel acceptance suite: the arena/flat-path
 # equivalence and property tests plus the scheduler-spread regressions, all
@@ -56,6 +57,18 @@ kernel-check:
 	$(GO) run ./cmd/benchrec validate /tmp/BENCH_kernelsmoke.json
 	$(GO) run ./cmd/benchrec gate /tmp/BENCH_kernelsmoke.json
 	$(GO) run ./cmd/benchrec compare /tmp/BENCH_kernelsmoke.json /tmp/BENCH_kernelsmoke.json
+
+# shard-check is the scatter-gather acceptance suite: the full
+# internal/shard package — the 100-trial equivalence property test across
+# shard counts {1,2,3,8}, the rollback/cancellation stress tests and the
+# wrapper-delegation regressions — under the race detector, followed by a
+# smoke bench record pushed through validate and the gate (which enforces
+# sharded_matches_single and the gather-overhead ceiling).
+shard-check:
+	$(GO) test -race -count=1 ./internal/shard/
+	$(GO) run ./cmd/benchrec record -smoke -label shardsmoke -o /tmp/BENCH_shardsmoke.json
+	$(GO) run ./cmd/benchrec validate /tmp/BENCH_shardsmoke.json
+	$(GO) run ./cmd/benchrec gate /tmp/BENCH_shardsmoke.json
 
 # trace-smoke boots cmd/s2 with a file span exporter, sends a traced
 # /v1/search request and asserts the exported trace's spans and parentage.
@@ -73,11 +86,14 @@ BENCH_LABEL ?= dev
 bench-record:
 	$(GO) run ./cmd/benchrec record -label $(BENCH_LABEL)
 
-# bench-smoke runs the tiny CI workload and validates the record
-# structurally (no perf gating).
+# bench-smoke runs the tiny CI workload, validates the record structurally
+# and applies the correctness gate (batch/flat/sharded match bits plus the
+# gather-overhead ceiling; the perf speedup floor self-skips on small
+# machines, so this stays safe for noisy CI runners).
 bench-smoke:
 	$(GO) run ./cmd/benchrec record -smoke -label smoke -o /tmp/BENCH_smoke.json
 	$(GO) run ./cmd/benchrec validate /tmp/BENCH_smoke.json
+	$(GO) run ./cmd/benchrec gate /tmp/BENCH_smoke.json
 
 # profile records the default workload with mutex/block/heap pprof capture
 # enabled; inspect with `go tool pprof profiles/mutex-profile-001.pprof`.

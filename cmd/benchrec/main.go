@@ -5,16 +5,18 @@
 //
 // Usage:
 //
-//	benchrec record [-label dev] [-o FILE] [-smoke] [-profile-dir DIR] [-series N] [-queries Q] [-days D] [-seed S] [-budget B] [-k K] [-workers W]
+//	benchrec record [-label dev] [-o FILE] [-smoke] [-profile-dir DIR] [-series N] [-queries Q] [-days D] [-seed S] [-budget B] [-k K] [-workers W] [-shards S]
 //	benchrec compare [-tol 0.15] OLD.json NEW.json    # exit 1 on regression
 //	benchrec validate FILE.json                       # exit 1 on structural problems
-//	benchrec gate [-min-speedup 4] FILE.json          # exit 1 on kernel-gate failure
+//	benchrec gate [-min-speedup 4] [-max-gather-pct 25] FILE.json  # exit 1 on gate failure
 //
-// gate applies the flat-kernel acceptance criteria to a record: the batch
-// and flat-path correctness bits must hold, no worker may own more than
-// half the batch, and — on machines whose gomaxprocs covers the workload's
-// worker count — the parallel speedup must reach -min-speedup. On smaller
-// machines the speedup floor is reported as skipped rather than enforced.
+// gate applies the acceptance criteria to a record: the batch, flat-path
+// and sharded-scatter correctness bits must hold, no worker may own more
+// than half the batch, the scatter layer's gather overhead must stay under
+// -max-gather-pct of sharded query wall time, and — on machines whose
+// gomaxprocs covers the workload's worker count — the parallel speedup must
+// reach -min-speedup. On smaller machines the speedup floor is reported as
+// skipped rather than enforced.
 //
 // With -profile-dir, mutex/block sampling is enabled for the run and one
 // mutex/block/heap pprof capture is written right after the parallel
@@ -78,7 +80,7 @@ func usage(w io.Writer) {
   benchrec record [-label dev] [-o FILE] [-smoke] [-profile-dir DIR] [workload flags]
   benchrec compare [-tol 0.15] OLD.json NEW.json
   benchrec validate FILE.json
-  benchrec gate [-min-speedup 4] FILE.json`)
+  benchrec gate [-min-speedup 4] [-max-gather-pct 25] FILE.json`)
 }
 
 func runRecord(args []string, stdout io.Writer) error {
@@ -94,13 +96,14 @@ func runRecord(args []string, stdout io.Writer) error {
 	budget := fs.Int("budget", def.Budget, "coefficient budget")
 	k := fs.Int("k", def.K, "neighbours per search")
 	workers := fs.Int("workers", def.Workers, "parallel fan-out for the throughput measurement")
+	shards := fs.Int("shards", def.Shards, "partition width of the sharding phase's scatter-gather engine")
 	profileDir := fs.String("profile-dir", "", "capture mutex/block/heap pprof profiles into DIR during the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	w := benchutil.BenchWorkload{
 		Series: *series, Queries: *queries, Days: *days,
-		Seed: *seed, Budget: *budget, K: *k, Workers: *workers,
+		Seed: *seed, Budget: *budget, K: *k, Workers: *workers, Shards: *shards,
 	}
 	if *smoke {
 		w = benchutil.SmokeBenchWorkload()
@@ -140,6 +143,9 @@ func runRecord(args []string, stdout io.Writer) error {
 		rec.Kernels.FlatMatchesPointer)
 	fmt.Fprintf(stdout, "  tracing untraced %.0f qps  traced %.0f qps  overhead %+.2f%%  traces kept %d\n",
 		rec.Tracing.UntracedQPS, rec.Tracing.TracedQPS, rec.Tracing.OverheadPct, rec.Tracing.TracesKept)
+	fmt.Fprintf(stdout, "  sharding %d shards (fanout %d)  %.0f qps  imbalance %.2f  gather %.2f%%  matches single=%v\n",
+		rec.Sharding.Shards, rec.Sharding.Fanout, rec.Sharding.ShardedQPS,
+		rec.Sharding.SeriesImbalance, rec.Sharding.GatherPct, rec.Sharding.ShardedMatchesSingle)
 	for _, p := range rec.Profiles {
 		fmt.Fprintf(stdout, "  profile %s\n", p)
 	}
@@ -183,6 +189,7 @@ func runCompare(args []string, stdout io.Writer) (regressed bool, err error) {
 func runGate(args []string, stdout io.Writer) (failed bool, err error) {
 	fs := flag.NewFlagSet("gate", flag.ContinueOnError)
 	minSpeedup := fs.Float64("min-speedup", 4.0, "parallel speedup floor (enforced only when gomaxprocs >= workload workers)")
+	maxGatherPct := fs.Float64("max-gather-pct", 25.0, "gather-overhead ceiling as % of sharded query wall time (<= 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
@@ -193,14 +200,15 @@ func runGate(args []string, stdout io.Writer) (failed bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	fmt.Fprintf(stdout, "gating %s: workers %d, gomaxprocs %d, speedup %.2fx, max task share %.3f\n",
+	fmt.Fprintf(stdout, "gating %s: workers %d, gomaxprocs %d, speedup %.2fx, max task share %.3f, gather %.2f%% over %d shards\n",
 		fs.Arg(0), rec.Workload.Workers, rec.GoMaxProcs,
-		rec.Throughput.Speedup, rec.Contention.MaxTaskShare)
+		rec.Throughput.Speedup, rec.Contention.MaxTaskShare,
+		rec.Sharding.GatherPct, rec.Sharding.Shards)
 	if rec.GoMaxProcs < rec.Workload.Workers {
 		fmt.Fprintf(stdout, "  speedup floor %.1fx skipped: gomaxprocs %d < %d workers (machine cannot show wall-clock parallelism)\n",
 			*minSpeedup, rec.GoMaxProcs, rec.Workload.Workers)
 	}
-	fails := benchutil.GateRecord(rec, *minSpeedup)
+	fails := benchutil.GateRecord(rec, *minSpeedup, *maxGatherPct)
 	if len(fails) == 0 {
 		fmt.Fprintln(stdout, "gate passed")
 		return false, nil

@@ -14,7 +14,14 @@
 //	help / quit
 //
 // The database is generated on startup: the paper's exemplar queries plus a
-// configurable number of background series. With -debug-addr a debug HTTP
+// configurable number of background series. With -shards N (N > 1) the
+// database is partitioned across N independent engine shards served
+// scatter-gather (see docs/sharding.md): searches fan out to every shard
+// concurrently and merge under the canonical ordering, so results are
+// identical to the single engine's. Per-series commands (periods, bursts,
+// approx) route to the owning shard; whole-database surfaces with no
+// cross-shard merge (sql, explain, -save, -db) need the unpartitioned
+// engine and say so. With -debug-addr a debug HTTP
 // server exposes /debug/vars, /debug/metrics (Prometheus text format),
 // /debug/traces, /debug/requests (request-scoped wide events),
 // /debug/workers (per-worker pool attribution), /debug/healthz,
@@ -33,6 +40,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +61,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/querylog"
 	"repro/internal/series"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -77,6 +86,7 @@ func run() error {
 	days := flag.Int("days", querylog.DefaultLength, "days per series")
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	budget := flag.Int("budget", 16, "compression budget c (2c+1 doubles per sequence)")
+	shards := flag.Int("shards", 1, "partition the database across N engine shards served scatter-gather (1 = single engine)")
 	load := flag.String("load", "", "load a dataset (.csv, or a genlog binary) instead of generating one")
 	db := flag.String("db", "", "open a saved engine directory (see -save) instead of building")
 	save := flag.String("save", "", "after building, save the engine state to this directory")
@@ -113,7 +123,7 @@ func run() error {
 		slog.Info("trace export enabled", "target", *traceExport)
 	}
 
-	engine, err := buildEngine(*db, *load, *n, *days, *seed, *budget, hub)
+	engine, err := buildEngine(*db, *load, *n, *days, *seed, *budget, *shards, hub)
 	if err != nil {
 		return err
 	}
@@ -164,7 +174,11 @@ func run() error {
 	}
 
 	if *save != "" {
-		if err := engine.Save(*save); err != nil {
+		eng, ok := engine.(*core.Engine)
+		if !ok {
+			return fmt.Errorf("-save needs the unpartitioned engine (run without -shards)")
+		}
+		if err := eng.Save(*save); err != nil {
 			return fmt.Errorf("save: %w", err)
 		}
 		fmt.Printf("engine state saved to %s (reopen with -db %s)\n", *save, *save)
@@ -208,12 +222,13 @@ func runBenchMode(args []string) error {
 	budget := fs.Int("budget", def.Budget, "coefficient budget")
 	k := fs.Int("k", def.K, "neighbours per search")
 	parallel := fs.Int("parallel", def.Workers, "BatchSearch worker count")
+	shards := fs.Int("shards", def.Shards, "partition width of the sharded scatter-gather phase")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	w := benchutil.BenchWorkload{
 		Series: *series, Queries: *queries, Days: *days,
-		Seed: *seed, Budget: *budget, K: *k, Workers: *parallel,
+		Seed: *seed, Budget: *budget, K: *k, Workers: *parallel, Shards: *shards,
 	}
 	rec, err := benchutil.RunBench(w, "s2-bench")
 	if err != nil {
@@ -226,17 +241,28 @@ func runBenchMode(args []string) error {
 	fmt.Printf("serial   %10.1f qps  (%d searches)\n", t.SerialQPS, t.Queries)
 	fmt.Printf("parallel %10.1f qps  (%d workers)  speedup %.2fx\n",
 		t.ParallelQPS, t.Workers, t.Speedup)
+	sh := rec.Sharding
+	fmt.Printf("sharded  %10.1f qps  (%d shards, fanout %d)  gather %.2f%%\n",
+		sh.ShardedQPS, sh.Shards, sh.Fanout, sh.GatherPct)
 	if !t.BatchMatchesSerial {
 		return fmt.Errorf("parallel batch results diverged from serial")
 	}
-	fmt.Println("parallel results match serial: ok")
+	if !sh.ShardedMatchesSingle {
+		return fmt.Errorf("sharded scatter results diverged from the single engine")
+	}
+	fmt.Println("parallel and sharded results match serial: ok")
 	return nil
 }
 
 // buildEngine opens, loads or generates the database. On every error path
-// nothing is left open (the engine only escapes on success).
-func buildEngine(db, load string, n, days int, seed int64, budget int, hub *obs.Hub) (*core.Engine, error) {
+// nothing is left open (the engine only escapes on success). With shards > 1
+// the dataset is partitioned via shard.NewFromConfig; saved engine
+// directories are single-engine snapshots, so -db refuses a shard count.
+func buildEngine(db, load string, n, days int, seed int64, budget, shards int, hub *obs.Hub) (core.Searcher, error) {
 	if db != "" {
+		if shards > 1 {
+			return nil, fmt.Errorf("-db opens a single-engine snapshot and cannot be partitioned (drop -shards)")
+		}
 		fmt.Printf("opening saved engine at %s...\n", db)
 		return core.LoadEngine(db, core.Config{Obs: hub})
 	}
@@ -258,11 +284,49 @@ func buildEngine(db, load string, n, days int, seed int64, budget int, hub *obs.
 		g := querylog.NewGenerator(querylog.DefaultStart, days, seed)
 		data = append(g.Exemplars(), g.Dataset(n)...)
 	}
-	return core.NewEngine(data, core.Config{Budget: budget, Obs: hub})
+	s, err := shard.NewFromConfig(data, core.Config{Budget: budget, Shards: shards, Obs: hub})
+	if err != nil {
+		return nil, err
+	}
+	if se, ok := s.(*shard.ShardedEngine); ok {
+		fmt.Printf("partitioned across %d shards: sizes %v\n", se.Shards(), se.ShardSizes())
+	}
+	return s, nil
+}
+
+// ownerEngine resolves the concrete engine holding sequence id — the engine
+// itself in single-engine mode, the owning shard otherwise — plus the id in
+// that engine's local space. Per-series commands that need engine-only
+// surfaces (periods, bursts, approx) run there: a series' periodogram,
+// burst detection and reconstruction depend only on that one series, so the
+// owner shard's answer is the unsharded answer.
+func ownerEngine(s core.Searcher, id int) (*core.Engine, int, error) {
+	switch v := s.(type) {
+	case *core.Engine:
+		return v, id, nil
+	case *shard.ShardedEngine:
+		sh, local, ok := v.Owner(id)
+		if !ok {
+			return nil, 0, fmt.Errorf("unknown sequence id %d", id)
+		}
+		return v.Engine(sh), local, nil
+	default:
+		return nil, 0, fmt.Errorf("unsupported engine type %T", s)
+	}
+}
+
+// requireWholeEngine gates commands whose answer spans the whole database
+// without a cross-shard merge (sql's burst table, explain's traversal
+// report, the common-periods set periodogram) on the unpartitioned engine.
+func requireWholeEngine(s core.Searcher, cmd string) (*core.Engine, error) {
+	if e, ok := s.(*core.Engine); ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("%s needs the unpartitioned engine (run without -shards)", cmd)
 }
 
 // repl runs the interactive loop until EOF or quit.
-func repl(engine *core.Engine, hub *obs.Hub) {
+func repl(engine core.Searcher, hub *obs.Hub) {
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("s2> ")
@@ -361,19 +425,29 @@ func formatSeconds(v float64) string {
 }
 
 // dispatch parses one command line. The query term may contain spaces; an
-// optional trailing integer is the k parameter.
-func dispatch(e *core.Engine, line string) error {
+// optional trailing integer is the k parameter. Search commands run through
+// the unified Query surface so they work identically on single and sharded
+// engines; per-series analytics route to the owning shard's engine.
+func dispatch(e core.Searcher, line string) error {
 	fields := strings.Fields(line)
 	cmd := fields[0]
 	rest := fields[1:]
 	if cmd == "sql" {
-		return runSQL(e, strings.TrimSpace(strings.TrimPrefix(line, "sql")))
+		eng, err := requireWholeEngine(e, "sql")
+		if err != nil {
+			return err
+		}
+		return runSQL(eng, strings.TrimSpace(strings.TrimPrefix(line, "sql")))
 	}
 	if cmd == "simperiod" {
 		return runSimPeriod(e, rest)
 	}
 	if cmd == "explain" {
-		return runExplain(e, rest, os.Stdout)
+		eng, err := requireWholeEngine(e, "explain")
+		if err != nil {
+			return err
+		}
+		return runExplain(eng, rest, os.Stdout)
 	}
 	k := 5
 	variant := ""
@@ -430,17 +504,22 @@ func dispatch(e *core.Engine, line string) error {
 	}
 	switch cmd {
 	case "similar":
-		res, st, err := e.SimilarToID(id, k)
+		resp, err := e.Query(context.Background(), core.Request{Kind: core.KindSimilarID, ID: id, K: k})
 		if err != nil {
 			return err
 		}
-		for i, r := range res {
+		for i, r := range resp.Neighbors {
 			fmt.Printf("  %2d. %-24s dist=%.2f\n", i+1, r.Name, r.Dist)
 		}
+		st := resp.Stats
 		fmt.Printf("  (examined %d of %d full sequences; %d lb-prunes, %d ub-prunes)\n",
 			st.FullRetrievals, e.Len(), st.LBPrunes, st.UBPrunes)
 	case "periods":
-		det, err := e.PeriodsOf(id)
+		eng, local, err := ownerEngine(e, id)
+		if err != nil {
+			return err
+		}
+		det, err := eng.PeriodsOf(local)
 		if err != nil {
 			return err
 		}
@@ -460,7 +539,11 @@ func dispatch(e *core.Engine, line string) error {
 		if err != nil {
 			return err
 		}
-		det, err := e.Bursts(s.Values, w)
+		eng, _, err := ownerEngine(e, id)
+		if err != nil {
+			return err
+		}
+		det, err := eng.Bursts(s.Values, w)
 		if err != nil {
 			return err
 		}
@@ -474,18 +557,22 @@ func dispatch(e *core.Engine, line string) error {
 				s.DateOf(b.End).Format("2006-01-02"), b.Avg)
 		}
 	case "common":
-		res, _, err := e.SimilarToID(id, k)
+		eng, err := requireWholeEngine(e, "common")
+		if err != nil {
+			return err
+		}
+		res, _, err := eng.SimilarToID(id, k)
 		if err != nil {
 			return err
 		}
 		ids := []int{id}
-		fmt.Printf("  set: %s", e.Name(id))
+		fmt.Printf("  set: %s", eng.Name(id))
 		for _, r := range res {
 			ids = append(ids, r.ID)
 			fmt.Printf(", %s", r.Name)
 		}
 		fmt.Println()
-		det, err := e.PeriodsOfSet(ids)
+		det, err := eng.PeriodsOfSet(ids)
 		if err != nil {
 			return err
 		}
@@ -497,15 +584,16 @@ func dispatch(e *core.Engine, line string) error {
 			fmt.Printf("  P%d = %.2f days (power %.2f, p-value %.2e)\n", i+1, p.Length, p.Power, p.PValue)
 		}
 	case "qbb":
-		matches, err := e.QueryByBurstOf(id, k, core.Long)
+		resp, err := e.Query(context.Background(),
+			core.Request{Kind: core.KindBurstID, ID: id, K: k, Window: core.Long})
 		if err != nil {
 			return err
 		}
-		if len(matches) == 0 {
+		if len(resp.Matches) == 0 {
 			fmt.Println("  no burst-pattern matches")
 			return nil
 		}
-		for i, m := range matches {
+		for i, m := range resp.Matches {
 			fmt.Printf("  %2d. %-24s BSim=%.3f\n", i+1, m.Name, m.Score)
 		}
 	case "show":
@@ -520,7 +608,11 @@ func dispatch(e *core.Engine, line string) error {
 		if err != nil {
 			return err
 		}
-		rec, err := e.Reconstruct(id)
+		eng, local, err := ownerEngine(e, id)
+		if err != nil {
+			return err
+		}
+		rec, err := eng.Reconstruct(local)
 		if err != nil {
 			return err
 		}
@@ -582,8 +674,9 @@ func runExplain(e *core.Engine, args []string, w io.Writer) error {
 }
 
 // runSimPeriod handles `simperiod <query> <days>`: the §7.5 focused search
-// over a single period band.
-func runSimPeriod(e *core.Engine, args []string) error {
+// over a single period band, through the unified Query surface so it
+// scatters under -shards.
+func runSimPeriod(e core.Searcher, args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("usage: simperiod <query> <period-days>")
 	}
@@ -596,12 +689,13 @@ func runSimPeriod(e *core.Engine, args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown query %q (try 'list')", name)
 	}
-	res, err := e.SimilarByPeriods(id, []float64{days}, 0.05, 5)
+	resp, err := e.Query(context.Background(),
+		core.Request{Kind: core.KindSimilarPeriods, ID: id, Periods: []float64{days}, RelTol: 0.05, K: 5})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("  neighbours of %q in the %.1f-day band:\n", name, days)
-	for i, r := range res {
+	for i, r := range resp.Neighbors {
 		fmt.Printf("  %2d. %-24s band-dist=%.3f\n", i+1, r.Name, r.Dist)
 	}
 	return nil

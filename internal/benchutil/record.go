@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/querylog"
+	"repro/internal/shard"
 )
 
 // BenchSchemaVersion versions the BENCH_<label>.json shape. Bump when
@@ -46,7 +47,14 @@ import (
 // flat-matches-pointer correctness bit), and contention.max_task_share
 // (largest fraction of the batch any one worker executed — the single-owner
 // pathology regression guard).
-const BenchSchemaVersion = 6
+//
+// v7 added the workload's shard count and the sharding section: the same
+// corpus partitioned across a scatter-gather engine (internal/shard), with
+// per-shard series/node counts and skew, scatter fan-out, cumulative gather
+// overhead (absolute and as a fraction of sharded query wall time), and the
+// sharded_matches_single correctness bit — the evidence the horizontal
+// scaling work gates on.
+const BenchSchemaVersion = 7
 
 // BenchWorkload pins every knob that shapes a benchmark run, so two records
 // are only ever compared like for like.
@@ -67,23 +75,26 @@ type BenchWorkload struct {
 	// the engine's Config.Workers). Fixed per workload — throughput is only
 	// comparable at equal worker counts.
 	Workers int `json:"workers"`
+	// Shards is the partition width of the sharding phase's scatter-gather
+	// twin (minimum 2 — a one-shard partition measures nothing).
+	Shards int `json:"shards"`
 }
 
 // DefaultBenchWorkload is the standardized workload `make bench-record`
 // runs: big enough that pruning behaviour is representative, small enough
 // to finish in seconds.
 func DefaultBenchWorkload() BenchWorkload {
-	return BenchWorkload{Series: 512, Queries: 16, Days: 512, Seed: 1, Budget: 16, K: 5, Workers: 8}
+	return BenchWorkload{Series: 512, Queries: 16, Days: 512, Seed: 1, Budget: 16, K: 5, Workers: 8, Shards: 4}
 }
 
 // SmokeBenchWorkload is the tiny workload CI's bench-smoke job runs; it
 // validates the record pipeline structurally without gating on performance.
 func SmokeBenchWorkload() BenchWorkload {
-	return BenchWorkload{Series: 64, Queries: 4, Days: 128, Seed: 1, Budget: 8, K: 3, Workers: 4}
+	return BenchWorkload{Series: 64, Queries: 4, Days: 128, Seed: 1, Budget: 8, K: 3, Workers: 4, Shards: 3}
 }
 
 func (w BenchWorkload) validate() error {
-	if w.Series < 2 || w.Queries < 1 || w.Days < 8 || w.Budget < 1 || w.K < 1 || w.Workers < 1 {
+	if w.Series < 2 || w.Queries < 1 || w.Days < 8 || w.Budget < 1 || w.K < 1 || w.Workers < 1 || w.Shards < 2 {
 		return fmt.Errorf("benchutil: implausible workload %+v", w)
 	}
 	return nil
@@ -267,6 +278,42 @@ type KernelsBench struct {
 	FlatMatchesPointer bool `json:"flat_matches_pointer"`
 }
 
+// ShardingBench is the horizontal-scaling evidence of the run: the same
+// corpus partitioned across a scatter-gather engine (internal/shard), the
+// workload's query set scattered over every shard and gathered back, and
+// each merged answer compared against the single engine's. The skew numbers
+// describe how evenly the routing hash spread the corpus; the gather
+// numbers bound the merge tax the scatter layer adds on top of the
+// per-shard searches.
+type ShardingBench struct {
+	// Shards is the partition width (mirrors workload.shards).
+	Shards int `json:"shards"`
+	// Fanout is how many live (non-dormant) shards each scatter hits.
+	Fanout int `json:"fanout"`
+	// SeriesPerShard / NodesPerShard are the per-shard corpus and VP-tree
+	// node counts (0 for a shard the hash left dormant).
+	SeriesPerShard []int `json:"series_per_shard"`
+	NodesPerShard  []int `json:"nodes_per_shard"`
+	// SeriesImbalance is max/mean series per shard (1 = perfectly even);
+	// MaxSeriesShare is the largest fraction of the corpus on any one shard
+	// (1/shards = perfectly even, 1 = everything hashed onto one shard).
+	SeriesImbalance float64 `json:"series_imbalance"`
+	MaxSeriesShare  float64 `json:"max_series_share"`
+	// Scatters counts the queries fanned out during the phase.
+	Scatters int64 `json:"scatters"`
+	// ShardedQPS is completed scattered searches per second.
+	ShardedQPS float64 `json:"sharded_qps"`
+	// GatherNS is the cumulative wall time in the gather/merge stage;
+	// GatherPct is that time as a percentage of the phase's total wall time
+	// (the scatter layer's overhead — `benchrec gate` enforces a ceiling).
+	GatherNS  int64   `json:"gather_ns"`
+	GatherPct float64 `json:"gather_pct"`
+	// ShardedMatchesSingle records whether every scattered query returned
+	// exactly the single engine's neighbours — the equivalence bit the
+	// sharding test harness proves and the gate enforces.
+	ShardedMatchesSingle bool `json:"sharded_matches_single"`
+}
+
 // QBBBench summarizes the query-by-burst half of the workload.
 type QBBBench struct {
 	Latency LatencySummary `json:"latency"`
@@ -302,6 +349,7 @@ type BenchRecord struct {
 	Contention  ContentionBench  `json:"contention"`
 	Kernels     KernelsBench     `json:"kernels"`
 	Tracing     TracingBench     `json:"tracing"`
+	Sharding    ShardingBench    `json:"sharding"`
 	QBB         QBBBench         `json:"qbb"`
 	Degradation DegradationBench `json:"degradation"`
 
@@ -491,6 +539,56 @@ func RunBenchWithOptions(w BenchWorkload, label string, opts BenchOptions) (*Ben
 	}
 	if rec.Tracing.UntracedQPS > 0 {
 		rec.Tracing.OverheadPct = (rec.Tracing.UntracedQPS - rec.Tracing.TracedQPS) / rec.Tracing.UntracedQPS * 100
+	}
+
+	// Sharding evidence: the same corpus partitioned across w.Shards engine
+	// shards, the serial throughput loop re-run through the scatter-gather
+	// path, every merged answer checked against the single engine's.
+	se, err := shard.New(data, core.Config{Budget: w.Budget, Seed: w.Seed, Workers: w.Workers, Shards: w.Shards})
+	if err != nil {
+		return nil, fmt.Errorf("benchutil: sharded twin engine: %w", err)
+	}
+	rec.Sharding = ShardingBench{
+		Shards:               w.Shards,
+		SeriesPerShard:       se.ShardSizes(),
+		NodesPerShard:        se.ShardNodes(),
+		ShardedMatchesSingle: true,
+	}
+	var maxSeries, sumSeries int
+	for _, c := range rec.Sharding.SeriesPerShard {
+		sumSeries += c
+		if c > 0 {
+			rec.Sharding.Fanout++
+		}
+		if c > maxSeries {
+			maxSeries = c
+		}
+	}
+	if sumSeries > 0 {
+		rec.Sharding.SeriesImbalance = float64(maxSeries) / (float64(sumSeries) / float64(w.Shards))
+		rec.Sharding.MaxSeriesShare = float64(maxSeries) / float64(sumSeries)
+	}
+	shardedStart := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i, v := range qvals {
+			resp, err := se.Query(context.Background(), core.Request{Kind: core.KindSimilar, Values: v, K: w.K})
+			if err != nil {
+				se.Close()
+				return nil, fmt.Errorf("benchutil: sharded query %d: %w", i, err)
+			}
+			if r == 0 && !reflect.DeepEqual(resp.Neighbors, serial[i]) {
+				rec.Sharding.ShardedMatchesSingle = false
+			}
+		}
+	}
+	shardedSec := time.Since(shardedStart).Seconds()
+	gs := se.GatherStats()
+	se.Close()
+	rec.Sharding.Scatters = gs.Scatters
+	rec.Sharding.GatherNS = gs.GatherNS
+	rec.Sharding.ShardedQPS = float64(total) / shardedSec
+	if wall := shardedSec * float64(time.Second); wall > 0 {
+		rec.Sharding.GatherPct = float64(gs.GatherNS) / wall * 100
 	}
 
 	if opts.Profiler != nil {
@@ -779,6 +877,52 @@ func (r *BenchRecord) Validate() error {
 	if r.Tracing.TracesKept < 1 {
 		return fmt.Errorf("benchutil: tracing kept no traces; the hub-attached run must trace")
 	}
+	if r.Sharding.Shards != r.Workload.Shards {
+		return fmt.Errorf("benchutil: sharding ran %d shards, workload has %d",
+			r.Sharding.Shards, r.Workload.Shards)
+	}
+	if len(r.Sharding.SeriesPerShard) != r.Sharding.Shards || len(r.Sharding.NodesPerShard) != r.Sharding.Shards {
+		return fmt.Errorf("benchutil: sharding per-shard slices sized %d/%d, want %d",
+			len(r.Sharding.SeriesPerShard), len(r.Sharding.NodesPerShard), r.Sharding.Shards)
+	}
+	var shardSeries, shardNodes, liveShards int
+	for sh, c := range r.Sharding.SeriesPerShard {
+		if c < 0 || r.Sharding.NodesPerShard[sh] < 0 {
+			return fmt.Errorf("benchutil: shard %d has negative counts", sh)
+		}
+		shardSeries += c
+		shardNodes += r.Sharding.NodesPerShard[sh]
+		if c > 0 {
+			liveShards++
+		}
+	}
+	if shardSeries < 1 || shardNodes != shardSeries {
+		return fmt.Errorf("benchutil: sharding holds %d series but %d index nodes", shardSeries, shardNodes)
+	}
+	if r.Sharding.Fanout != liveShards || r.Sharding.Fanout < 1 {
+		return fmt.Errorf("benchutil: sharding fanout %d, but %d shards hold series",
+			r.Sharding.Fanout, liveShards)
+	}
+	if r.Sharding.SeriesImbalance < 1 {
+		return fmt.Errorf("benchutil: series_imbalance %v < 1 (max cannot be below mean)", r.Sharding.SeriesImbalance)
+	}
+	if r.Sharding.MaxSeriesShare <= 0 || r.Sharding.MaxSeriesShare > 1 {
+		return fmt.Errorf("benchutil: max_series_share = %v outside (0,1]", r.Sharding.MaxSeriesShare)
+	}
+	if r.Sharding.Scatters != int64(r.Throughput.Queries) {
+		return fmt.Errorf("benchutil: sharding scattered %d queries, throughput ran %d",
+			r.Sharding.Scatters, r.Throughput.Queries)
+	}
+	if r.Sharding.ShardedQPS <= 0 {
+		return fmt.Errorf("benchutil: sharded_qps = %v", r.Sharding.ShardedQPS)
+	}
+	if r.Sharding.GatherNS < 0 || r.Sharding.GatherPct < 0 || r.Sharding.GatherPct > 100 {
+		return fmt.Errorf("benchutil: gather accounting implausible: %d ns, %v%%",
+			r.Sharding.GatherNS, r.Sharding.GatherPct)
+	}
+	if !r.Sharding.ShardedMatchesSingle {
+		return fmt.Errorf("benchutil: sharded scatter-gather diverged from the single engine")
+	}
 	if r.Degradation.Aborted < int64(r.Workload.Queries) {
 		return fmt.Errorf("benchutil: only %d/%d cancelled queries aborted",
 			r.Degradation.Aborted, r.Workload.Queries)
@@ -822,15 +966,17 @@ func LoadRecord(path string) (*BenchRecord, error) {
 	return &r, nil
 }
 
-// GateRecord applies the flat-kernel acceptance gate to a single record and
-// returns the list of failures (empty = pass). Unlike Validate, which only
-// checks structural integrity, this gates on outcomes: correctness bits must
-// hold, the flat path must be in use, no worker may own more than half the
-// batch, and — only when the machine can physically exhibit parallelism
-// (gomaxprocs >= workers) — the parallel speedup must reach minSpeedup. On
-// smaller machines the speedup check is skipped (the task-share and
-// correctness gates still apply); callers should surface that skip.
-func GateRecord(r *BenchRecord, minSpeedup float64) []string {
+// GateRecord applies the acceptance gate to a single record and returns the
+// list of failures (empty = pass). Unlike Validate, which only checks
+// structural integrity, this gates on outcomes: correctness bits must hold
+// (batch-vs-serial, flat-vs-pointer, sharded-vs-single), the flat path must
+// be in use, no worker may own more than half the batch, the scatter
+// layer's gather overhead must stay under maxGatherPct (percent of sharded
+// query wall time; <= 0 disables that check), and — only when the machine
+// can physically exhibit parallelism (gomaxprocs >= workers) — the parallel
+// speedup must reach minSpeedup. On smaller machines the speedup check is
+// skipped (the other gates still apply); callers should surface that skip.
+func GateRecord(r *BenchRecord, minSpeedup, maxGatherPct float64) []string {
 	var fails []string
 	if !r.Throughput.BatchMatchesSerial {
 		fails = append(fails, "throughput.batch_matches_serial = false")
@@ -840,6 +986,13 @@ func GateRecord(r *BenchRecord, minSpeedup float64) []string {
 	}
 	if !r.Kernels.FlatMatchesPointer {
 		fails = append(fails, "kernels.flat_matches_pointer = false")
+	}
+	if !r.Sharding.ShardedMatchesSingle {
+		fails = append(fails, "sharding.sharded_matches_single = false (scatter-gather diverged)")
+	}
+	if maxGatherPct > 0 && r.Sharding.GatherPct > maxGatherPct {
+		fails = append(fails, fmt.Sprintf("sharding.gather_pct = %.2f > %.2f (gather overhead ceiling)",
+			r.Sharding.GatherPct, maxGatherPct))
 	}
 	if r.Workload.Workers >= 2 && r.Contention.MaxTaskShare > 0.5 {
 		fails = append(fails, fmt.Sprintf("contention.max_task_share = %.3f > 0.5 (single-owner pathology)",
@@ -897,6 +1050,8 @@ func CompareBenchRecords(old, new *BenchRecord, tol float64) ([]Regression, erro
 	check("contention.max_task_share", old.Contention.MaxTaskShare, new.Contention.MaxTaskShare, true)
 	check("kernels.kernel_evals", float64(old.Kernels.KernelEvals), float64(new.Kernels.KernelEvals), true)
 	check("tracing.untraced_qps", old.Tracing.UntracedQPS, new.Tracing.UntracedQPS, false)
+	check("sharding.sharded_qps", old.Sharding.ShardedQPS, new.Sharding.ShardedQPS, false)
+	check("sharding.gather_pct", old.Sharding.GatherPct, new.Sharding.GatherPct, true)
 	check("qbb.latency.p50_ms", old.QBB.Latency.P50MS, new.QBB.Latency.P50MS, true)
 	check("qbb.rows_scanned", old.QBB.RowsScanned, new.QBB.RowsScanned, true)
 	check("degradation.queue_wait_ms", old.Degradation.QueueWaitMS, new.Degradation.QueueWaitMS, true)

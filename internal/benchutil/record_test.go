@@ -68,6 +68,12 @@ func TestRunBenchValidates(t *testing.T) {
 	if s := rec.Contention.MaxTaskShare; s <= 0 || s > 1 {
 		t.Errorf("max_task_share = %v outside (0,1]", s)
 	}
+	if rec.Sharding.Shards != w.Shards || !rec.Sharding.ShardedMatchesSingle {
+		t.Errorf("sharding = %+v, want %d shards matching the single engine", rec.Sharding, w.Shards)
+	}
+	if rec.Sharding.Scatters != int64(rec.Throughput.Queries) {
+		t.Errorf("sharding scattered %d queries, want %d", rec.Sharding.Scatters, rec.Throughput.Queries)
+	}
 	if _, err := RunBench(BenchWorkload{}, "zero"); err == nil {
 		t.Error("zero workload should be rejected")
 	}
@@ -78,7 +84,7 @@ func TestGateRecord(t *testing.T) {
 	// A fresh record passes everything but possibly the speedup check, which
 	// only arms on machines with one core per worker.
 	rec.GoMaxProcs = 1 // disarm speedup regardless of the host
-	if fails := GateRecord(rec, 4.0); len(fails) != 0 {
+	if fails := GateRecord(rec, 4.0, 90); len(fails) != 0 {
 		t.Errorf("fresh record fails gate: %v", fails)
 	}
 
@@ -87,20 +93,26 @@ func TestGateRecord(t *testing.T) {
 	bad.Kernels.FlatMatchesPointer = false
 	bad.Kernels.FlatPath = false
 	bad.Contention.MaxTaskShare = 0.9
-	if fails := GateRecord(&bad, 4.0); len(fails) != 4 {
-		t.Errorf("corrupt record produced %d failures, want 4: %v", len(fails), fails)
+	bad.Sharding.ShardedMatchesSingle = false
+	bad.Sharding.GatherPct = 95
+	if fails := GateRecord(&bad, 4.0, 90); len(fails) != 6 {
+		t.Errorf("corrupt record produced %d failures, want 6: %v", len(fails), fails)
+	}
+	// A non-positive ceiling disables the gather check only.
+	if fails := GateRecord(&bad, 4.0, 0); len(fails) != 5 {
+		t.Errorf("corrupt record with gather gate disabled produced %d failures, want 5: %v", len(fails), fails)
 	}
 
 	// With gomaxprocs >= workers the speedup floor arms.
 	slow := *rec
 	slow.GoMaxProcs = slow.Workload.Workers
 	slow.Throughput.Speedup = 1.0
-	fails := GateRecord(&slow, 4.0)
+	fails := GateRecord(&slow, 4.0, 90)
 	if len(fails) != 1 || !strings.Contains(fails[0], "speedup") {
 		t.Errorf("slow record failures = %v, want one speedup failure", fails)
 	}
 	slow.Throughput.Speedup = 5.0
-	if fails := GateRecord(&slow, 4.0); len(fails) != 0 {
+	if fails := GateRecord(&slow, 4.0, 90); len(fails) != 0 {
 		t.Errorf("fast record fails gate: %v", fails)
 	}
 }
@@ -157,6 +169,11 @@ func TestValidateRejectsCorruptRecords(t *testing.T) {
 		"kernels_unused": mutate(func(r *BenchRecord) { r.Kernels.FlatSearches = 0 }),
 		"kernels_neg":    mutate(func(r *BenchRecord) { r.Kernels.BlocksPruned = -1 }),
 		"flat_mismatch":  mutate(func(r *BenchRecord) { r.Kernels.FlatMatchesPointer = false }),
+		"shard_count":    mutate(func(r *BenchRecord) { r.Sharding.Shards++ }),
+		"shard_fanout":   mutate(func(r *BenchRecord) { r.Sharding.Fanout = 0 }),
+		"shard_scatters": mutate(func(r *BenchRecord) { r.Sharding.Scatters = 0 }),
+		"shard_gather":   mutate(func(r *BenchRecord) { r.Sharding.GatherPct = 200 }),
+		"shard_mismatch": mutate(func(r *BenchRecord) { r.Sharding.ShardedMatchesSingle = false }),
 	}
 	for name, rec := range cases {
 		if err := rec.Validate(); err == nil {

@@ -79,6 +79,14 @@ type Config struct {
 	// query terms continuously). Costs the retained spectra and is
 	// incompatible with IndexMVPTree and FeaturesPath.
 	DynamicIndex bool
+	// Shards selects horizontal partitioning: 0 or 1 builds today's
+	// single engine, N > 1 asks for N independent engine shards behind a
+	// scatter-gather layer. NewEngine itself only ever builds one shard —
+	// construct sharded engines with shard.New / shard.NewFromConfig
+	// (internal/shard), which consume this field; NewEngine rejects
+	// Shards > 1 so a sharding config can never silently degrade to a
+	// single unpartitioned engine.
+	Shards int
 	// Workers bounds the goroutines used for parallel query execution —
 	// the BatchSearch fan-out and the sharded LinearScan — and for index
 	// construction (default runtime.GOMAXPROCS(0)). Set to 1 to force every
@@ -198,6 +206,37 @@ type Engine struct {
 	reqlog *obs.RequestLog
 }
 
+// Searcher is the query surface shared by the single Engine and the
+// sharded scatter-gather engine (internal/shard.ShardedEngine): everything
+// the serving layer (V1SearchHandler, cmd/s2) needs to resolve names,
+// fetch series and run queries, without knowing how many partitions sit
+// behind it.
+type Searcher interface {
+	// Query runs one request (see Engine.Query for the lifecycle contract).
+	Query(ctx context.Context, req Request) (*Response, error)
+	// Lookup resolves a query term to its sequence ID.
+	Lookup(name string) (int, bool)
+	// Name returns the query term of a sequence ID ("" if unknown).
+	Name(id int) string
+	// Series returns the original (unstandardized) series of a sequence.
+	Series(id int) (*series.Series, error)
+	// StandardizedValues returns the stored z-scored values of a sequence.
+	StandardizedValues(id int) ([]float64, error)
+	// Len is the number of indexed series; SeqLen the fixed series length.
+	Len() int
+	SeqLen() int
+	// Tracer exposes the tracer queries run under (nil-safe, may be nil).
+	Tracer() *obs.Tracer
+	// Close releases any disk resources.
+	Close() error
+}
+
+var _ Searcher = (*Engine)(nil)
+
+// Tracer exposes the engine's tracer (nil without an obs hub; the nil
+// tracer is a valid no-op).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
 // WorkerStats returns a frozen view of the engine's cumulative per-worker
 // pool attribution (tasks, steals, busy/idle time, nodes visited) plus the
 // aggregate lock-wait total.
@@ -229,6 +268,9 @@ func (e *Engine) wireObs(hub *obs.Hub) {
 func NewEngine(data []*series.Series, cfg Config) (*Engine, error) {
 	if len(data) == 0 {
 		return nil, errors.New("core: empty dataset")
+	}
+	if cfg.Shards > 1 {
+		return nil, fmt.Errorf("core: Config.Shards=%d needs the scatter-gather layer; build with shard.New (internal/shard)", cfg.Shards)
 	}
 	cfg.fill()
 	n := data[0].Len()
@@ -673,9 +715,14 @@ func (e *Engine) linearScanSharded(z []float64, k, n, workers int, g *lifecycle.
 	return merged, nil
 }
 
+// insertNeighbor keeps the k best neighbours in canonical (Dist, ID)
+// lexicographic order. For the ascending-ID scans this is exactly the
+// old FIFO-among-ties behaviour made explicit; stating it as an ordering
+// is what lets per-shard lists merge deterministically (internal/shard).
 func insertNeighbor(best []Neighbor, n Neighbor, k int) []Neighbor {
 	pos := len(best)
-	for pos > 0 && best[pos-1].Dist > n.Dist {
+	for pos > 0 && (best[pos-1].Dist > n.Dist ||
+		(best[pos-1].Dist == n.Dist && best[pos-1].ID > n.ID)) {
 		pos--
 	}
 	best = append(best, Neighbor{})

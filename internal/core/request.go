@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/burst"
 	"repro/internal/dtw"
 	"repro/internal/lifecycle"
 	"repro/internal/obs"
@@ -121,6 +122,11 @@ func (b Budget) limits(now time.Time) lifecycle.Limits {
 	return l
 }
 
+// Limits resolves the budget into lifecycle.Limits anchored at now. A
+// scatter-gather layer uses it to build the one parent gate whose Split
+// children the shards run under (see Engine.QueryGated).
+func (b Budget) Limits(now time.Time) lifecycle.Limits { return b.limits(now) }
+
 // Request is one query against the engine. Kind selects the search family
 // and which of the other fields apply:
 //
@@ -132,12 +138,34 @@ func (b Budget) limits(now time.Time) lifecycle.Limits {
 //	KindSimilarPeriods   ID, K           Periods, RelTol, Budget
 //	KindBurst            Values, K       Window, Budget
 //	KindBurstID          ID, K           Window, Budget
+//
+// Values-mode for the by-ID kinds: KindDTW and KindSimilarPeriods also
+// accept a non-nil Values slice instead of an indexed ID — the search then
+// runs for that curve, and ID becomes the sequence to exclude from the
+// results (negative = exclude nothing). Callers building such requests
+// must set ID explicitly (the zero value would silently exclude sequence
+// 0). Likewise KindBurst/KindBurstID accept a pre-detected burst pattern
+// via QueryBursts with the same ID-as-exclusion contract. These modes are
+// how a sharded engine scatters an ID-addressed query to shards that do
+// not own the ID (see internal/shard).
 type Request struct {
 	// Kind selects the search family.
 	Kind Kind
 	// Values is the raw query curve for the by-values kinds.
 	Values []float64
-	// ID is the indexed sequence for the by-ID kinds.
+	// Standardized, when set, declares Values already z-scored: the engine
+	// uses them verbatim instead of standardizing again. The sharded
+	// scatter path sets it so every shard searches bit-identical values
+	// (re-standardizing an already standardized curve is not bit-stable in
+	// floating point).
+	Standardized bool
+	// QueryBursts, when non-nil, is a pre-detected burst pattern for the
+	// burst kinds: detection is skipped and the pattern is matched as-is,
+	// with ID as the sequence to exclude (negative = none). An empty
+	// non-nil slice is a valid (empty) pattern.
+	QueryBursts []burst.Burst
+	// ID is the indexed sequence for the by-ID kinds (or, in values-mode,
+	// the sequence to exclude — see above).
 	ID int
 	// K is how many results to return (must be >= 1).
 	K int
@@ -194,6 +222,22 @@ var errBadK = errors.New("core: k must be >= 1")
 // The historical entry points (SimilarQueries, LinearScan, ...) are thin
 // deprecated wrappers over this method. See docs/api.md.
 func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
+	return e.query(ctx, req, nil)
+}
+
+// QueryGated is Query under a caller-owned lifecycle gate: the request's
+// own Budget field is ignored and every unit of work is accounted against
+// g instead. A scatter-gather layer builds one gate for the whole request,
+// Splits it, runs each shard's sub-query through QueryGated with a child
+// gate, and Absorbs the children back — so the aggregate work stays within
+// one budget while each shard keeps the engine's full per-query lifecycle
+// (tracing, wide events, metrics). A nil gate means unlimited.
+func (e *Engine) QueryGated(ctx context.Context, req Request, g *lifecycle.Gate) (*Response, error) {
+	req.Budget = Budget{}
+	return e.query(ctx, req, g)
+}
+
+func (e *Engine) query(ctx context.Context, req Request, ext *lifecycle.Gate) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -234,7 +278,10 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 		e.reqlog.Record(ev)
 		return nil, err
 	}
-	g := lifecycle.NewGate(ctx, req.Budget.limits(start))
+	g := ext
+	if g == nil {
+		g = lifecycle.NewGate(ctx, req.Budget.limits(start))
+	}
 	resp, err := e.dispatch(ctx, g, req)
 	ev.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
@@ -402,6 +449,19 @@ func (e *Engine) searchIndexLimited(ctx context.Context, z []float64, k int, g *
 	return e.tree.SearchLimited(z, k, e.features, store, g)
 }
 
+// queryValues resolves a request's Values to standardized z-values,
+// honouring Request.Standardized (pre-standardized curves pass through
+// bit-for-bit).
+func (e *Engine) queryValues(req Request) ([]float64, error) {
+	if req.Standardized {
+		if len(req.Values) != e.SeqLen() {
+			return nil, spectral.ErrMismatch
+		}
+		return req.Values, nil
+	}
+	return e.standardizeQuery(req.Values)
+}
+
 func (e *Engine) querySimilar(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
 	defer e.met.similarLat.StartCtx(ctx)()
 	e.met.similarTotal.Inc()
@@ -409,7 +469,7 @@ func (e *Engine) querySimilar(ctx context.Context, g *lifecycle.Gate, req Reques
 	fam := obs.SpanFromContext(ctx)
 
 	sp := fam.Child("standardize")
-	z, err := e.standardizeQuery(req.Values)
+	z, err := e.queryValues(req)
 	sp.Finish()
 	if err != nil {
 		return nil, err
@@ -476,7 +536,7 @@ func (e *Engine) queryLinear(ctx context.Context, g *lifecycle.Gate, req Request
 	defer e.met.linearLat.StartCtx(ctx)()
 	e.met.linearTotal.Inc()
 	fam := obs.SpanFromContext(ctx)
-	z, err := e.standardizeQuery(req.Values)
+	z, err := e.queryValues(req)
 	if err != nil {
 		return nil, err
 	}
@@ -507,12 +567,20 @@ func (e *Engine) queryDTW(ctx context.Context, g *lifecycle.Gate, req Request) (
 	// happens inside the gated DTW cascade, whose LB phase touches the same
 	// n candidates.
 	store := seqstore.WithContext(ctx, e.store)
-	z, err := store.Get(req.ID)
+	var z []float64
+	var err error
+	if req.Values != nil {
+		// Values-mode: search for the given curve, excluding sequence
+		// req.ID (negative = none). See the Request doc.
+		z, err = e.queryValues(req)
+	} else {
+		z, err = store.Get(req.ID)
+	}
 	if err != nil {
 		return nil, err
 	}
-	collection := make([][]float64, 0, e.store.Len()-1)
-	ids := make([]int, 0, e.store.Len()-1)
+	collection := make([][]float64, 0, e.store.Len())
+	ids := make([]int, 0, e.store.Len())
 	for other := 0; other < e.store.Len(); other++ {
 		if other == req.ID {
 			continue
@@ -523,6 +591,13 @@ func (e *Engine) queryDTW(ctx context.Context, g *lifecycle.Gate, req Request) (
 		}
 		collection = append(collection, v)
 		ids = append(ids, other)
+	}
+	if len(collection) == 0 {
+		// Nothing to compare against (single-series engine, or a shard
+		// whose only series is the excluded one): an empty answer, not an
+		// error — a scatter-gather layer must be able to fan an exclusion
+		// to every shard.
+		return &Response{Kind: req.Kind}, nil
 	}
 	sp := fam.Child("dtw_cascade")
 	res, _, truncated, err := dtw.SearchKLimited(collection, z, req.Band, req.K, g)
@@ -549,7 +624,15 @@ func (e *Engine) querySimilarPeriods(ctx context.Context, g *lifecycle.Gate, req
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	store := seqstore.WithContext(ctx, e.store)
-	z, err := store.Get(req.ID)
+	var z []float64
+	var err error
+	if req.Values != nil {
+		// Values-mode: search around the given curve, excluding sequence
+		// req.ID (negative = none). See the Request doc.
+		z, err = e.queryValues(req)
+	} else {
+		z, err = store.Get(req.ID)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -591,6 +674,17 @@ func (e *Engine) querySimilarPeriods(ctx context.Context, g *lifecycle.Gate, req
 }
 
 func (e *Engine) queryBurst(ctx context.Context, g *lifecycle.Gate, req Request) (*Response, error) {
+	if req.QueryBursts != nil {
+		// Pre-detected pattern: match it as-is, excluding sequence req.ID
+		// (negative = none). See the Request doc.
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		matches, truncated, err := e.queryBursts(ctx, req.QueryBursts, req.K, int64(req.ID), req.Window, g)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Kind: req.Kind, Matches: matches, Truncated: truncated}, nil
+	}
 	if req.Kind == KindBurst {
 		det, err := e.Bursts(req.Values, req.Window) // stateless, pre-lock
 		if err != nil {

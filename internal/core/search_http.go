@@ -89,7 +89,9 @@ type SearchResult struct {
 // back, and finishes the trace. Either way every terminal path — 400, 404,
 // 429/503, 500, success — stamps the trace's outcome, so error responses
 // are tail-kept and traceable, and the response body carries trace_id.
-func V1SearchHandler(e *Engine) http.Handler {
+// The handler accepts any Searcher, so the same endpoint serves a single
+// engine or a sharded scatter-gather engine (internal/shard) unchanged.
+func V1SearchHandler(e Searcher) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// Mint (or adopt the middleware's) request ID first so every
 		// response — including validation failures — echoes it, then start
@@ -99,7 +101,7 @@ func V1SearchHandler(e *Engine) http.Handler {
 		tr := obs.TraceFromContext(ctx)
 		if tr == nil {
 			tctx := obs.ContextWithTraceparent(ctx, r.Header.Get("traceparent"), r.Header.Get("tracestate"))
-			if owned, octx := e.tracer.StartTraceCtx(tctx, "http_request"); owned != nil {
+			if owned, octx := e.Tracer().StartTraceCtx(tctx, "http_request"); owned != nil {
 				owned.Annotate("request_id", rid)
 				owned.Annotate("http_method", r.Method)
 				owned.Annotate("http_path", r.URL.Path)
@@ -263,7 +265,7 @@ func V1SearchHandler(e *Engine) http.Handler {
 // Deprecated: mount V1SearchHandler at /v1/search. This alias serves the
 // same v1 schema (a superset of the historical response) and advertises its
 // replacement with a Deprecation header on every response.
-func SearchHandler(e *Engine) http.Handler {
+func SearchHandler(e Searcher) http.Handler {
 	v1 := V1SearchHandler(e)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")

@@ -261,12 +261,17 @@ func searchK(collection [][]float64, query []float64, r, k int, g *lifecycle.Gat
 	if g.Truncated() {
 		g.Grace(k)
 	}
-	// Increasing-LB order: tightest candidates first.
+	// Increasing-LB order, ties by collection index: tightest candidates
+	// first, deterministically.
 	slices.SortFunc(cands, func(a, b lbCand) int {
 		switch {
 		case a.lb < b.lb:
 			return -1
 		case a.lb > b.lb:
+			return 1
+		case a.idx < b.idx:
+			return -1
+		case a.idx > b.idx:
 			return 1
 		default:
 			return 0
@@ -275,7 +280,10 @@ func searchK(collection [][]float64, query []float64, r, k int, g *lifecycle.Gat
 	var best []Result
 	worst := math.Inf(1)
 	for _, c := range cands {
-		if len(best) >= k && c.lb >= worst {
+		// Strict cutoff: a candidate whose bound ties the current k-th
+		// distance may still displace it under the canonical (Dist, Index)
+		// tie order below.
+		if len(best) >= k && c.lb > worst {
 			break // every later candidate is bounded even further away
 		}
 		if ok, gerr := g.Exact(); gerr != nil {
@@ -296,9 +304,12 @@ func searchK(collection [][]float64, query []float64, r, k int, g *lifecycle.Gat
 			st.Abandoned++
 			continue
 		}
-		// Insert in sorted order, keep k best.
+		// Insert in canonical (Dist, Index) order, keep k best: tied
+		// distances rank by ascending collection index independently of
+		// refinement order (the sharded gather merge relies on this).
 		pos := len(best)
-		for pos > 0 && best[pos-1].Dist > d {
+		for pos > 0 && (best[pos-1].Dist > d ||
+			(best[pos-1].Dist == d && best[pos-1].Index > c.idx)) {
 			pos--
 		}
 		best = append(best, Result{})

@@ -136,9 +136,14 @@ func sortByLB(c []candidate) {
 	})
 }
 
+// insertResult keeps the k smallest results in canonical (Dist, ID)
+// lexicographic order, so tied distances rank by ascending ID regardless
+// of refinement order — the contract the sharded gather merge relies on
+// (see internal/shard).
 func insertResult(res []Result, r Result, k int) []Result {
 	pos := len(res)
-	for pos > 0 && res[pos-1].Dist > r.Dist {
+	for pos > 0 && (res[pos-1].Dist > r.Dist ||
+		(res[pos-1].Dist == r.Dist && res[pos-1].ID > r.ID)) {
 		pos--
 	}
 	res = append(res, Result{})

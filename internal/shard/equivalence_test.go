@@ -1,0 +1,261 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/querylog"
+	"repro/internal/series"
+)
+
+// The sharding equivalence property (the contract in the package comment):
+// for every Request kind, a ShardedEngine over any shard count answers
+// exactly like a single core.Engine on the same corpus — same IDs, same
+// names, same distances/scores bit for bit, duplicate distances included.
+// Budgeted queries keep a weaker but still checkable contract: a one-shard
+// engine stays bit-identical even when truncated (one child gate carries the
+// whole budget), multi-shard engines match exactly whenever neither side
+// truncated, and a truncated merged answer is still a canonical best-so-far
+// prefix (ordered, deduplicated, k-bounded, with recomputable distances).
+
+const (
+	eqTrials  = 100
+	eqDays    = 96 // spectral bins at 96/k days: periods 8, 12, 16 resolve
+	eqDataset = 20
+	eqDups    = 4 // copied series force exact distance ties in every merge
+)
+
+var eqShardCounts = []int{1, 2, 3, 8}
+
+// eqCorpus builds the shared dataset (with duplicated series for distance
+// ties) and a pool of fresh query curves not present in the dataset.
+func eqCorpus() ([]*series.Series, []*series.Series) {
+	gen := querylog.NewGenerator(querylog.DefaultStart, eqDays, 7)
+	data := gen.Dataset(eqDataset)
+	for i := 0; i < eqDups; i++ {
+		src := data[i]
+		data = append(data, &series.Series{
+			Name:   src.Name + "-dup",
+			Start:  src.Start,
+			Values: append([]float64(nil), src.Values...),
+		})
+	}
+	return data, gen.Queries(6)
+}
+
+func eqConfig(shards int) core.Config {
+	return core.Config{Budget: 8, Seed: 3, Workers: 2, Shards: shards}
+}
+
+// eqRequest draws one randomized request. Kinds cycle so 100 trials cover
+// every family at least 14 times; every 4th trial asks for k >= n and every
+// 5th carries a deterministic work budget (node or exact-distance bounded —
+// wall-clock budgets would make trials timing-dependent).
+func eqRequest(rng *rand.Rand, trial, total int, queries []*series.Series) core.Request {
+	req := core.Request{K: 1 + rng.Intn(6)}
+	if trial%4 == 3 {
+		req.K = total + 3
+	}
+	if trial%5 == 4 {
+		if trial%2 == 0 {
+			req.Budget.MaxNodeVisits = 1 + rng.Intn(3*total)
+		} else {
+			req.Budget.MaxExactDistances = 1 + rng.Intn(total)
+		}
+	}
+	values := queries[rng.Intn(len(queries))].Values
+	id := rng.Intn(total)
+	window := core.Short
+	if trial%2 == 1 {
+		window = core.Long
+	}
+	switch trial % 7 {
+	case 0:
+		req.Kind, req.Values = core.KindSimilar, values
+	case 1:
+		req.Kind, req.ID = core.KindSimilarID, id
+	case 2:
+		req.Kind, req.Values = core.KindLinear, values
+	case 3:
+		req.Kind, req.Band = core.KindDTW, 7
+		if trial%2 == 0 {
+			req.ID = id
+		} else {
+			// Values-mode: search by curve, no exclusion (negative ID).
+			req.Values, req.ID = values, -1
+		}
+	case 4:
+		req.Kind, req.Periods = core.KindSimilarPeriods, []float64{8, 16}
+		if trial%2 == 0 {
+			req.ID = id
+		} else {
+			req.Values, req.ID = values, -1
+		}
+	case 5:
+		req.Kind, req.Values, req.Window = core.KindBurst, values, window
+	case 6:
+		req.Kind, req.ID, req.Window = core.KindBurstID, id, window
+	}
+	return req
+}
+
+func TestShardedQueryEquivalence(t *testing.T) {
+	data, queries := eqCorpus()
+	total := len(data)
+
+	single, err := core.NewEngine(data, eqConfig(0))
+	if err != nil {
+		t.Fatalf("single engine: %v", err)
+	}
+	defer single.Close()
+
+	sharded := make(map[int]*ShardedEngine, len(eqShardCounts))
+	for _, n := range eqShardCounts {
+		se, err := New(data, eqConfig(n))
+		if err != nil {
+			t.Fatalf("sharded engine (%d shards): %v", n, err)
+		}
+		defer se.Close()
+		sharded[n] = se
+		if got := se.Len(); got != total {
+			t.Fatalf("%d shards: Len() = %d, want %d", n, got, total)
+		}
+	}
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < eqTrials; trial++ {
+		req := eqRequest(rng, trial, total, queries)
+		want, werr := single.Query(ctx, req)
+		for _, n := range eqShardCounts {
+			label := fmt.Sprintf("trial %d (%s, k=%d, budget=%+v) on %d shards",
+				trial, req.Kind, req.K, req.Budget, n)
+			got, gerr := sharded[n].Query(ctx, req)
+			if (werr != nil) != (gerr != nil) {
+				t.Fatalf("%s: error mismatch: single=%v sharded=%v", label, werr, gerr)
+			}
+			if werr != nil {
+				continue
+			}
+			unbudgeted := req.Budget == (core.Budget{})
+			switch {
+			case unbudgeted, n == 1:
+				// Exact equivalence, truncation flag included: with no
+				// budget both sides must complete; with one shard the
+				// single child gate carries the whole budget, so even the
+				// truncation point is bit-identical.
+				if unbudgeted && (want.Truncated || got.Truncated) {
+					t.Fatalf("%s: truncated without a budget (single=%v sharded=%v)",
+						label, want.Truncated, got.Truncated)
+				}
+				requireSameResponse(t, label, want, got)
+			case !want.Truncated && !got.Truncated:
+				// Budgeted but neither side ran out: answers still exact.
+				requireSameResponse(t, label, want, got)
+			default:
+				// A truncated side is a best-so-far prefix; check the
+				// response invariants instead of exact equality.
+				checkResponseInvariants(t, label, single, req, got)
+			}
+		}
+	}
+}
+
+// requireSameResponse asserts got is bit-identical to want in every
+// result-visible field (index Stats are tree-shape dependent and excluded).
+func requireSameResponse(t *testing.T, label string, want, got *core.Response) {
+	t.Helper()
+	if got.Kind != want.Kind {
+		t.Fatalf("%s: kind = %v, want %v", label, got.Kind, want.Kind)
+	}
+	if got.Truncated != want.Truncated {
+		t.Fatalf("%s: truncated = %v, want %v", label, got.Truncated, want.Truncated)
+	}
+	if len(got.Neighbors) != len(want.Neighbors) {
+		t.Fatalf("%s: %d neighbours, want %d\n got: %+v\nwant: %+v",
+			label, len(got.Neighbors), len(want.Neighbors), got.Neighbors, want.Neighbors)
+	}
+	for i := range want.Neighbors {
+		w, g := want.Neighbors[i], got.Neighbors[i]
+		if g.ID != w.ID || g.Name != w.Name || g.Dist != w.Dist {
+			t.Fatalf("%s: neighbour %d = {%d %q %v}, want {%d %q %v}",
+				label, i, g.ID, g.Name, g.Dist, w.ID, w.Name, w.Dist)
+		}
+	}
+	if len(got.Matches) != len(want.Matches) {
+		t.Fatalf("%s: %d matches, want %d\n got: %+v\nwant: %+v",
+			label, len(got.Matches), len(want.Matches), got.Matches, want.Matches)
+	}
+	for i := range want.Matches {
+		w, g := want.Matches[i], got.Matches[i]
+		if g.ID != w.ID || g.Name != w.Name || g.Score != w.Score {
+			t.Fatalf("%s: match %d = {%d %q %v}, want {%d %q %v}",
+				label, i, g.ID, g.Name, g.Score, w.ID, w.Name, w.Score)
+		}
+	}
+}
+
+// checkResponseInvariants validates a budget-truncated merged response: a
+// canonical best-so-far prefix. Results are k-bounded, strictly ordered in
+// the canonical merge order (so duplicates are impossible), resolve to real
+// sequences with matching names, and — for the exact-Euclidean kinds —
+// carry distances that recompute from the stored standardized values.
+func checkResponseInvariants(t *testing.T, label string, single *core.Engine, req core.Request, got *core.Response) {
+	t.Helper()
+	if len(got.Neighbors) > req.K || len(got.Matches) > req.K {
+		t.Fatalf("%s: %d+%d results exceed k=%d",
+			label, len(got.Neighbors), len(got.Matches), req.K)
+	}
+	var queryZ []float64
+	if req.Kind == core.KindSimilar || req.Kind == core.KindLinear {
+		queryZ = (&series.Series{Values: req.Values}).Standardized().Values
+	}
+	for i, n := range got.Neighbors {
+		if n.ID < 0 || n.ID >= single.Len() {
+			t.Fatalf("%s: neighbour %d has out-of-range ID %d", label, i, n.ID)
+		}
+		if want := single.Name(n.ID); n.Name != want {
+			t.Fatalf("%s: neighbour %d (ID %d) named %q, want %q", label, i, n.ID, n.Name, want)
+		}
+		if i > 0 {
+			p := got.Neighbors[i-1]
+			if p.Dist > n.Dist || (p.Dist == n.Dist && p.ID >= n.ID) {
+				t.Fatalf("%s: neighbours not in canonical (dist, id) order at %d: %+v, %+v",
+					label, i, p, n)
+			}
+		}
+		if queryZ != nil {
+			z, err := single.StandardizedValues(n.ID)
+			if err != nil {
+				t.Fatalf("%s: stored values of %d: %v", label, n.ID, err)
+			}
+			var sum float64
+			for j := range z {
+				d := z[j] - queryZ[j]
+				sum += d * d
+			}
+			if want := math.Sqrt(sum); math.Abs(want-n.Dist) > 1e-6*(1+want) {
+				t.Fatalf("%s: neighbour %d dist %v, recomputed %v", label, i, n.Dist, want)
+			}
+		}
+	}
+	for i, m := range got.Matches {
+		if m.ID < 0 || m.ID >= single.Len() {
+			t.Fatalf("%s: match %d has out-of-range ID %d", label, i, m.ID)
+		}
+		if want := single.Name(m.ID); m.Name != want {
+			t.Fatalf("%s: match %d (ID %d) named %q, want %q", label, i, m.ID, m.Name, want)
+		}
+		if i > 0 {
+			p := got.Matches[i-1]
+			if p.Score < m.Score || (p.Score == m.Score && p.ID >= m.ID) {
+				t.Fatalf("%s: matches not in canonical (score desc, id) order at %d: %+v, %+v",
+					label, i, p, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,695 @@
+// Package shard is the horizontal scaling layer: a ShardedEngine that
+// partitions series across N independent core.Engine shards (each with its
+// own VP-tree, sequence store and burst tables), routes ingest by a stable
+// hash of the sequence ID, fans every Query out to all shards concurrently
+// and gathers the per-shard answers with a tie-preserving top-k merge.
+//
+// The merge contract is exact, not approximate: every kNN family ranks its
+// results in canonical (distance, ID) lexicographic order — tree-shape
+// independent — and shard-local IDs are assigned in ascending global-ID
+// order, so concatenating per-shard top-k lists and sorting by
+// (distance, global ID) reproduces the single-engine answer byte for byte,
+// duplicate distances included. Burst matches merge the same way under
+// (score desc, global ID asc). The sharding equivalence suite
+// (equivalence_test.go) proves this for every request kind.
+//
+// Budgets and cancellation reuse the intra-engine machinery wholesale: one
+// parent lifecycle.Gate is Split across the shards, each shard runs its
+// sub-query under a child gate via core.Engine.QueryGated, and the children
+// are Absorbed back — aggregate work stays within the request's budget and
+// a truncation in any shard marks the merged response Truncated. See
+// docs/sharding.md.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/burst"
+	"repro/internal/core"
+	"repro/internal/lifecycle"
+	"repro/internal/obs"
+	"repro/internal/series"
+	"repro/internal/vptree"
+)
+
+// Route maps a global sequence ID onto one of n shards with a stable
+// integer hash (the splitmix64 finalizer). It is total — every (id, n>0)
+// pair yields a shard in [0, n) — and pure, so the owner of an ID never
+// changes for a fixed shard count.
+func Route(id uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	z := id + 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(n))
+}
+
+// location is one global ID's place in the partition.
+type location struct {
+	shard int // which shard owns the sequence
+	local int // its sequence ID within that shard's engine
+}
+
+// ShardedEngine serves the whole core.Searcher surface over N partitions.
+//
+// Concurrency mirrors core.Engine: Add takes the write lock for the whole
+// routing mutation, every query takes the read lock for the whole
+// scatter-gather, so any number of queries run in parallel against a
+// consistent partition and a writer waits for in-flight readers.
+type ShardedEngine struct {
+	mu     sync.RWMutex
+	cfg    core.Config    // per-shard template (Shards retained for reporting)
+	shards []*core.Engine // nil entries: shards that never received a series
+	loc    []location     // global ID -> owner
+	global [][]int        // per shard: local ID -> global ID (ascending)
+	names  []string
+	byName map[string]int
+	seqLen int
+
+	hub    *obs.Hub
+	tracer *obs.Tracer
+	reqlog *obs.RequestLog
+	met    shardMetrics
+
+	scatters atomic.Int64 // scatter fan-outs performed
+	gatherNS atomic.Int64 // cumulative wall time in the gather/merge stage
+}
+
+var _ core.Searcher = (*ShardedEngine)(nil)
+
+// shardMetrics are the scatter-gather instruments (nil-safe like core's).
+type shardMetrics struct {
+	scatterTotal *obs.Counter
+	gatherLat    *obs.Timer
+	queryErrors  *obs.Counter
+}
+
+func newShardMetrics(reg *obs.Registry) shardMetrics {
+	return shardMetrics{
+		scatterTotal: reg.Counter("shard_scatter_total", "queries fanned out across engine shards"),
+		gatherLat:    reg.Timer("shard_gather_seconds", "time merging per-shard answers into the final top-k"),
+		queryErrors:  reg.Counter("shard_query_errors_total", "scattered sub-queries that returned an error"),
+	}
+}
+
+// New builds a sharded engine over the given series, partitioned across
+// cfg.Shards (minimum 1) independent engine shards. Series are routed by
+// Route over their global ID (their index in data, and later Add order).
+// Disk paths (StorePath/FeaturesPath) get a per-shard ".shardN" suffix.
+// A shard the hash leaves empty stays dormant (skipped by queries) until
+// a DynamicIndex Add routes a first series to it.
+func New(data []*series.Series, cfg core.Config) (*ShardedEngine, error) {
+	if len(data) == 0 {
+		return nil, errors.New("shard: empty dataset")
+	}
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardedEngine{
+		cfg:    cfg,
+		shards: make([]*core.Engine, n),
+		global: make([][]int, n),
+		byName: make(map[string]int, len(data)),
+		hub:    cfg.Obs,
+		tracer: cfg.Obs.Tracer(),
+		reqlog: cfg.Obs.RequestLog(),
+		met:    newShardMetrics(cfg.Obs.Registry()),
+	}
+	parts := make([][]*series.Series, n)
+	for gid, ser := range data {
+		if ser.Len() != data[0].Len() {
+			return nil, fmt.Errorf("shard: series %q has length %d, want %d", ser.Name, ser.Len(), data[0].Len())
+		}
+		sh := Route(uint64(gid), n)
+		parts[sh] = append(parts[sh], ser)
+		s.loc = append(s.loc, location{shard: sh, local: len(parts[sh]) - 1})
+		s.global[sh] = append(s.global[sh], gid)
+		s.names = append(s.names, ser.Name)
+		if _, dup := s.byName[ser.Name]; !dup {
+			s.byName[ser.Name] = gid
+		}
+	}
+	for sh := 0; sh < n; sh++ {
+		if len(parts[sh]) == 0 {
+			continue
+		}
+		eng, err := core.NewEngine(parts[sh], s.shardConfig(sh))
+		if err != nil {
+			s.Close() //nolint:errcheck // best-effort cleanup of earlier shards
+			return nil, fmt.Errorf("shard: building shard %d: %w", sh, err)
+		}
+		s.shards[sh] = eng
+	}
+	s.seqLen = data[0].Len()
+	return s, nil
+}
+
+// NewFromConfig builds whichever engine cfg.Shards asks for: the plain
+// single core.Engine for Shards <= 1 (bit-for-bit today's behaviour), a
+// ShardedEngine otherwise. This is the one switch serving layers should
+// use, so a sharding config can never silently bypass the partition.
+func NewFromConfig(data []*series.Series, cfg core.Config) (core.Searcher, error) {
+	if cfg.Shards <= 1 {
+		return core.NewEngine(data, cfg)
+	}
+	return New(data, cfg)
+}
+
+// shardConfig derives shard sh's engine config from the template.
+func (s *ShardedEngine) shardConfig(sh int) core.Config {
+	cfg := s.cfg
+	cfg.Shards = 0
+	if cfg.StorePath != "" {
+		cfg.StorePath = fmt.Sprintf("%s.shard%d", cfg.StorePath, sh)
+	}
+	if cfg.FeaturesPath != "" {
+		cfg.FeaturesPath = fmt.Sprintf("%s.shard%d", cfg.FeaturesPath, sh)
+	}
+	return cfg
+}
+
+// Shards returns the configured shard count.
+func (s *ShardedEngine) Shards() int { return len(s.shards) }
+
+// Engine exposes shard sh's engine (nil if dormant) for tests and stats.
+func (s *ShardedEngine) Engine(sh int) *core.Engine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shards[sh]
+}
+
+// Owner reports which shard owns global sequence id (and its local ID
+// there). ok is false for unknown IDs.
+func (s *ShardedEngine) Owner(id int) (shard, local int, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || id >= len(s.loc) {
+		return 0, 0, false
+	}
+	l := s.loc[id]
+	return l.shard, l.local, true
+}
+
+// Add routes one new series to its owning shard (Route over the next
+// global ID) and ingests it there. Like core.Engine.Add it requires
+// DynamicIndex and is atomic: a failed shard insert leaves the routing
+// tables untouched. Adding to a dormant shard builds that shard's engine
+// around the new series.
+func (s *ShardedEngine) Add(ser *series.Series) (int, error) {
+	if !s.cfg.DynamicIndex {
+		return 0, errors.New("core: engine built without DynamicIndex")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gid := len(s.loc)
+	sh := Route(uint64(gid), len(s.shards))
+	eng := s.shards[sh]
+	if eng == nil {
+		// First series routed to a dormant shard: build its engine now.
+		// core.NewEngine fixes the series length, so reject mismatches the
+		// same way Add on a live shard would.
+		if ser.Len() != s.seqLen {
+			return 0, fmt.Errorf("shard: series %q has length %d, want %d", ser.Name, ser.Len(), s.seqLen)
+		}
+		built, err := core.NewEngine([]*series.Series{ser}, s.shardConfig(sh))
+		if err != nil {
+			return 0, err
+		}
+		s.shards[sh] = built
+	} else if _, err := eng.Add(ser); err != nil {
+		return 0, err
+	}
+	s.loc = append(s.loc, location{shard: sh, local: len(s.global[sh])})
+	s.global[sh] = append(s.global[sh], gid)
+	s.names = append(s.names, ser.Name)
+	if _, dup := s.byName[ser.Name]; !dup {
+		s.byName[ser.Name] = gid
+	}
+	return gid, nil
+}
+
+// Len returns the number of indexed series across all shards.
+func (s *ShardedEngine) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.loc)
+}
+
+// SeqLen returns the fixed series length.
+func (s *ShardedEngine) SeqLen() int { return s.seqLen }
+
+// Name returns the query term of global sequence id ("" if unknown).
+func (s *ShardedEngine) Name(id int) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || id >= len(s.names) {
+		return ""
+	}
+	return s.names[id]
+}
+
+// Lookup resolves a query term to its global sequence ID.
+func (s *ShardedEngine) Lookup(name string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.byName[name]
+	return id, ok
+}
+
+// Series returns the original (unstandardized) series of global id.
+func (s *ShardedEngine) Series(id int) (*series.Series, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || id >= len(s.loc) {
+		return nil, fmt.Errorf("core: no series %d", id)
+	}
+	l := s.loc[id]
+	return s.shards[l.shard].Series(l.local)
+}
+
+// StandardizedValues returns the stored z-scored values of global id.
+func (s *ShardedEngine) StandardizedValues(id int) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.standardizedValuesLocked(id)
+}
+
+func (s *ShardedEngine) standardizedValuesLocked(id int) ([]float64, error) {
+	if id < 0 || id >= len(s.loc) {
+		return nil, fmt.Errorf("shard: no sequence %d", id)
+	}
+	l := s.loc[id]
+	return s.shards[l.shard].StandardizedValues(l.local)
+}
+
+// Tracer exposes the tracer queries run under (nil-safe, may be nil).
+func (s *ShardedEngine) Tracer() *obs.Tracer { return s.tracer }
+
+// Close releases every shard's resources, returning the first error.
+func (s *ShardedEngine) Close() error {
+	var first error
+	for _, eng := range s.shards {
+		if eng == nil {
+			continue
+		}
+		if err := eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// GatherStats is the cumulative scatter-gather accounting BENCH's sharding
+// section reports.
+type GatherStats struct {
+	// Scatters counts queries fanned out across the shards.
+	Scatters int64
+	// GatherNS is the total wall time spent in the gather/merge stage.
+	GatherNS int64
+}
+
+// GatherStats returns the engine's cumulative scatter/gather accounting.
+func (s *ShardedEngine) GatherStats() GatherStats {
+	return GatherStats{Scatters: s.scatters.Load(), GatherNS: s.gatherNS.Load()}
+}
+
+// ShardSizes returns the per-shard series counts (0 for dormant shards) —
+// the partition-skew input of BENCH's sharding section.
+func (s *ShardedEngine) ShardSizes() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, len(s.shards))
+	for sh := range s.shards {
+		out[sh] = len(s.global[sh])
+	}
+	return out
+}
+
+// ShardNodes returns the per-shard VP-tree node counts (0 for dormant or
+// mvptree-indexed shards).
+func (s *ShardedEngine) ShardNodes() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, len(s.shards))
+	for sh, eng := range s.shards {
+		if eng == nil || eng.Tree() == nil {
+			continue
+		}
+		out[sh] = eng.Tree().Len()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather query path
+
+// errBadK mirrors core's uniform k validation error.
+var errBadK = errors.New("core: k must be >= 1")
+
+// Query fans one request out to every live shard and merges the answers
+// into the exact single-engine result (see the package comment for the
+// merge contract). The request lifecycle matches core.Engine.Query: ctx
+// cancellation aborts with the context's error, budget expiry returns the
+// merged best-so-far with Truncated set, and the whole scatter runs under
+// one trace with a per-shard span recorded by each shard's engine.
+func (s *ShardedEngine) Query(ctx context.Context, req core.Request) (*core.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Kind <= core.KindUnknown || req.Kind > core.KindBurstID {
+		return nil, fmt.Errorf("core: unknown request kind %d", int(req.Kind))
+	}
+	if req.K < 1 {
+		return nil, errBadK
+	}
+	ctx, rid := obs.EnsureRequestID(ctx)
+	start := time.Now()
+	tr, sp, ctx, finish := s.joinTrace(ctx, "sharded_"+req.Kind.String())
+	defer finish()
+	sp.Annotate("k", strconv.Itoa(req.K))
+	sp.Annotate("shards", strconv.Itoa(len(s.shards)))
+	ev := obs.WideEvent{
+		RequestID:   rid,
+		TraceID:     tr.TraceID().String(),
+		Time:        start,
+		Op:          "sharded_" + req.Kind.String(),
+		K:           req.K,
+		DeadlineMS:  req.Budget.Deadline.Milliseconds(),
+		MaxNodes:    req.Budget.MaxNodeVisits,
+		MaxExact:    req.Budget.MaxExactDistances,
+		QueueWaitMS: float64(req.QueueWait) / float64(time.Millisecond),
+	}
+	fail := func(err error) (*core.Response, error) {
+		ev.Abort = "error"
+		if errors.Is(err, context.Canceled) {
+			ev.Abort = "canceled"
+		} else if errors.Is(err, context.DeadlineExceeded) {
+			ev.Abort = "deadline"
+		}
+		ev.Error = err.Error()
+		ev.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+		tr.SetOutcome(obs.Outcome{Error: err.Error(), Aborted: ev.Abort != "error"})
+		s.reqlog.Record(ev)
+		s.met.queryErrors.Inc()
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g := lifecycle.NewGate(ctx, req.Budget.Limits(start))
+	resp, spread, err := s.scatterLocked(ctx, g, req)
+	if err != nil {
+		return fail(err)
+	}
+	ev.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	ev.Workers = len(spread)
+	ev.WorkerSpread = spread
+	ev.Truncated = resp.Truncated
+	if resp.Truncated {
+		ev.Abort = "budget"
+		tr.SetOutcome(obs.Outcome{Truncated: true})
+	}
+	ev.NodesVisited = resp.Stats.NodesVisited
+	ev.BoundsComputed = resp.Stats.BoundsComputed
+	ev.Candidates = resp.Stats.Candidates
+	ev.FullRetrievals = resp.Stats.FullRetrievals
+	ev.LBPrunes = resp.Stats.LBPrunes
+	ev.UBPrunes = resp.Stats.UBPrunes
+	ev.Results = len(resp.Neighbors) + len(resp.Matches)
+	s.reqlog.Record(ev)
+	return resp, nil
+}
+
+// joinTrace mirrors core.Engine.joinTrace for the scatter layer's span.
+func (s *ShardedEngine) joinTrace(ctx context.Context, name string) (*obs.Trace, *obs.Span, context.Context, func()) {
+	if tr := obs.TraceFromContext(ctx); tr != nil {
+		sp := tr.Root().Child(name)
+		return tr, sp, obs.ContextWithSpan(ctx, sp), sp.Finish
+	}
+	tr, ctx := s.tracer.StartTraceCtx(ctx, name)
+	sp := tr.Root()
+	return tr, sp, obs.ContextWithSpan(ctx, sp), tr.Finish
+}
+
+// plan is the resolved scatter: one sub-request per live shard plus the
+// post-merge shape (how many results to keep, which global ID to drop).
+type plan struct {
+	subs      []core.Request // per live shard
+	keep      int            // merged results to keep
+	dropSelf  int            // global ID filtered from merged neighbours (-1 = none)
+	burstKind bool           // merge Matches instead of Neighbors
+}
+
+// scatterLocked resolves the request against the owning shard, fans the
+// sub-queries out under Split child gates, absorbs them and merges.
+// Caller holds the read lock.
+func (s *ShardedEngine) scatterLocked(ctx context.Context, g *lifecycle.Gate, req core.Request) (*core.Response, []int64, error) {
+	live := make([]int, 0, len(s.shards))
+	for sh, eng := range s.shards {
+		if eng != nil {
+			live = append(live, sh)
+		}
+	}
+	if len(live) == 0 {
+		return nil, nil, errors.New("shard: no live shards")
+	}
+	pl, err := s.planLocked(req, len(live))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	s.met.scatterTotal.Inc()
+	s.scatters.Add(1)
+	kids := g.Split(len(live))
+	resps := make([]*core.Response, len(live))
+	errs := make([]error, len(live))
+	var wg sync.WaitGroup
+	for i, sh := range live {
+		wg.Add(1)
+		go func(i, sh int) {
+			defer wg.Done()
+			resps[i], errs[i] = s.shards[sh].QueryGated(ctx, pl.subs[i], kids[i])
+		}(i, sh)
+	}
+	wg.Wait()
+	g.Absorb(kids...)
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	gatherStart := time.Now()
+	defer s.met.gatherLat.Start()()
+	resp := &core.Response{Kind: req.Kind, Truncated: g.Truncated()}
+	spread := make([]int64, len(live))
+	if pl.burstKind {
+		var merged []core.BurstMatch
+		for i, r := range resps {
+			spread[i] = int64(len(r.Matches))
+			for _, m := range r.Matches {
+				m.ID = s.global[live[i]][m.ID]
+				merged = append(merged, m)
+			}
+		}
+		// Canonical burst order: score descending, then ascending global
+		// ID — the same order each shard's burst database returns.
+		sort.Slice(merged, func(a, b int) bool {
+			if merged[a].Score != merged[b].Score {
+				return merged[a].Score > merged[b].Score
+			}
+			return merged[a].ID < merged[b].ID
+		})
+		if len(merged) > pl.keep {
+			merged = merged[:pl.keep]
+		}
+		resp.Matches = merged
+	} else {
+		var merged []core.Neighbor
+		for i, r := range resps {
+			spread[i] = int64(len(r.Neighbors))
+			resp.Stats.Add(r.Stats)
+			for _, n := range r.Neighbors {
+				n.ID = s.global[live[i]][n.ID]
+				merged = append(merged, n)
+			}
+		}
+		// Canonical neighbour order: (distance, global ID) — exactly the
+		// order every per-shard kNN family ranks its own results in.
+		sort.Slice(merged, func(a, b int) bool {
+			if merged[a].Dist != merged[b].Dist {
+				return merged[a].Dist < merged[b].Dist
+			}
+			return merged[a].ID < merged[b].ID
+		})
+		if pl.dropSelf >= 0 {
+			kept := merged[:0]
+			for _, n := range merged {
+				if n.ID != pl.dropSelf {
+					kept = append(kept, n)
+				}
+			}
+			merged = kept
+		}
+		if len(merged) > pl.keep {
+			merged = merged[:pl.keep]
+		}
+		resp.Neighbors = merged
+	}
+	s.gatherNS.Add(time.Since(gatherStart).Nanoseconds())
+	return resp, spread, nil
+}
+
+// planLocked builds the per-shard sub-requests for one request. ID-
+// addressed kinds resolve against the owning shard only (fetching the
+// stored curve or burst pattern), then scatter by value to every shard
+// with the exclusion routed to the owner alone. Sub-requests carry no
+// Budget — the child gates enforce the parent's. Caller holds the read
+// lock.
+func (s *ShardedEngine) planLocked(req core.Request, nLive int) (plan, error) {
+	pl := plan{keep: req.K, dropSelf: -1}
+	sub := core.Request{
+		Kind:   req.Kind,
+		K:      req.K,
+		Window: req.Window,
+		Band:   req.Band,
+		RelTol: req.RelTol,
+		ID:     -1,
+	}
+	if req.Periods != nil {
+		sub.Periods = req.Periods
+	}
+
+	switch req.Kind {
+	case core.KindSimilar, core.KindLinear:
+		z, err := s.queryValues(req)
+		if err != nil {
+			return pl, err
+		}
+		sub.Values, sub.Standardized = z, true
+
+	case core.KindSimilarID:
+		// Resolve the stored curve on the owner, then search by value
+		// everywhere: each shard returns k+1 so the merged list survives
+		// dropping the query series itself — the same over-fetch the
+		// single engine uses.
+		z, err := s.standardizedValuesLocked(req.ID)
+		if err != nil {
+			return pl, err
+		}
+		sub.Kind = core.KindSimilar
+		sub.Values, sub.Standardized = z, true
+		sub.K = req.K + 1
+		pl.dropSelf = req.ID
+
+	case core.KindDTW, core.KindSimilarPeriods:
+		var z []float64
+		var err error
+		exclude := req.ID
+		if req.Values != nil {
+			z, err = s.queryValues(req)
+		} else {
+			z, err = s.standardizedValuesLocked(req.ID)
+		}
+		if err != nil {
+			return pl, err
+		}
+		sub.Values, sub.Standardized = z, true
+		pl.subs = s.fanExcluding(sub, exclude, nLive)
+		return pl, nil
+
+	case core.KindBurst:
+		// Raw values scatter unchanged: burst detection is deterministic,
+		// so every shard derives the identical query pattern.
+		sub.Values = req.Values
+		pl.burstKind = true
+		if req.QueryBursts != nil {
+			sub.Values = nil
+			sub.QueryBursts = req.QueryBursts
+			pl.subs = s.fanExcluding(sub, req.ID, nLive)
+			return pl, nil
+		}
+
+	case core.KindBurstID:
+		q := req.QueryBursts
+		exclude := req.ID
+		if q == nil {
+			if req.ID >= 0 && req.ID < len(s.loc) {
+				l := s.loc[req.ID]
+				q = s.shards[l.shard].BurstsOf(l.local, req.Window)
+			}
+			if q == nil {
+				q = []burst.Burst{}
+			}
+		}
+		sub.QueryBursts = q
+		pl.burstKind = true
+		pl.subs = s.fanExcluding(sub, exclude, nLive)
+		return pl, nil
+	}
+
+	pl.subs = make([]core.Request, nLive)
+	for i := range pl.subs {
+		pl.subs[i] = sub
+	}
+	return pl, nil
+}
+
+// fanExcluding replicates sub across the live shards, rewriting ID to the
+// local ID on the shard owning global ID exclude (and -1 everywhere else).
+func (s *ShardedEngine) fanExcluding(sub core.Request, exclude, nLive int) []core.Request {
+	subs := make([]core.Request, 0, nLive)
+	var owner, local = -1, -1
+	if exclude >= 0 && exclude < len(s.loc) {
+		owner, local = s.loc[exclude].shard, s.loc[exclude].local
+	}
+	for sh, eng := range s.shards {
+		if eng == nil {
+			continue
+		}
+		r := sub
+		if sh == owner {
+			r.ID = local
+		}
+		subs = append(subs, r)
+	}
+	return subs
+}
+
+// queryValues standardizes a request's Values exactly as core does (or
+// passes pre-standardized values through bit-for-bit).
+func (s *ShardedEngine) queryValues(req core.Request) ([]float64, error) {
+	if len(req.Values) != s.seqLen {
+		return nil, fmt.Errorf("shard: query length %d, want %d", len(req.Values), s.seqLen)
+	}
+	if req.Standardized {
+		return req.Values, nil
+	}
+	ser := &series.Series{Values: req.Values}
+	return ser.Standardized().Values, nil
+}
+
+// mergedStats sums per-shard index stats (exposed for tests).
+func mergedStats(resps []*core.Response) vptree.Stats {
+	var st vptree.Stats
+	for _, r := range resps {
+		st.Add(r.Stats)
+	}
+	return st
+}

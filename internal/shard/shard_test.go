@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/querylog"
+	"repro/internal/series"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, core.Config{Shards: 2}); err == nil {
+		t.Fatal("New(empty dataset) succeeded")
+	}
+	gen := querylog.NewGenerator(querylog.DefaultStart, 64, 7)
+	data := gen.Dataset(4)
+	data = append(data, &series.Series{Name: "short", Values: make([]float64, 32)})
+	if _, err := New(data, core.Config{Budget: 8, Shards: 2}); err == nil ||
+		!strings.Contains(err.Error(), "length") {
+		t.Fatalf("New(mixed lengths) err = %v, want length rejection", err)
+	}
+}
+
+// TestAddDormantShard covers the partition growing into shards the initial
+// hash left empty: a one-series engine across many shards starts mostly
+// dormant, and DynamicIndex Adds must wake each shard exactly when the
+// router first assigns it a series — with queries correct at every step.
+func TestAddDormantShard(t *testing.T) {
+	const shards = 8
+	gen := querylog.NewGenerator(querylog.DefaultStart, 64, 7)
+	all := gen.Dataset(24)
+	se, err := New(all[:1], core.Config{Budget: 8, DynamicIndex: true, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+
+	live := 0
+	for sh := 0; sh < shards; sh++ {
+		if se.Engine(sh) != nil {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("fresh one-series engine has %d live shards, want 1", live)
+	}
+
+	// Length mismatches must be rejected on live and dormant shards alike,
+	// without mutating the routing tables.
+	if _, err := se.Add(&series.Series{Name: "short", Values: make([]float64, 32)}); err == nil {
+		t.Fatal("Add(short series) succeeded")
+	}
+	if got := se.Len(); got != 1 {
+		t.Fatalf("failed Add mutated routing: Len = %d, want 1", got)
+	}
+
+	ctx := context.Background()
+	for gid := 1; gid < len(all); gid++ {
+		id, err := se.Add(all[gid])
+		if err != nil {
+			t.Fatalf("Add(%q): %v", all[gid].Name, err)
+		}
+		if id != gid {
+			t.Fatalf("Add(%q) = id %d, want %d", all[gid].Name, id, gid)
+		}
+		sh, local, ok := se.Owner(id)
+		if !ok || sh != Route(uint64(id), shards) {
+			t.Fatalf("Owner(%d) = (%d, %v), want shard %d", id, sh, ok, Route(uint64(id), shards))
+		}
+		if eng := se.Engine(sh); eng == nil {
+			t.Fatalf("owner shard %d still dormant after Add", sh)
+		} else if name := eng.Name(local); name != all[gid].Name {
+			t.Fatalf("owner shard stores %q at local %d, want %q", name, local, all[gid].Name)
+		}
+		resp, err := se.Query(ctx, core.Request{Kind: core.KindSimilarID, ID: id, K: 3})
+		if err != nil {
+			t.Fatalf("query-by-id %d after Add: %v", id, err)
+		}
+		if want := min(3, se.Len()-1); len(resp.Neighbors) != want {
+			t.Fatalf("query-by-id %d: %d neighbours, want %d", id, len(resp.Neighbors), want)
+		}
+	}
+
+	sizes := se.ShardSizes()
+	total := 0
+	for sh, n := range sizes {
+		total += n
+		if (n == 0) != (se.Engine(sh) == nil) {
+			t.Fatalf("shard %d: size %d but engine nil=%v", sh, n, se.Engine(sh) == nil)
+		}
+	}
+	if total != len(all) {
+		t.Fatalf("ShardSizes sum to %d, want %d", total, len(all))
+	}
+	nodes := se.ShardNodes()
+	for sh, n := range nodes {
+		if n != sizes[sh] {
+			t.Fatalf("shard %d: %d tree nodes, %d series", sh, n, sizes[sh])
+		}
+	}
+
+	// Lookup/Name/Series resolve through the routing tables.
+	for gid, s := range all {
+		if got, ok := se.Lookup(s.Name); !ok || se.Name(got) != s.Name {
+			t.Fatalf("Lookup(%q) = (%d, %v)", s.Name, got, ok)
+		}
+		ser, err := se.Series(gid)
+		if err != nil || ser.Name != s.Name {
+			t.Fatalf("Series(%d) = (%v, %v), want %q", gid, ser, err, s.Name)
+		}
+	}
+}
+
+func TestAddWithoutDynamicIndex(t *testing.T) {
+	gen := querylog.NewGenerator(querylog.DefaultStart, 64, 7)
+	se, err := New(gen.Dataset(4), core.Config{Budget: 8, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	if _, err := se.Add(gen.Queries(1)[0]); err == nil ||
+		!strings.Contains(err.Error(), "DynamicIndex") {
+		t.Fatalf("Add without DynamicIndex: err = %v, want DynamicIndex rejection", err)
+	}
+}

@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/vptree"
+)
+
+// The historical per-family entry points, mirrored from core.Engine so a
+// caller migrated from a single engine to a sharded one keeps compiling —
+// and, crucially, keeps the sharding semantics: every wrapper delegates
+// through ShardedEngine.Query, the scatter-gather path. (On core.Engine the
+// same wrappers delegate through Engine.Query; a Config.Shards > 1 handed
+// to core.NewEngine is rejected outright, so no construction path exists
+// where these wrappers could silently bypass the partition. See
+// wrappers_test.go for the regression test.)
+
+// SimilarQueries returns the k series closest to the raw demand curve.
+//
+// Deprecated: use Query with KindSimilar, which adds context cancellation
+// and per-query budgets. This wrapper delegates with an unbounded budget.
+func (s *ShardedEngine) SimilarQueries(values []float64, k int) ([]core.Neighbor, vptree.Stats, error) {
+	resp, err := s.Query(context.Background(), core.Request{Kind: core.KindSimilar, Values: values, K: k})
+	if err != nil {
+		return nil, vptree.Stats{}, err
+	}
+	return resp.Neighbors, resp.Stats, nil
+}
+
+// SimilarToID returns the k nearest neighbours of an indexed series,
+// excluding the series itself.
+//
+// Deprecated: use Query with KindSimilarID, which adds context cancellation
+// and per-query budgets. This wrapper delegates with an unbounded budget.
+func (s *ShardedEngine) SimilarToID(id, k int) ([]core.Neighbor, vptree.Stats, error) {
+	resp, err := s.Query(context.Background(), core.Request{Kind: core.KindSimilarID, ID: id, K: k})
+	if err != nil {
+		return nil, vptree.Stats{}, err
+	}
+	return resp.Neighbors, resp.Stats, nil
+}
+
+// LinearScan is the exact full-scan baseline, scattered across the shards.
+//
+// Deprecated: use Query with KindLinear, which adds context cancellation
+// and per-query budgets. This wrapper delegates with an unbounded budget.
+func (s *ShardedEngine) LinearScan(values []float64, k int) ([]core.Neighbor, error) {
+	resp, err := s.Query(context.Background(), core.Request{Kind: core.KindLinear, Values: values, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Neighbors, nil
+}
+
+// SimilarDTW returns the k series closest to sequence id under banded DTW.
+//
+// Deprecated: use Query with KindDTW, which adds context cancellation and
+// per-query budgets. This wrapper delegates with an unbounded budget.
+func (s *ShardedEngine) SimilarDTW(id, band, k int) ([]core.Neighbor, error) {
+	resp, err := s.Query(context.Background(), core.Request{Kind: core.KindDTW, ID: id, Band: band, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Neighbors, nil
+}
+
+// SimilarByPeriods is the focused masked-spectral-distance search.
+//
+// Deprecated: use Query with KindSimilarPeriods, which adds context
+// cancellation and per-query budgets. This wrapper delegates with an
+// unbounded budget.
+func (s *ShardedEngine) SimilarByPeriods(id int, periodDays []float64, relTol float64, k int) ([]core.Neighbor, error) {
+	resp, err := s.Query(context.Background(), core.Request{
+		Kind: core.KindSimilarPeriods, ID: id, Periods: periodDays, RelTol: relTol, K: k,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Neighbors, nil
+}
+
+// QueryByBurst detects bursts in the given raw values and returns the k
+// series with the most similar burst patterns across all shards.
+//
+// Deprecated: use Query with KindBurst, which adds context cancellation and
+// per-query budgets. This wrapper delegates with an unbounded budget.
+func (s *ShardedEngine) QueryByBurst(values []float64, k int, w core.BurstWindow) ([]core.BurstMatch, error) {
+	resp, err := s.Query(context.Background(), core.Request{Kind: core.KindBurst, Values: values, K: k, Window: w})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Matches, nil
+}
+
+// QueryByBurstOf runs query-by-burst for an indexed series, excluding
+// itself.
+//
+// Deprecated: use Query with KindBurstID, which adds context cancellation
+// and per-query budgets. This wrapper delegates with an unbounded budget.
+func (s *ShardedEngine) QueryByBurstOf(id, k int, w core.BurstWindow) ([]core.BurstMatch, error) {
+	resp, err := s.Query(context.Background(), core.Request{Kind: core.KindBurstID, ID: id, K: k, Window: w})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Matches, nil
+}

@@ -1,0 +1,179 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/querylog"
+)
+
+// The bypass regression (the fix this file pins): a sharding config must
+// never be served by a single engine, and the deprecated per-family
+// wrappers must route through the scatter-gather Query path — never around
+// it. Two mechanisms enforce that, both checked here: core.NewEngine
+// rejects Shards > 1 outright (so no construction path yields a mis-scoped
+// engine), and every ShardedEngine wrapper answers exactly like Query —
+// which in turn answers exactly like an unsharded engine.
+
+func TestNewEngineRejectsShardConfig(t *testing.T) {
+	gen := querylog.NewGenerator(querylog.DefaultStart, 64, 7)
+	data := gen.Dataset(6)
+	for _, n := range []int{2, 8} {
+		_, err := core.NewEngine(data, core.Config{Budget: 8, Shards: n})
+		if err == nil || !strings.Contains(err.Error(), "shard") {
+			t.Fatalf("NewEngine(Shards=%d) err = %v, want a sharding rejection", n, err)
+		}
+	}
+}
+
+func TestNewFromConfigDispatch(t *testing.T) {
+	gen := querylog.NewGenerator(querylog.DefaultStart, 64, 7)
+	data := gen.Dataset(6)
+	for _, n := range []int{0, 1} {
+		s, err := NewFromConfig(data, core.Config{Budget: 8, Shards: n})
+		if err != nil {
+			t.Fatalf("NewFromConfig(Shards=%d): %v", n, err)
+		}
+		if _, ok := s.(*core.Engine); !ok {
+			t.Fatalf("NewFromConfig(Shards=%d) = %T, want *core.Engine", n, s)
+		}
+		s.Close()
+	}
+	s, err := NewFromConfig(data, core.Config{Budget: 8, Shards: 3})
+	if err != nil {
+		t.Fatalf("NewFromConfig(Shards=3): %v", err)
+	}
+	defer s.Close()
+	se, ok := s.(*ShardedEngine)
+	if !ok {
+		t.Fatalf("NewFromConfig(Shards=3) = %T, want *ShardedEngine", s)
+	}
+	if got := se.Shards(); got != 3 {
+		t.Fatalf("Shards() = %d, want 3", got)
+	}
+}
+
+// TestWrappersDelegateThroughScatter proves each deprecated wrapper on the
+// sharded engine returns exactly what ShardedEngine.Query returns — which
+// itself must equal the single engine's wrapper answer, so the legacy entry
+// points keep the sharding semantics instead of bypassing the partition.
+func TestWrappersDelegateThroughScatter(t *testing.T) {
+	gen := querylog.NewGenerator(querylog.DefaultStart, 96, 7)
+	data := gen.Dataset(14)
+	query := gen.Queries(1)[0].Values
+	cfg := core.Config{Budget: 8, Seed: 3}
+
+	single, err := core.NewEngine(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	cfg.Shards = 3
+	se, err := New(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+
+	ctx := context.Background()
+	const k, id = 4, 2
+	checkNeighbors := func(name string, got []core.Neighbor, req core.Request) {
+		t.Helper()
+		viaQuery, err := se.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("%s via Query: %v", name, err)
+		}
+		want := viaQuery.Neighbors
+		if len(got) != len(want) {
+			t.Fatalf("%s: wrapper returned %d neighbours, Query %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: wrapper neighbour %d = %+v, Query %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+	checkMatches := func(name string, got []core.BurstMatch, req core.Request) {
+		t.Helper()
+		viaQuery, err := se.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("%s via Query: %v", name, err)
+		}
+		want := viaQuery.Matches
+		if len(got) != len(want) {
+			t.Fatalf("%s: wrapper returned %d matches, Query %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: wrapper match %d = %+v, Query %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	ns, st, err := se.SimilarQueries(query, k)
+	if err != nil {
+		t.Fatalf("SimilarQueries: %v", err)
+	}
+	if st.NodesVisited == 0 {
+		t.Error("SimilarQueries: merged stats empty; scatter not exercised")
+	}
+	checkNeighbors("SimilarQueries", ns, core.Request{Kind: core.KindSimilar, Values: query, K: k})
+
+	ns, _, err = se.SimilarToID(id, k)
+	if err != nil {
+		t.Fatalf("SimilarToID: %v", err)
+	}
+	checkNeighbors("SimilarToID", ns, core.Request{Kind: core.KindSimilarID, ID: id, K: k})
+
+	ns, err = se.LinearScan(query, k)
+	if err != nil {
+		t.Fatalf("LinearScan: %v", err)
+	}
+	checkNeighbors("LinearScan", ns, core.Request{Kind: core.KindLinear, Values: query, K: k})
+
+	ns, err = se.SimilarDTW(id, 7, k)
+	if err != nil {
+		t.Fatalf("SimilarDTW: %v", err)
+	}
+	checkNeighbors("SimilarDTW", ns, core.Request{Kind: core.KindDTW, ID: id, Band: 7, K: k})
+
+	ns, err = se.SimilarByPeriods(id, []float64{8, 16}, 0.05, k)
+	if err != nil {
+		t.Fatalf("SimilarByPeriods: %v", err)
+	}
+	checkNeighbors("SimilarByPeriods", ns,
+		core.Request{Kind: core.KindSimilarPeriods, ID: id, Periods: []float64{8, 16}, RelTol: 0.05, K: k})
+
+	ms, err := se.QueryByBurst(query, k, core.Short)
+	if err != nil {
+		t.Fatalf("QueryByBurst: %v", err)
+	}
+	checkMatches("QueryByBurst", ms, core.Request{Kind: core.KindBurst, Values: query, K: k, Window: core.Short})
+
+	ms, err = se.QueryByBurstOf(id, k, core.Long)
+	if err != nil {
+		t.Fatalf("QueryByBurstOf: %v", err)
+	}
+	checkMatches("QueryByBurstOf", ms, core.Request{Kind: core.KindBurstID, ID: id, K: k, Window: core.Long})
+
+	// And the scatter path itself must match the unsharded truth: the
+	// single engine's own deprecated wrapper.
+	wantNs, _, err := single.SimilarQueries(query, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotNs, _, err := se.SimilarQueries(query, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantNs) != len(gotNs) {
+		t.Fatalf("sharded wrapper returned %d neighbours, single %d", len(gotNs), len(wantNs))
+	}
+	for i := range wantNs {
+		if wantNs[i] != gotNs[i] {
+			t.Fatalf("neighbour %d: sharded %+v, single %+v", i, gotNs[i], wantNs[i])
+		}
+	}
+}

@@ -925,8 +925,15 @@ func (b *kBest) worst() float64 {
 	return b.res[len(b.res)-1].Dist
 }
 
+// offer inserts r keeping the k smallest results in canonical
+// (Dist, ID) lexicographic order. Ranking ties by ID makes the result
+// set independent of refinement order — and therefore of tree shape —
+// which is what lets a sharded engine's per-shard top-k lists merge to
+// exactly the single-engine answer (see internal/shard).
 func (b *kBest) offer(r Result) {
-	pos := sort.Search(len(b.res), func(i int) bool { return b.res[i].Dist > r.Dist })
+	pos := sort.Search(len(b.res), func(i int) bool {
+		return b.res[i].Dist > r.Dist || (b.res[i].Dist == r.Dist && b.res[i].ID > r.ID)
+	})
 	b.res = append(b.res, Result{})
 	copy(b.res[pos+1:], b.res[pos:])
 	b.res[pos] = r
