@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet vet-lostcancel api-check fmt check bench bench-record bench-smoke fuzz-smoke kernel-check shard-check profile profile-smoke trace-smoke
+.PHONY: all build test race vet vet-lostcancel api-check fmt check bench bench-record bench-smoke fuzz-smoke kernel-check shard-check approx-check profile profile-smoke trace-smoke
 
 all: check
 
@@ -46,6 +46,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz FuzzParseTraceparent -fuzztime $(FUZZTIME) ./internal/obs
 	$(GO) test -run='^$$' -fuzz FuzzFlatSearch -fuzztime $(FUZZTIME) ./internal/vptree
 	$(GO) test -run='^$$' -fuzz FuzzShardRoute -fuzztime $(FUZZTIME) ./internal/shard
+	$(GO) test -run='^$$' -fuzz FuzzV2Decode -fuzztime $(FUZZTIME) ./internal/core
 
 # kernel-check is the flat-kernel acceptance suite: the arena/flat-path
 # equivalence and property tests plus the scheduler-spread regressions, all
@@ -75,6 +76,19 @@ shard-check:
 # See scripts/trace_smoke.sh.
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# approx-check is the approximate-answering acceptance suite: the quality
+# properties (bound-gap soundness, ε=0 bit-identity — single and sharded —
+# and progressive-snapshot monotonicity) plus the v2 decode fuzz seeds under
+# the race detector, a smoke bench record pushed through validate and the
+# quality gate (recall floor at the default ε), and the end-to-end
+# progressive-streaming smoke against the real binary.
+approx-check:
+	$(GO) test -race -count=1 -run 'TestApprox|TestShardedApprox|TestV2|TestNewRequest|FuzzV2Decode' ./internal/core ./internal/shard
+	$(GO) run ./cmd/benchrec record -smoke -label approxsmoke -o /tmp/BENCH_approxsmoke.json
+	$(GO) run ./cmd/benchrec validate /tmp/BENCH_approxsmoke.json
+	$(GO) run ./cmd/benchrec gate /tmp/BENCH_approxsmoke.json
+	sh scripts/approx_smoke.sh
 
 bench:
 	$(GO) test -run=^$$ -bench=. -benchmem ./...

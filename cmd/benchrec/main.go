@@ -146,6 +146,15 @@ func runRecord(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  sharding %d shards (fanout %d)  %.0f qps  imbalance %.2f  gather %.2f%%  matches single=%v\n",
 		rec.Sharding.Shards, rec.Sharding.Fanout, rec.Sharding.ShardedQPS,
 		rec.Sharding.SeriesImbalance, rec.Sharding.GatherPct, rec.Sharding.ShardedMatchesSingle)
+	for _, pt := range rec.Approx.Points {
+		gated := ""
+		if pt.Epsilon == rec.Approx.DefaultEpsilon {
+			gated = " (gated)"
+		}
+		fmt.Fprintf(stdout, "  approx ε=%-4v recall@k %.3f%s  mean gap %.4f  nodes %.1f  speedup %.2fx  shortcut share %.2f\n",
+			pt.Epsilon, pt.RecallAtK, gated, pt.MeanBoundGap, pt.NodesVisited, pt.Speedup, pt.ApproxShare)
+	}
+	fmt.Fprintf(stdout, "  approx exact-matches-zero=%v\n", rec.Approx.ExactMatchesZero)
 	for _, p := range rec.Profiles {
 		fmt.Fprintf(stdout, "  profile %s\n", p)
 	}

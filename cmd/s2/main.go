@@ -161,6 +161,7 @@ func run() error {
 			}},
 		)
 		srv, addr, err := obs.Serve(*debugAddr, hub,
+			obs.Route{Pattern: "/v2/search", Handler: admit.Middleware(ac, core.V2SearchHandler(engine))},
 			obs.Route{Pattern: "/v1/search", Handler: admit.Middleware(ac, core.V1SearchHandler(engine))},
 			obs.Route{Pattern: "/search", Handler: admit.Middleware(ac, core.SearchHandler(engine))})
 		if err != nil {
@@ -170,7 +171,7 @@ func run() error {
 		slog.Info("debug server listening",
 			"metrics", "http://"+addr+"/debug/metrics",
 			"health", "http://"+addr+"/debug/healthz",
-			"search", "http://"+addr+"/v1/search?q=<query>&k=5")
+			"search", "http://"+addr+"/v2/search?q=<query>&k=5")
 	}
 
 	if *save != "" {
@@ -261,7 +262,10 @@ func runBenchMode(args []string) error {
 func buildEngine(db, load string, n, days int, seed int64, budget, shards int, hub *obs.Hub) (core.Searcher, error) {
 	if db != "" {
 		if shards > 1 {
-			return nil, fmt.Errorf("-db opens a single-engine snapshot and cannot be partitioned (drop -shards)")
+			return nil, fmt.Errorf("-db opens a single-engine snapshot, which cannot yet load into a partition: " +
+				"shard rebalancing / partitioned snapshot loading is the open ROADMAP item " +
+				"\"Shard rebalancing and elastic repartitioning\" — until it lands, either drop -shards " +
+				"to serve the snapshot on a single engine, or rebuild the partitioned dataset from raw input")
 		}
 		fmt.Printf("opening saved engine at %s...\n", db)
 		return core.LoadEngine(db, core.Config{Obs: hub})
@@ -561,13 +565,14 @@ func dispatch(e core.Searcher, line string) error {
 		if err != nil {
 			return err
 		}
-		res, _, err := eng.SimilarToID(id, k)
+		resp, err := eng.Query(context.Background(),
+			core.NewRequest(core.KindSimilarID, core.WithID(id), core.WithK(k)))
 		if err != nil {
 			return err
 		}
 		ids := []int{id}
 		fmt.Printf("  set: %s", eng.Name(id))
-		for _, r := range res {
+		for _, r := range resp.Neighbors {
 			ids = append(ids, r.ID)
 			fmt.Printf(", %s", r.Name)
 		}

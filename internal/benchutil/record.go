@@ -54,7 +54,25 @@ import (
 // overhead (absolute and as a fraction of sharded query wall time), and the
 // sharded_matches_single correctness bit — the evidence the horizontal
 // scaling work gates on.
-const BenchSchemaVersion = 7
+//
+// v8 added the approx section: the twin-query harness re-answers the search
+// workload at several ε settings of the quality dial and scores each against
+// its exact twin — recall@k, mean proven bound gap, node-visit and
+// wall-clock speedup per point, plus the exact_matches_zero bit (ε=0 stays
+// bit-identical). The quality gate enforces recall at the default ε.
+const BenchSchemaVersion = 8
+
+// DefaultApproxEpsilon is the canonical quality-dial setting the approx
+// section's gate scores: the ε a caller reaching for "fast but still
+// faithful" should start from (docs/approx.md). Calibrated so recall@k
+// stays ≥ MinApproxRecall on the standard workloads while the relaxed
+// pruning still measurably cuts traversal work; the wider dial points
+// (0.25, 0.5) are recorded for the quality/speed curve but not gated.
+const DefaultApproxEpsilon = 0.05
+
+// MinApproxRecall is the recall@k floor `benchrec gate` enforces at
+// DefaultApproxEpsilon.
+const MinApproxRecall = 0.99
 
 // BenchWorkload pins every knob that shapes a benchmark run, so two records
 // are only ever compared like for like.
@@ -314,6 +332,47 @@ type ShardingBench struct {
 	ShardedMatchesSingle bool `json:"sharded_matches_single"`
 }
 
+// ApproxPoint is one ε setting of the twin-query harness: the full query
+// set answered with Approx{Epsilon: ε} and scored against the exact twin.
+type ApproxPoint struct {
+	Epsilon float64 `json:"epsilon"`
+	// RecallAtK is the mean fraction of the exact top-k the approximate
+	// answer retained (1 = every neighbour recovered).
+	RecallAtK float64 `json:"recall_at_k"`
+	// MeanBoundGap averages the per-result proven bound gaps (0 = every
+	// answer certified exact; gaps are finite under a pure-ε dial).
+	MeanBoundGap float64 `json:"mean_bound_gap"`
+	// NodesVisited is the per-query average traversal work; Speedup is the
+	// exact twin's wall time over this point's (1 = no saving).
+	NodesVisited float64 `json:"nodes_visited"`
+	Speedup      float64 `json:"speedup"`
+	// ApproxShare is the fraction of queries that actually took an
+	// approximation shortcut (stamped approximate=true).
+	ApproxShare float64 `json:"approx_share"`
+}
+
+// ApproxBench is the approximate-answering evidence: one point per ε
+// setting, always starting at ε=0.
+type ApproxBench struct {
+	// DefaultEpsilon is the dial point the gate scores (DefaultApproxEpsilon).
+	DefaultEpsilon float64 `json:"default_epsilon"`
+	// ExactMatchesZero records whether the ε=0 run answered bit-identically
+	// to the plain exact queries — the zero-dial collapse the property
+	// suite proves and the gate enforces.
+	ExactMatchesZero bool          `json:"exact_matches_zero"`
+	Points           []ApproxPoint `json:"points"`
+}
+
+// PointAt returns the approx point measured at ε (nil if absent).
+func (a *ApproxBench) PointAt(eps float64) *ApproxPoint {
+	for i := range a.Points {
+		if a.Points[i].Epsilon == eps {
+			return &a.Points[i]
+		}
+	}
+	return nil
+}
+
 // QBBBench summarizes the query-by-burst half of the workload.
 type QBBBench struct {
 	Latency LatencySummary `json:"latency"`
@@ -350,6 +409,7 @@ type BenchRecord struct {
 	Kernels     KernelsBench     `json:"kernels"`
 	Tracing     TracingBench     `json:"tracing"`
 	Sharding    ShardingBench    `json:"sharding"`
+	Approx      ApproxBench      `json:"approx"`
 	QBB         QBBBench         `json:"qbb"`
 	Degradation DegradationBench `json:"degradation"`
 
@@ -589,6 +649,80 @@ func RunBenchWithOptions(w BenchWorkload, label string, opts BenchOptions) (*Ben
 	rec.Sharding.ShardedQPS = float64(total) / shardedSec
 	if wall := shardedSec * float64(time.Second); wall > 0 {
 		rec.Sharding.GatherPct = float64(gs.GatherNS) / wall * 100
+	}
+
+	// Approximate-answering evidence: the search workload re-answered at
+	// several quality-dial settings, each scored against the exact answers
+	// the serial loop already produced. A separate unobserved twin engine
+	// keeps the hub engine's counters exactly the workload's (same idiom as
+	// the kernel and tracing twins). Speedup divides the ε=0 run's wall
+	// time (timed through the same Engine.Query path, so wrapper overhead
+	// cancels) by each point's.
+	ea, err := core.NewEngine(data, core.Config{Budget: w.Budget, Seed: w.Seed, Workers: w.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("benchutil: approx twin engine: %w", err)
+	}
+	defer ea.Close()
+	rec.Approx = ApproxBench{DefaultEpsilon: DefaultApproxEpsilon, ExactMatchesZero: true}
+	var zeroSec float64
+	for _, eps := range []float64{0, DefaultApproxEpsilon, 0.25, 0.5} {
+		pt := ApproxPoint{Epsilon: eps}
+		var nodes int64
+		var gapSum float64
+		var gapN, hits, wanted, approxCount int
+		ptStart := time.Now()
+		for r := 0; r < rounds; r++ {
+			for i, v := range qvals {
+				resp, err := ea.Query(context.Background(), core.Request{
+					Kind: core.KindSimilar, Values: v, K: w.K,
+					Approx: core.Approx{Epsilon: eps},
+				})
+				if err != nil {
+					return nil, fmt.Errorf("benchutil: approx query %d at eps=%v: %w", i, eps, err)
+				}
+				if r > 0 {
+					continue // later rounds only feed the timing
+				}
+				nodes += int64(resp.Stats.NodesVisited)
+				if resp.Approximate {
+					approxCount++
+				}
+				exact := serial[i]
+				if eps == 0 && !reflect.DeepEqual(resp.Neighbors, exact) {
+					rec.Approx.ExactMatchesZero = false
+				}
+				inExact := make(map[int]bool, len(exact))
+				for _, n := range exact {
+					inExact[n.ID] = true
+				}
+				wanted += len(exact)
+				for _, n := range resp.Neighbors {
+					if inExact[n.ID] {
+						hits++
+					}
+					if !math.IsInf(n.BoundGap, 1) {
+						gapSum += n.BoundGap
+						gapN++
+					}
+				}
+			}
+		}
+		ptSec := time.Since(ptStart).Seconds()
+		if eps == 0 {
+			zeroSec = ptSec
+		}
+		if wanted > 0 {
+			pt.RecallAtK = float64(hits) / float64(wanted)
+		}
+		if gapN > 0 {
+			pt.MeanBoundGap = gapSum / float64(gapN)
+		}
+		pt.NodesVisited = float64(nodes) / float64(len(qvals))
+		pt.ApproxShare = float64(approxCount) / float64(len(qvals))
+		if ptSec > 0 && zeroSec > 0 {
+			pt.Speedup = zeroSec / ptSec
+		}
+		rec.Approx.Points = append(rec.Approx.Points, pt)
 	}
 
 	if opts.Profiler != nil {
@@ -923,6 +1057,40 @@ func (r *BenchRecord) Validate() error {
 	if !r.Sharding.ShardedMatchesSingle {
 		return fmt.Errorf("benchutil: sharded scatter-gather diverged from the single engine")
 	}
+	if len(r.Approx.Points) < 2 {
+		return fmt.Errorf("benchutil: approx section has %d points, need the ε=0 twin plus at least one dial setting", len(r.Approx.Points))
+	}
+	if r.Approx.DefaultEpsilon <= 0 {
+		return fmt.Errorf("benchutil: approx default_epsilon = %v", r.Approx.DefaultEpsilon)
+	}
+	if r.Approx.PointAt(0) == nil || r.Approx.PointAt(r.Approx.DefaultEpsilon) == nil {
+		return fmt.Errorf("benchutil: approx points %v missing ε=0 or the default ε=%v",
+			r.Approx.Points, r.Approx.DefaultEpsilon)
+	}
+	for i, pt := range r.Approx.Points {
+		if pt.Epsilon < 0 || math.IsNaN(pt.Epsilon) || math.IsInf(pt.Epsilon, 0) {
+			return fmt.Errorf("benchutil: approx point %d has ε=%v", i, pt.Epsilon)
+		}
+		if i > 0 && pt.Epsilon <= r.Approx.Points[i-1].Epsilon {
+			return fmt.Errorf("benchutil: approx points not strictly ε-ascending at %d", i)
+		}
+		if pt.RecallAtK < 0 || pt.RecallAtK > 1 {
+			return fmt.Errorf("benchutil: approx recall_at_k = %v at ε=%v outside [0,1]", pt.RecallAtK, pt.Epsilon)
+		}
+		if pt.MeanBoundGap < 0 || math.IsNaN(pt.MeanBoundGap) || math.IsInf(pt.MeanBoundGap, 0) {
+			return fmt.Errorf("benchutil: approx mean_bound_gap = %v at ε=%v", pt.MeanBoundGap, pt.Epsilon)
+		}
+		if pt.NodesVisited <= 0 || pt.Speedup <= 0 {
+			return fmt.Errorf("benchutil: approx point ε=%v measured no work (%v nodes, %v speedup)",
+				pt.Epsilon, pt.NodesVisited, pt.Speedup)
+		}
+		if pt.ApproxShare < 0 || pt.ApproxShare > 1 {
+			return fmt.Errorf("benchutil: approx approx_share = %v at ε=%v outside [0,1]", pt.ApproxShare, pt.Epsilon)
+		}
+	}
+	if z := r.Approx.PointAt(0); z.RecallAtK != 1 || z.MeanBoundGap != 0 || z.ApproxShare != 0 {
+		return fmt.Errorf("benchutil: the ε=0 twin must be exact (recall=1, gap=0, share=0), got %+v", *z)
+	}
 	if r.Degradation.Aborted < int64(r.Workload.Queries) {
 		return fmt.Errorf("benchutil: only %d/%d cancelled queries aborted",
 			r.Degradation.Aborted, r.Workload.Queries)
@@ -1002,6 +1170,15 @@ func GateRecord(r *BenchRecord, minSpeedup, maxGatherPct float64) []string {
 		fails = append(fails, fmt.Sprintf("throughput.speedup = %.2f < %.2f at gomaxprocs=%d",
 			r.Throughput.Speedup, minSpeedup, r.GoMaxProcs))
 	}
+	if !r.Approx.ExactMatchesZero {
+		fails = append(fails, "approx.exact_matches_zero = false (ε=0 diverged from the exact twin)")
+	}
+	if pt := r.Approx.PointAt(r.Approx.DefaultEpsilon); pt == nil {
+		fails = append(fails, fmt.Sprintf("approx section has no point at default ε=%v", r.Approx.DefaultEpsilon))
+	} else if pt.RecallAtK < MinApproxRecall {
+		fails = append(fails, fmt.Sprintf("approx.recall_at_k = %.4f < %.2f at default ε=%v (quality floor)",
+			pt.RecallAtK, MinApproxRecall, r.Approx.DefaultEpsilon))
+	}
 	return fails
 }
 
@@ -1052,6 +1229,11 @@ func CompareBenchRecords(old, new *BenchRecord, tol float64) ([]Regression, erro
 	check("tracing.untraced_qps", old.Tracing.UntracedQPS, new.Tracing.UntracedQPS, false)
 	check("sharding.sharded_qps", old.Sharding.ShardedQPS, new.Sharding.ShardedQPS, false)
 	check("sharding.gather_pct", old.Sharding.GatherPct, new.Sharding.GatherPct, true)
+	if op, np := old.Approx.PointAt(old.Approx.DefaultEpsilon), new.Approx.PointAt(new.Approx.DefaultEpsilon); op != nil && np != nil {
+		check("approx.recall_at_k", op.RecallAtK, np.RecallAtK, false)
+		check("approx.speedup", op.Speedup, np.Speedup, false)
+		check("approx.mean_bound_gap", op.MeanBoundGap, np.MeanBoundGap, true)
+	}
 	check("qbb.latency.p50_ms", old.QBB.Latency.P50MS, new.QBB.Latency.P50MS, true)
 	check("qbb.rows_scanned", old.QBB.RowsScanned, new.QBB.RowsScanned, true)
 	check("degradation.queue_wait_ms", old.Degradation.QueueWaitMS, new.Degradation.QueueWaitMS, true)

@@ -115,6 +115,21 @@ func TestGateRecord(t *testing.T) {
 	if fails := GateRecord(&slow, 4.0, 90); len(fails) != 0 {
 		t.Errorf("fast record fails gate: %v", fails)
 	}
+
+	// The quality gate: ε=0 divergence and a recall miss at the default ε
+	// each fail independently.
+	lossy := *rec
+	lossy.Approx.Points = append([]ApproxPoint(nil), rec.Approx.Points...)
+	lossy.Approx.ExactMatchesZero = false
+	if pt := lossy.Approx.PointAt(lossy.Approx.DefaultEpsilon); pt == nil {
+		t.Fatal("record has no point at the default ε")
+	} else {
+		pt.RecallAtK = 0.9
+	}
+	fails = GateRecord(&lossy, 4.0, 90)
+	if len(fails) != 2 || !strings.Contains(fails[0], "exact_matches_zero") || !strings.Contains(fails[1], "recall_at_k") {
+		t.Errorf("lossy record failures = %v, want exact_matches_zero + recall_at_k", fails)
+	}
 }
 
 func TestRecordRoundTrip(t *testing.T) {

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// approxTrialRequest draws one randomized approximate request over the
+// distance kinds, cycling so 100 trials exercise every family and every
+// quality-dial combination (ε only, δ only, nprobe only, mixed).
+func approxTrialRequest(rng *rand.Rand, trial, total int) Request {
+	req := Request{K: 1 + rng.Intn(5)}
+	id := rng.Intn(total)
+	switch trial % 4 {
+	case 0:
+		req.Kind, req.ID = KindSimilarID, id
+	case 1:
+		req.Kind, req.ID = KindDTW, id
+		req.Band = 7
+	case 2:
+		req.Kind, req.ID = KindSimilarPeriods, id
+		req.Periods = []float64{8, 16}
+	case 3:
+		req.Kind, req.ID = KindSimilarID, id
+	}
+	switch trial % 5 {
+	case 0:
+		req.Approx.Epsilon = 0.05 + rng.Float64()*0.5
+	case 1:
+		req.Approx.Delta = 0.05 + rng.Float64()*0.3
+	case 2:
+		req.Approx.NProbe = 1 + rng.Intn(8)
+	case 3:
+		req.Approx.Epsilon = rng.Float64() * 0.3
+		req.Approx.Delta = rng.Float64() * 0.2
+	case 4:
+		req.Approx.Epsilon = 0.1 + rng.Float64()
+		req.Approx.NProbe = 2 + rng.Intn(16)
+	}
+	return req
+}
+
+// Property (b) of docs/approx.md: BoundGap bounds the true relative error
+// from above. For every rank i the approximate answer holds, the returned
+// distance obeys dist_i / (1 + gap_i) <= exact_i — the reported gap is a
+// sound (conservative) certificate, never an underestimate. An unbounded
+// gap (+Inf, after an ng stop) promises nothing and is skipped.
+func TestApproxBoundGapSound(t *testing.T) {
+	e, _ := buildEngine(t, 60, Config{Budget: 8, Seed: 9}, 9)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(17))
+	total := e.Len()
+	approxSeen := 0
+	for trial := 0; trial < 100; trial++ {
+		req := approxTrialRequest(rng, trial, total)
+		got, err := e.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, req, err)
+		}
+		exactReq := req
+		exactReq.Approx = Approx{}
+		want, err := e.Query(ctx, exactReq)
+		if err != nil {
+			t.Fatalf("trial %d exact twin: %v", trial, err)
+		}
+		if got.Approximate {
+			approxSeen++
+			if got.EpsilonUsed != req.Approx.Epsilon {
+				t.Fatalf("trial %d: epsilon_used = %v, want %v", trial, got.EpsilonUsed, req.Approx.Epsilon)
+			}
+		} else {
+			// No approximation decision differed from the exact one, so the
+			// answer must be bit-identical to the exact twin.
+			if len(got.Neighbors) != len(want.Neighbors) {
+				t.Fatalf("trial %d: non-approximate answer has %d neighbours, exact has %d",
+					trial, len(got.Neighbors), len(want.Neighbors))
+			}
+			for i := range want.Neighbors {
+				if got.Neighbors[i].ID != want.Neighbors[i].ID ||
+					got.Neighbors[i].Dist != want.Neighbors[i].Dist {
+					t.Fatalf("trial %d: non-approximate answer differs at rank %d: %+v vs %+v",
+						trial, i, got.Neighbors[i], want.Neighbors[i])
+				}
+			}
+		}
+		for i, n := range got.Neighbors {
+			if n.BoundGap < 0 {
+				t.Fatalf("trial %d rank %d: negative bound gap %v", trial, i, n.BoundGap)
+			}
+			if !got.Approximate && n.BoundGap != 0 {
+				t.Fatalf("trial %d rank %d: exact answer carries gap %v", trial, i, n.BoundGap)
+			}
+			if math.IsInf(n.BoundGap, 1) || i >= len(want.Neighbors) {
+				continue
+			}
+			exact := want.Neighbors[i].Dist
+			if n.Dist/(1+n.BoundGap) > exact*(1+1e-9)+1e-9 {
+				t.Fatalf("trial %d (%+v) rank %d: dist %v / (1+gap %v) = %v exceeds true distance %v",
+					trial, req, i, n.Dist, n.BoundGap, n.Dist/(1+n.BoundGap), exact)
+			}
+		}
+	}
+	if approxSeen == 0 {
+		t.Fatal("no trial ever took an approximation shortcut; the property was vacuous")
+	}
+}
+
+// The ε=0/δ=0 leg of property (a): a quality dial explicitly set to zero
+// travels the relaxed code paths but must answer bit-identically to the
+// plain exact request — including the Approximate stamp staying false.
+func TestApproxZeroIsExact(t *testing.T) {
+	e, _ := buildEngine(t, 50, Config{Budget: 8, Seed: 13}, 13)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(29))
+	total := e.Len()
+	for trial := 0; trial < 100; trial++ {
+		req := approxTrialRequest(rng, trial, total)
+		req.Approx = Approx{Epsilon: 0, Delta: 0, NProbe: 0}
+		want, err := e.Query(ctx, req)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		exactReq := req
+		exactReq.Approx = Approx{}
+		got, err := e.Query(ctx, exactReq)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if want.Approximate || got.Approximate {
+			t.Fatalf("trial %d: zero dial stamped approximate", trial)
+		}
+		if len(want.Neighbors) != len(got.Neighbors) {
+			t.Fatalf("trial %d: %d vs %d neighbours", trial, len(want.Neighbors), len(got.Neighbors))
+		}
+		for i := range want.Neighbors {
+			if want.Neighbors[i] != got.Neighbors[i] {
+				t.Fatalf("trial %d rank %d: %+v vs %+v", trial, i, want.Neighbors[i], got.Neighbors[i])
+			}
+		}
+	}
+}
+
+func TestApproxValidate(t *testing.T) {
+	bad := []Approx{
+		{Epsilon: -0.1},
+		{Epsilon: math.NaN()},
+		{Epsilon: math.Inf(1)},
+		{Delta: -0.01},
+		{Delta: 1.01},
+		{Delta: math.NaN()},
+		{NProbe: -1},
+	}
+	for _, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", a)
+		}
+	}
+	good := []Approx{{}, {Epsilon: 0.5}, {Delta: 1}, {NProbe: 100}, {Epsilon: 2, Delta: 0.5, NProbe: 3}}
+	for _, a := range good {
+		if err := a.Validate(); err != nil {
+			t.Errorf("Validate(%+v) rejected: %v", a, err)
+		}
+	}
+	if (Approx{}).Enabled() {
+		t.Error("zero Approx reports Enabled")
+	}
+	if !(Approx{Epsilon: 0.1}).Enabled() || !(Approx{Delta: 0.1}).Enabled() || !(Approx{NProbe: 1}).Enabled() {
+		t.Error("non-zero dial reports disabled")
+	}
+}
+
+// NewRequest with options must build exactly the Request literal it
+// documents, and answer identically through Engine.Query.
+func TestNewRequestBuilder(t *testing.T) {
+	req := NewRequest(KindSimilarID,
+		WithID(3), WithK(4),
+		WithDeadline(time.Second), WithMaxNodeVisits(100), WithMaxExactDistances(50),
+		WithEpsilon(0.1), WithDelta(0.05), WithNProbe(2),
+	)
+	want := Request{
+		Kind: KindSimilarID, ID: 3, K: 4,
+		Budget: Budget{Deadline: time.Second, MaxNodeVisits: 100, MaxExactDistances: 50},
+		Approx: Approx{Epsilon: 0.1, Delta: 0.05, NProbe: 2},
+	}
+	if req.Kind != want.Kind || req.ID != want.ID || req.K != want.K ||
+		req.Budget != want.Budget || req.Approx != want.Approx {
+		t.Fatalf("NewRequest = %+v, want %+v", req, want)
+	}
+	if d := NewRequest(KindDTW, WithBand(5)); d.Band != 5 || d.K != 1 || d.ID != -1 {
+		t.Errorf("defaults: %+v", d)
+	}
+	if p := NewRequest(KindSimilarPeriods, WithPeriods([]float64{7, 30}, 0.1)); len(p.Periods) != 2 || p.RelTol != 0.1 {
+		t.Errorf("periods: %+v", p)
+	}
+
+	e, _ := buildEngine(t, 30, Config{}, 21)
+	ctx := context.Background()
+	a, err := e.Query(ctx, NewRequest(KindSimilarID, WithID(2), WithK(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Query(ctx, Request{Kind: KindSimilarID, ID: 2, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Neighbors) != len(b.Neighbors) {
+		t.Fatalf("builder answer differs: %d vs %d", len(a.Neighbors), len(b.Neighbors))
+	}
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			t.Fatalf("rank %d: %+v vs %+v", i, a.Neighbors[i], b.Neighbors[i])
+		}
+	}
+}

@@ -169,6 +169,12 @@ type Neighbor struct {
 	Name string
 	// Dist is the exact Euclidean distance between standardized series.
 	Dist float64
+	// BoundGap, on an approximate response, is the proven upper bound on
+	// this result's relative error: the true distance at this rank is at
+	// least Dist/(1+BoundGap). It is 0 on exact responses, and +Inf when
+	// the search stopped with no guarantee (ng-approximate mode). See
+	// Response.BoundFloor and docs/approx.md.
+	BoundGap float64
 }
 
 // Engine is the assembled system.
@@ -645,6 +651,9 @@ func (e *Engine) linearScanRange(z []float64, k, lo, hi int, g *lifecycle.Gate) 
 		} else if !ok {
 			break // budget exhausted: return the rows scanned so far
 		}
+		if !g.Leaf() {
+			break // ng leaf budget exhausted: best-so-far, flagged approximate
+		}
 		row := buf
 		if flat {
 			var err error
@@ -658,11 +667,20 @@ func (e *Engine) linearScanRange(z []float64, k, lo, hi int, g *lifecycle.Gate) 
 		if len(best) == k {
 			bound = best[len(best)-1].Dist
 		}
-		d, abandoned, err := series.EuclideanEarlyAbandon(z, row, bound)
+		// ε-relaxed early abandon: give up on a row once its partial sum
+		// proves d ≥ bound/(1+ε). A row abandoned in the relaxed band
+		// (would have survived the exact bound) records that proven floor,
+		// so the response's BoundGap stays sound. At ε=0 relaxed == bound
+		// and the scan is bit-identical to exact.
+		relaxed := g.Relax(bound)
+		d, abandoned, err := series.EuclideanEarlyAbandon(z, row, relaxed)
 		if err != nil {
 			return nil, err
 		}
 		if abandoned {
+			if relaxed < bound {
+				g.MarkRelaxed(relaxed)
+			}
 			continue
 		}
 		best = insertNeighbor(best, Neighbor{ID: id, Name: e.nameLocked(id), Dist: d}, k)

@@ -179,6 +179,11 @@ func (e *Engine) indexExplain(vexp *vptree.Explain, st vptree.Stats) *IndexExpla
 // SimilarQueriesExplained is SimilarQueries returning, alongside the
 // neighbours, a structured explain report that is also committed to the
 // hub's explain ring and attached to the query's trace.
+//
+// Deprecated: part of the frozen per-family query surface. Use
+// Engine.Query (or NewRequest) for programmatic search; explain reports
+// stay reachable through the REPL explain command and /debug/explain,
+// which serve through this frozen entry point.
 func (e *Engine) SimilarQueriesExplained(values []float64, k int) ([]Neighbor, *ExplainReport, error) {
 	defer e.met.similarLat.Start()()
 	e.met.similarTotal.Inc()
@@ -223,6 +228,9 @@ func (e *Engine) SimilarQueriesExplained(values []float64, k int) ([]Neighbor, *
 
 // SimilarToIDExplained is SimilarToID with an explain report (see
 // SimilarQueriesExplained).
+//
+// Deprecated: part of the frozen per-family query surface; see
+// SimilarQueriesExplained.
 func (e *Engine) SimilarToIDExplained(id, k int) ([]Neighbor, *ExplainReport, error) {
 	defer e.met.similarLat.Start()()
 	e.met.similarTotal.Inc()
@@ -288,6 +296,9 @@ func (r *ExplainReport) appendIndexPhases(vexp *vptree.Explain) {
 
 // QueryByBurstExplained is QueryByBurst with an explain report covering
 // burst detection and the per-burst overlap scans.
+//
+// Deprecated: part of the frozen per-family query surface; see
+// SimilarQueriesExplained.
 func (e *Engine) QueryByBurstExplained(values []float64, k int, w BurstWindow) ([]BurstMatch, *ExplainReport, error) {
 	total := time.Now()
 	det, err := e.Bursts(values, w)
@@ -306,6 +317,9 @@ func (e *Engine) QueryByBurstExplained(values []float64, k int, w BurstWindow) (
 }
 
 // QueryByBurstOfExplained is QueryByBurstOf with an explain report.
+//
+// Deprecated: part of the frozen per-family query surface; see
+// SimilarQueriesExplained.
 func (e *Engine) QueryByBurstOfExplained(id, k int, w BurstWindow) ([]BurstMatch, *ExplainReport, error) {
 	total := time.Now()
 	e.mu.RLock()

@@ -179,6 +179,9 @@ type Request struct {
 	RelTol  float64
 	// Budget bounds the work of this query (see Budget).
 	Budget Budget
+	// Approx is the quality dial: how much answer quality this query trades
+	// for latency (see Approx). The zero value is exact search.
+	Approx Approx
 	// QueueWait, when set by a serving front (admission control), is
 	// recorded on the query's trace so slow-query entries expose admission
 	// latency alongside execution time.
@@ -199,6 +202,17 @@ type Response struct {
 	// Truncated reports that a budget expired mid-search and Neighbors or
 	// Matches is the best-so-far partial answer rather than the full one.
 	Truncated bool
+	// Approximate reports that at least one approximation decision fired:
+	// the answer may differ from exact search, within the bounds below.
+	Approximate bool
+	// EpsilonUsed echoes the (1+ε) slack the search ran under when
+	// Approximate is set.
+	EpsilonUsed float64
+	// BoundFloor is the proven lower bound on the distance of everything
+	// the search discarded without exact evaluation (0 = no guarantee, as
+	// after an ng-approximate stop). Each Neighbor's BoundGap derives from
+	// it; see docs/approx.md for the bound algebra.
+	BoundFloor float64
 }
 
 // errBadK is the uniform k validation error of the Query surface.
@@ -234,6 +248,7 @@ func (e *Engine) Query(ctx context.Context, req Request) (*Response, error) {
 // (tracing, wide events, metrics). A nil gate means unlimited.
 func (e *Engine) QueryGated(ctx context.Context, req Request, g *lifecycle.Gate) (*Response, error) {
 	req.Budget = Budget{}
+	req.Approx = Approx{}
 	return e.query(ctx, req, g)
 }
 
@@ -246,6 +261,9 @@ func (e *Engine) query(ctx context.Context, req Request, ext *lifecycle.Gate) (*
 	}
 	if req.K < 1 {
 		return nil, errBadK
+	}
+	if err := req.Approx.Validate(); err != nil {
+		return nil, err
 	}
 	ctx, rid := obs.EnsureRequestID(ctx)
 	start := time.Now()
@@ -280,7 +298,7 @@ func (e *Engine) query(ctx context.Context, req Request, ext *lifecycle.Gate) (*
 	}
 	g := ext
 	if g == nil {
-		g = lifecycle.NewGate(ctx, req.Budget.limits(start))
+		g = lifecycle.NewGate(ctx, req.GateLimits(start))
 	}
 	resp, err := e.dispatch(ctx, g, req)
 	ev.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
@@ -300,6 +318,11 @@ func (e *Engine) query(ctx context.Context, req Request, ext *lifecycle.Gate) (*
 		ev.Truncated = true
 		ev.Abort = "budget"
 		tr.SetOutcome(obs.Outcome{Truncated: true})
+	}
+	StampApprox(resp, g.Epsilon(), g)
+	if resp.Approximate {
+		sp.Annotate("approximate", "true")
+		sp.Annotate("epsilon_used", strconv.FormatFloat(resp.EpsilonUsed, 'g', -1, 64))
 	}
 	ev.NodesVisited = resp.Stats.NodesVisited
 	ev.BoundsComputed = resp.Stats.BoundsComputed
@@ -409,6 +432,15 @@ func annotateLifecycle(ctx context.Context, sp *obs.Span, req Request) {
 	}
 	if req.Budget.MaxExactDistances > 0 {
 		sp.Annotate("max_exact_distances", strconv.Itoa(req.Budget.MaxExactDistances))
+	}
+	if req.Approx.Epsilon > 0 {
+		sp.Annotate("epsilon", strconv.FormatFloat(req.Approx.Epsilon, 'g', -1, 64))
+	}
+	if req.Approx.Delta > 0 {
+		sp.Annotate("delta", strconv.FormatFloat(req.Approx.Delta, 'g', -1, 64))
+	}
+	if req.Approx.NProbe > 0 {
+		sp.Annotate("nprobe", strconv.Itoa(req.Approx.NProbe))
 	}
 	if req.QueueWait > 0 {
 		sp.Annotate("queue_wait_ms", strconv.FormatFloat(
@@ -654,6 +686,9 @@ func (e *Engine) querySimilarPeriods(ctx context.Context, g *lifecycle.Gate, req
 			return nil, gerr
 		} else if !ok {
 			break // budget exhausted: keep the best-so-far prefix
+		}
+		if !g.Leaf() {
+			break // ng leaf budget exhausted: best-so-far, flagged approximate
 		}
 		if err := store.GetInto(other, buf); err != nil {
 			return nil, err

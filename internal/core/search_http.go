@@ -98,6 +98,11 @@ func V1SearchHandler(e Searcher) http.Handler {
 		// or join the request trace the same way.
 		ctx, rid := obs.EnsureRequestID(r.Context())
 		w.Header().Set("X-Request-Id", rid)
+		// The v1 contract is deprecated in favour of /v2/search (quality
+		// dial + progressive answering): every response advertises the
+		// successor, RFC 8594-style. v1 keeps serving unchanged.
+		w.Header().Set("Deprecation", "true")
+		w.Header().Add("Link", `</v2/search>; rel="successor-version"`)
 		tr := obs.TraceFromContext(ctx)
 		if tr == nil {
 			tctx := obs.ContextWithTraceparent(ctx, r.Header.Get("traceparent"), r.Header.Get("tracestate"))

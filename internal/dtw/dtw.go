@@ -250,6 +250,9 @@ func searchK(collection [][]float64, query []float64, r, k int, g *lifecycle.Gat
 		} else if !ok {
 			break // budget exhausted: rank only the candidates bounded so far
 		}
+		if !g.Leaf() {
+			break // ng leaf budget exhausted: best-so-far, flagged approximate
+		}
 		lb, err := LBKeogh(env, x)
 		if err != nil {
 			return nil, st, false, err
@@ -277,13 +280,25 @@ func searchK(collection [][]float64, query []float64, r, k int, g *lifecycle.Gat
 			return 0
 		}
 	})
+	// δ sampled-stop: refine only the first ⌈(1−δ)·n⌉ lb-sorted candidates
+	// (never fewer than k); the first skipped entry's LB_Keogh is the proven
+	// floor of everything skipped. No-op at δ=0.
+	if cut := g.DeltaCut(len(cands), k); cut < len(cands) {
+		g.MarkRelaxed(cands[cut].lb)
+		cands = cands[:cut]
+	}
 	var best []Result
 	worst := math.Inf(1)
 	for _, c := range cands {
 		// Strict cutoff: a candidate whose bound ties the current k-th
 		// distance may still displace it under the canonical (Dist, Index)
-		// tie order below.
-		if len(best) >= k && c.lb > worst {
+		// tie order below. Under ε-relaxation the cutoff fires once the
+		// bound exceeds worst/(1+ε); a cutoff that would not fire at ε=0
+		// records the skipped bound as the proven floor.
+		if len(best) >= k && c.lb > g.Relax(worst) {
+			if c.lb <= worst {
+				g.MarkRelaxed(c.lb)
+			}
 			break // every later candidate is bounded even further away
 		}
 		if ok, gerr := g.Exact(); gerr != nil {

@@ -18,6 +18,7 @@ package lifecycle
 
 import (
 	"context"
+	"math"
 	"time"
 )
 
@@ -35,11 +36,30 @@ type Limits struct {
 	// (0 = unlimited). Unlike Deadline/MaxNodes truncation, this cap is
 	// never exceeded, even by the post-truncation refinement grace.
 	MaxExact int
+	// Epsilon is the (1+ε)-approximation slack: a search may discard any
+	// object it can prove is at distance ≥ bound/(1+ε) from the query, where
+	// bound would have been the exact pruning radius. 0 = exact. Every
+	// ε-motivated exclusion is recorded via MarkRelaxed so the gate's
+	// BoundFloor stays a sound lower bound on everything discarded.
+	Epsilon float64
+	// Delta is the sampled-stop fraction of the δ-ε mode: refinement may
+	// skip up to a δ fraction of the tail of its lb-sorted candidate list
+	// (never cutting below k candidates). Because candidates are processed
+	// in increasing-lower-bound order, the skipped tail still yields a
+	// proven BoundFloor. 0 = refine everything the bounds admit.
+	Delta float64
+	// NProbe is the ng-approximate leaf budget: the traversal stops after
+	// visiting this many leaf units (tree leaves, scanned rows). Unlike
+	// MaxNodes truncation the stop is an *approximation* decision — the
+	// answer is flagged Approximate, not Truncated, and the bound floor
+	// drops to 0 (unexplored leaves carry no proven bound). 0 = unlimited.
+	NProbe int
 }
 
 // zero reports whether the limits impose no bound at all.
 func (l Limits) zero() bool {
-	return l.Deadline.IsZero() && l.MaxNodes <= 0 && l.MaxExact <= 0
+	return l.Deadline.IsZero() && l.MaxNodes <= 0 && l.MaxExact <= 0 &&
+		l.Epsilon <= 0 && l.Delta <= 0 && l.NProbe <= 0
 }
 
 // checkStride is how many accounting events pass between context/deadline
@@ -60,6 +80,14 @@ type Gate struct {
 	credit    int // events until the next ctx/deadline check
 	grace     int // Exact allowances that ignore truncation (see Grace)
 	truncated bool
+	// Approximation spec + accounting (see Limits.Epsilon/Delta/NProbe).
+	epsilon    float64
+	delta      float64
+	nprobe     int
+	leaves     int     // leaf units visited against nprobe
+	ngStopped  bool    // sticky: the leaf budget stopped the traversal
+	approx     bool    // any approximation decision was taken
+	boundFloor float64 // min proven lower bound over everything discarded
 }
 
 // NewGate builds a gate for one request. It returns nil — the unlimited
@@ -75,11 +103,15 @@ func NewGate(ctx context.Context, lim Limits) *Gate {
 		return nil
 	}
 	return &Gate{
-		ctx:      ctx,
-		deadline: lim.Deadline,
-		maxNodes: lim.MaxNodes,
-		maxExact: lim.MaxExact,
-		credit:   1, // check on the very first event
+		ctx:        ctx,
+		deadline:   lim.Deadline,
+		maxNodes:   lim.MaxNodes,
+		maxExact:   lim.MaxExact,
+		epsilon:    lim.Epsilon,
+		delta:      lim.Delta,
+		nprobe:     lim.NProbe,
+		boundFloor: math.Inf(1),
+		credit:     1, // check on the very first event
 	}
 }
 
@@ -92,7 +124,7 @@ func (g *Gate) Visit() (bool, error) {
 	if g == nil {
 		return true, nil
 	}
-	if g.truncated {
+	if g.truncated || g.ngStopped {
 		return false, nil
 	}
 	if g.maxNodes > 0 && g.nodes >= g.maxNodes {
@@ -174,8 +206,108 @@ func (g *Gate) Grace(n int) {
 }
 
 // Truncated reports whether any budget (deadline, node, or exact-distance
-// cap) stopped the search early. It never reports true for cancellation.
+// cap) stopped the search early. It never reports true for cancellation —
+// nor for an ng-approximate leaf-budget stop, which is an approximation
+// decision reported via Approximate instead.
 func (g *Gate) Truncated() bool { return g != nil && g.truncated }
+
+// Epsilon returns the request's (1+ε)-approximation slack (0 on the nil
+// gate and on exact requests).
+func (g *Gate) Epsilon() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.epsilon
+}
+
+// Relax shrinks a pruning radius by the gate's (1+ε) factor: a search may
+// discard any object it can prove is at distance ≥ Relax(bound), because the
+// answer it keeps is then within (1+ε) of anything discarded. With ε = 0 (or
+// a nil gate) the radius is returned unchanged, bit for bit — the exact path
+// is byte-identical by construction.
+func (g *Gate) Relax(bound float64) float64 {
+	if g == nil || g.epsilon <= 0 {
+		return bound
+	}
+	return bound / (1 + g.epsilon)
+}
+
+// MarkRelaxed records one approximation decision: an object (or subtree, or
+// candidate tail) was discarded that the exact search would have kept, with
+// floor a proven lower bound on its true distance to the query. The gate's
+// BoundFloor — the minimum over all such floors — is what makes the reported
+// per-result BoundGap a sound upper bound on the true error: every discarded
+// object is provably at distance ≥ BoundFloor.
+func (g *Gate) MarkRelaxed(floor float64) {
+	if g == nil {
+		return
+	}
+	if floor < 0 {
+		floor = 0
+	}
+	g.approx = true
+	if floor < g.boundFloor {
+		g.boundFloor = floor
+	}
+}
+
+// Leaf accounts one leaf unit (a tree leaf block, a scanned row) against the
+// ng-approximate NProbe budget. When the budget is exhausted it returns
+// false and stops the traversal like a truncation — but flags the search
+// Approximate with a bound floor of 0 (unexplored leaves carry no proven
+// bound) instead of Truncated. Refinement of already-collected candidates
+// is unaffected. Always true on the nil gate or with NProbe = 0.
+func (g *Gate) Leaf() bool {
+	if g == nil || g.nprobe <= 0 {
+		return true
+	}
+	if g.ngStopped {
+		return false
+	}
+	if g.leaves >= g.nprobe {
+		g.ngStopped = true
+		g.MarkRelaxed(0)
+		return false
+	}
+	g.leaves++
+	return true
+}
+
+// DeltaCut resolves the δ sampled-stop rule for a refinement phase over n
+// lb-sorted candidates: it returns how many candidates to actually refine —
+// at least k (a full answer is always attempted) and at least (1−δ)·n. The
+// caller must MarkRelaxed the first skipped candidate's lower bound, which
+// (by the sort order) bounds the whole skipped tail. With δ = 0 it returns n.
+func (g *Gate) DeltaCut(n, k int) int {
+	if g == nil || g.delta <= 0 || n <= 0 {
+		return n
+	}
+	cut := int(math.Ceil((1 - g.delta) * float64(n)))
+	if cut < k {
+		cut = k
+	}
+	if cut > n {
+		cut = n
+	}
+	return cut
+}
+
+// Approximate reports whether any approximation decision (ε-relaxed prune,
+// δ tail skip, ng leaf stop) was taken. It never reports true for an exact
+// request, regardless of budgets.
+func (g *Gate) Approximate() bool { return g != nil && g.approx }
+
+// BoundFloor returns the smallest proven lower bound over every object an
+// approximation decision discarded (+Inf when none was — the answer is then
+// exact, budgets permitting; 0 after an ng leaf stop). The true k-NN
+// distance at any rank is ≥ min(reported distance, BoundFloor), which is
+// what makes BoundGap = dist/BoundFloor − 1 a sound error bound.
+func (g *Gate) BoundFloor() float64 {
+	if g == nil {
+		return math.Inf(1)
+	}
+	return g.boundFloor
+}
 
 // Nodes returns the accounted traversal/scan units (0 on the nil gate).
 func (g *Gate) Nodes() int {
@@ -218,11 +350,15 @@ func (g *Gate) Split(n int) []*Gate {
 	}
 	for i := range kids {
 		kids[i] = &Gate{
-			ctx:      g.ctx,
-			deadline: g.deadline,
-			maxNodes: share(g.maxNodes, g.nodes),
-			maxExact: share(g.maxExact, g.exact),
-			credit:   1,
+			ctx:        g.ctx,
+			deadline:   g.deadline,
+			maxNodes:   share(g.maxNodes, g.nodes),
+			maxExact:   share(g.maxExact, g.exact),
+			epsilon:    g.epsilon,
+			delta:      g.delta,
+			nprobe:     share(g.nprobe, g.leaves),
+			boundFloor: math.Inf(1),
+			credit:     1,
 		}
 	}
 	return kids
@@ -240,8 +376,15 @@ func (g *Gate) Absorb(children ...*Gate) {
 		}
 		g.nodes += c.nodes
 		g.exact += c.exact
+		g.leaves += c.leaves
 		if c.truncated {
 			g.truncated = true
+		}
+		if c.approx {
+			g.approx = true
+			if c.boundFloor < g.boundFloor {
+				g.boundFloor = c.boundFloor
+			}
 		}
 	}
 }

@@ -78,21 +78,36 @@ func (t *Tree) search(query []float64, k int, store seqstore.Store, g *lifecycle
 		g.Grace(k)
 	}
 
+	// ε-relaxation mirrors vptree: filter against σ_UB/(1+ε), recording the
+	// proven floor of anything dropped in the relaxed band so BoundGap stays
+	// sound. At ε=0 the relaxed radius IS σ_UB — bit-identical to exact.
 	sub := s.sigmaUB
+	rsub := g.Relax(sub)
 	pruned := s.cands[:0]
 	for _, c := range s.cands {
-		if c.lb <= sub {
+		if c.lb <= rsub {
 			pruned = append(pruned, c)
+		} else if c.lb <= sub {
+			g.MarkRelaxed(c.lb)
 		}
 	}
 	st.Candidates = len(pruned)
 	sortByLB(pruned)
+	// δ sampled-stop: refine only the first ⌈(1−δ)·n⌉ lb-sorted candidates
+	// (never fewer than k); the first skipped entry's lb is the proven floor.
+	if cut := g.DeltaCut(len(pruned), k); cut < len(pruned) {
+		g.MarkRelaxed(pruned[cut].lb)
+		pruned = pruned[:cut]
+	}
 
 	var results []Result
 	worst := math.Inf(1)
 	buf := make([]float64, t.seqLen)
 	for _, c := range pruned {
-		if len(results) >= k && c.lb > worst {
+		if len(results) >= k && c.lb > g.Relax(worst) {
+			if c.lb <= worst {
+				g.MarkRelaxed(c.lb)
+			}
 			break
 		}
 		if ok, gerr := g.Exact(); gerr != nil {
@@ -228,19 +243,20 @@ func (s *searcher) visit(nd *node) error {
 
 	// Quadrant pruning: objects in side 0 of vp1 have d(x,vp1) ≤ m1, side 1
 	// have d(x,vp1) > m1; analogously for vp2 within each side. A side is
-	// prunable when the triangle inequality puts every object beyond σ_UB.
+	// prunable when the triangle inequality puts every object beyond the
+	// (ε-relaxed) pruning radius — see lbPrune/ubPrune.
 	for s1 := 0; s1 < 2; s1++ {
-		if s1 == 0 && lb1 > nd.m1+s.sigmaUB {
-			continue // every d(x,vp1) ≤ m1 object is > σ_UB away
+		if s1 == 0 && s.lbPrune(lb1, nd.m1) {
+			continue // every d(x,vp1) ≤ m1 object is beyond the radius
 		}
-		if s1 == 1 && ub1 < nd.m1-s.sigmaUB {
-			continue // every d(x,vp1) > m1 object is > σ_UB away
+		if s1 == 1 && s.ubPrune(ub1, nd.m1) {
+			continue // every d(x,vp1) > m1 object is beyond the radius
 		}
 		for s2 := 0; s2 < 2; s2++ {
-			if s2 == 0 && lb2 > nd.m2[s1]+s.sigmaUB {
+			if s2 == 0 && s.lbPrune(lb2, nd.m2[s1]) {
 				continue
 			}
-			if s2 == 1 && ub2 < nd.m2[s1]-s.sigmaUB {
+			if s2 == 1 && s.ubPrune(ub2, nd.m2[s1]) {
 				continue
 			}
 			if err := s.visit(nd.children[s1][s2]); err != nil {
@@ -252,6 +268,9 @@ func (s *searcher) visit(nd *node) error {
 }
 
 func (s *searcher) visitLeaf(nd *node) error {
+	if !s.g.Leaf() {
+		return nil // ng leaf budget exhausted: stop collecting, keep best-so-far
+	}
 	for _, e := range nd.leaf {
 		// Path-distance pruning: the stored exact d(x, vp_i) plus the
 		// query's interval to vp_i lower-bound d(q, x) for free.
@@ -261,9 +280,7 @@ func (s *searcher) visitLeaf(nd *node) error {
 			limit = len(s.path)
 		}
 		for i := 0; i < limit; i++ {
-			d := e.pathD[i]
-			pb := s.path[i]
-			if d-pb.ub > s.sigmaUB || pb.lb-d > s.sigmaUB {
+			if s.pathPrune(e.pathD[i], s.path[i]) {
 				pruned = true
 				break
 			}
@@ -279,6 +296,50 @@ func (s *searcher) visitLeaf(nd *node) error {
 		s.add(e.id, lb, ub)
 	}
 	return nil
+}
+
+// lbPrune reports whether a partition whose objects all have vantage-point
+// distance ≤ m can be discarded given the query↔vp lower bound lb, at the
+// gate's ε-relaxed radius σ_UB/(1+ε). A prune that would not fire at ε=0
+// records the relaxed radius as the proven floor of what it discarded
+// (every such object is at distance ≥ lb − m > radius). At ε=0 the relaxed
+// radius IS σ_UB — decisions are bit-identical to exact.
+func (s *searcher) lbPrune(lb, m float64) bool {
+	r := s.g.Relax(s.sigmaUB)
+	if lb <= m+r {
+		return false
+	}
+	if lb <= m+s.sigmaUB {
+		s.g.MarkRelaxed(r)
+	}
+	return true
+}
+
+// ubPrune is lbPrune's twin for partitions whose objects all have
+// vantage-point distance > m, keyed on the query↔vp upper bound ub.
+func (s *searcher) ubPrune(ub, m float64) bool {
+	r := s.g.Relax(s.sigmaUB)
+	if ub >= m-r {
+		return false
+	}
+	if ub >= m-s.sigmaUB {
+		s.g.MarkRelaxed(r)
+	}
+	return true
+}
+
+// pathPrune applies the leaf path-distance prune at the ε-relaxed radius:
+// the stored exact d(x, vp_i) and the query's interval pb to vp_i prove
+// d(q, x) ≥ max(d − pb.ub, pb.lb − d).
+func (s *searcher) pathPrune(d float64, pb vpBound) bool {
+	r := s.g.Relax(s.sigmaUB)
+	if d-pb.ub <= r && pb.lb-d <= r {
+		return false
+	}
+	if d-pb.ub <= s.sigmaUB && pb.lb-d <= s.sigmaUB {
+		s.g.MarkRelaxed(r)
+	}
+	return true
 }
 
 func siftUpMax(h []float64, i int) {

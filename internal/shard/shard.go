@@ -375,6 +375,9 @@ func (s *ShardedEngine) Query(ctx context.Context, req core.Request) (*core.Resp
 	if req.K < 1 {
 		return nil, errBadK
 	}
+	if err := req.Approx.Validate(); err != nil {
+		return nil, err
+	}
 	ctx, rid := obs.EnsureRequestID(ctx)
 	start := time.Now()
 	tr, sp, ctx, finish := s.joinTrace(ctx, "sharded_"+req.Kind.String())
@@ -412,10 +415,19 @@ func (s *ShardedEngine) Query(ctx context.Context, req core.Request) (*core.Resp
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	g := lifecycle.NewGate(ctx, req.Budget.Limits(start))
+	g := lifecycle.NewGate(ctx, req.GateLimits(start))
 	resp, spread, err := s.scatterLocked(ctx, g, req)
 	if err != nil {
 		return fail(err)
+	}
+	// Re-stamp the merged response from the absorbed parent gate: the
+	// children's ε/δ/ng decisions (and proven bound floors) were folded
+	// into g by Absorb, so every merged neighbour's BoundGap is recomputed
+	// against the request-wide floor.
+	core.StampApprox(resp, g.Epsilon(), g)
+	if resp.Approximate {
+		sp.Annotate("approximate", "true")
+		sp.Annotate("epsilon_used", strconv.FormatFloat(resp.EpsilonUsed, 'g', -1, 64))
 	}
 	ev.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
 	ev.Workers = len(spread)

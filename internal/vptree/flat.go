@@ -174,6 +174,9 @@ func (s *searcher) visitFlat(f *flatIndex, ni int32) error {
 	s.st.NodesVisited++
 	nd := &f.nodes[ni]
 	if nd.leafLo >= 0 {
+		if !s.g.Leaf() {
+			return nil // ng leaf budget exhausted: stop collecting, keep best-so-far
+		}
 		m := int(nd.leafHi - nd.leafLo)
 		if m == 0 {
 			return nil
@@ -201,11 +204,11 @@ func (s *searcher) visitFlat(f *flatIndex, ni int32) error {
 	}
 
 	switch {
-	case ub < nd.median-s.sigmaUB:
+	case s.ubPrune(ub, nd.median):
 		s.st.UBPrunes++
 		s.pruneBlocks(f, nd.right)
 		return s.visitFlat(f, nd.left)
-	case lb > nd.median+s.sigmaUB:
+	case s.lbPrune(lb, nd.median):
 		s.st.LBPrunes++
 		s.pruneBlocks(f, nd.left)
 		return s.visitFlat(f, nd.right)
@@ -225,12 +228,12 @@ func (s *searcher) visitFlat(f *flatIndex, ni int32) error {
 			return err
 		}
 		// Re-check prunability of the second child with the tightened σ_UB.
-		if secondIsRight && ub < nd.median-s.sigmaUB {
+		if secondIsRight && s.ubPrune(ub, nd.median) {
 			s.st.UBPrunes++
 			s.pruneBlocks(f, second)
 			return nil
 		}
-		if !secondIsRight && lb > nd.median+s.sigmaUB {
+		if !secondIsRight && s.lbPrune(lb, nd.median) {
 			s.st.LBPrunes++
 			s.pruneBlocks(f, second)
 			return nil

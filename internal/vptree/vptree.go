@@ -651,12 +651,20 @@ func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstor
 	// Phase 2: prune by the k-th smallest upper bound (maintained during
 	// traversal as σ_UB) and refine in increasing lower-bound order with
 	// early abandoning (fig. 11 NNSearch).
+	// ε-relaxation: filter against σ_UB/(1+ε) instead of σ_UB. A candidate
+	// dropped in the relaxed band carries a proven floor (its own lower
+	// bound), recorded on the gate so BoundGap stays sound. At ε=0 the
+	// relaxed radius IS σ_UB and the filter is bit-identical to exact.
 	sub := s.sigmaUB
+	rsub := g.Relax(sub)
 	pruned := s.cands[:0]
 	for _, c := range s.cands {
-		if c.lb <= sub {
+		if c.lb <= rsub {
 			pruned = append(pruned, c)
 		} else {
+			if c.lb <= sub {
+				g.MarkRelaxed(c.lb)
+			}
 			st.LBPrunes++
 			if exp != nil {
 				exp.FilterLBPrunes++
@@ -674,6 +682,13 @@ func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstor
 			return 0
 		}
 	})
+	// δ sampled-stop: refine only the first ⌈(1−δ)·n⌉ of the lb-sorted
+	// candidates (never fewer than k). The skipped tail's smallest lower
+	// bound — the first skipped entry, by sort order — is its proven floor.
+	if cut := g.DeltaCut(len(pruned), k); cut < len(pruned) {
+		g.MarkRelaxed(pruned[cut].lb)
+		pruned = pruned[:cut]
+	}
 	if exp != nil {
 		now := time.Now()
 		exp.FilterMS = float64(now.Sub(phase)) / float64(time.Millisecond)
@@ -683,7 +698,13 @@ func (t *Tree) search(query []float64, k int, feats FeatureSource, store seqstor
 	best := newKBest(k)
 	buf := make([]float64, t.seqLen)
 	for ci, c := range pruned {
-		if best.full() && c.lb > best.worst() {
+		// ε-relaxed cutoff: stop once every remaining lower bound exceeds
+		// worst/(1+ε). A cutoff that would not have fired at ε=0 records
+		// the skipped candidate's lower bound as the proven floor.
+		if w := best.worst(); best.full() && c.lb > g.Relax(w) {
+			if c.lb <= w {
+				g.MarkRelaxed(c.lb)
+			}
 			if exp != nil {
 				exp.CutoffSkips = len(pruned) - ci
 			}
@@ -810,6 +831,37 @@ func (s *searcher) lvl(depth int) *LevelExplain {
 	return s.exp.level(depth)
 }
 
+// ubPrune reports whether a subtree whose objects are all at vantage-point
+// distance ≥ median can be discarded given the query↔vp upper bound ub —
+// the paper's σ_UB prune applied at the gate's ε-relaxed radius. When only
+// the relaxed radius fires (an exact search would have descended) the
+// proven floor σ_UB/(1+ε) is recorded on the gate, keeping the response's
+// BoundGap sound. At ε=0 the relaxed radius IS σ_UB and the decision is
+// bit-identical to exact.
+func (s *searcher) ubPrune(ub, median float64) bool {
+	r := s.g.Relax(s.sigmaUB)
+	if ub >= median-r {
+		return false
+	}
+	if ub >= median-s.sigmaUB {
+		s.g.MarkRelaxed(r)
+	}
+	return true
+}
+
+// lbPrune is ubPrune's twin for subtrees whose objects are all at
+// vantage-point distance ≤ median, keyed on the query↔vp lower bound lb.
+func (s *searcher) lbPrune(lb, median float64) bool {
+	r := s.g.Relax(s.sigmaUB)
+	if lb <= median+r {
+		return false
+	}
+	if lb <= median+s.sigmaUB {
+		s.g.MarkRelaxed(r)
+	}
+	return true
+}
+
 func (s *searcher) visit(nd *node, depth int) error {
 	if nd == nil {
 		return nil
@@ -824,6 +876,9 @@ func (s *searcher) visit(nd *node, depth int) error {
 	}
 	s.st.NodesVisited++
 	if nd.leaf != nil {
+		if !s.g.Leaf() {
+			return nil // ng leaf budget exhausted: stop collecting, keep best-so-far
+		}
 		if l := s.lvl(depth); l != nil {
 			l.Leaves++
 			l.BoundsComputed += len(nd.leaf)
@@ -856,15 +911,17 @@ func (s *searcher) visit(nd *node, depth int) error {
 	}
 
 	switch {
-	case ub < nd.median-s.sigmaUB:
-		// Every right-subtree object is provably farther than σ_UB.
+	case s.ubPrune(ub, nd.median):
+		// Every right-subtree object is provably farther than the (relaxed)
+		// pruning radius.
 		s.st.UBPrunes++
 		if l := s.lvl(depth); l != nil {
 			l.UBSubtreePrunes++
 		}
 		return s.visit(nd.left, depth+1)
-	case lb > nd.median+s.sigmaUB:
-		// Every left-subtree object is provably farther than σ_UB.
+	case s.lbPrune(lb, nd.median):
+		// Every left-subtree object is provably farther than the (relaxed)
+		// pruning radius.
 		s.st.LBPrunes++
 		if l := s.lvl(depth); l != nil {
 			l.LBSubtreePrunes++
@@ -889,14 +946,14 @@ func (s *searcher) visit(nd *node, depth int) error {
 			return err
 		}
 		// Re-check prunability of the second child with the tightened σ_UB.
-		if second == nd.right && ub < nd.median-s.sigmaUB {
+		if second == nd.right && s.ubPrune(ub, nd.median) {
 			s.st.UBPrunes++
 			if l := s.lvl(depth); l != nil {
 				l.UBSubtreePrunes++
 			}
 			return nil
 		}
-		if second == nd.left && lb > nd.median+s.sigmaUB {
+		if second == nd.left && s.lbPrune(lb, nd.median) {
 			s.st.LBPrunes++
 			if l := s.lvl(depth); l != nil {
 				l.LBSubtreePrunes++

@@ -1,16 +1,26 @@
 #!/bin/sh
-# api_check.sh enforces the context-first query API (run via `make api-check`).
+# api_check.sh enforces the unified query API surface (run via `make api-check`).
 #
-# Every exported Engine method on the query surface — names starting with
-# Similar, Query, Batch, Linear, or Search — must take a context.Context as
-# its first parameter. The pre-context entry points below are frozen as
-# deprecated wrappers around Engine.Query; the list only ever shrinks.
-# New query surface either goes through Engine.Query(ctx, Request) or takes
-# a ctx directly.
+# Four checks:
+#   1. Every exported Engine method on the query surface — names starting
+#      with Similar, Query, Batch, Linear, or Search — must take a
+#      context.Context as its first parameter. The pre-context entry points
+#      in ALLOW are frozen as deprecated wrappers around Engine.Query; the
+#      list only ever shrinks.
+#   2. The deprecated wrappers take no NEW internal callers: production code
+#      under cmd/ and internal/ goes through Engine.Query / core.NewRequest.
+#      Frozen exceptions are listed inline below.
+#   3. Exported HTTP search handler constructors accept the core.Searcher
+#      interface, never *core.Engine — handlers must serve single-engine and
+#      sharded deployments alike.
+#   4. Every JSON field on the /v2 wire structs is snake_case.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+fail=0
+
+# --- 1. context-first query surface -------------------------------------
 # Frozen legacy allowlist. Do NOT add to it.
 ALLOW='BatchSearch|LinearScan|QueryByBurst|QueryByBurstExplained|QueryByBurstOf|QueryByBurstOfExplained|SimilarByPeriods|SimilarDTW|SimilarQueries|SimilarQueriesExplained|SimilarToID|SimilarToIDExplained'
 
@@ -22,6 +32,49 @@ if [ -n "$viol" ]; then
 	echo "api-check: exported Engine query methods must take 'ctx context.Context' first:" >&2
 	echo "$viol" >&2
 	echo "(legacy pre-context wrappers are frozen in scripts/api_check.sh; do not extend the list)" >&2
+	fail=1
+fi
+
+# --- 2. no new internal callers of the deprecated wrappers ---------------
+# Exclusions, all frozen:
+#   *_test.go                  compatibility coverage of the wrappers themselves
+#   internal/core/core.go      wrapper definitions
+#   internal/core/batch.go     wrapper definitions
+#   internal/core/explain.go   wrapper definitions
+#   internal/benchutil/record.go  timing harness measures the frozen surface
+#   cmd/s2/main.go *Explained(    REPL explain / /debug/explain serve through
+#                                 the frozen Explained entry points (no Query
+#                                 equivalent exists by design)
+callers="$(grep -rn -E "\.($ALLOW)\(" --include='*.go' cmd internal |
+	grep -v '_test\.go:' |
+	grep -v -E '^internal/core/(core|batch|explain)\.go:' |
+	grep -v -E '^internal/benchutil/record\.go:' |
+	grep -v -E '^cmd/s2/main\.go:[0-9]+:.*Explained\(' || true)"
+
+if [ -n "$callers" ]; then
+	echo "api-check: new internal caller of a deprecated query wrapper (use Engine.Query / core.NewRequest):" >&2
+	echo "$callers" >&2
+	fail=1
+fi
+
+# --- 3. handlers accept core.Searcher, not *core.Engine ------------------
+handlers="$(grep -rn -E 'func [A-Z][A-Za-z0-9]*Handler\(' --include='*.go' internal/core internal/shard | grep -v '_test\.go:' || true)"
+bad="$(echo "$handlers" | grep -E '\*Engine|\*core\.Engine' || true)"
+if [ -n "$bad" ]; then
+	echo "api-check: exported search handlers must accept the Searcher interface, not *Engine:" >&2
+	echo "$bad" >&2
+	fail=1
+fi
+
+# --- 4. /v2 wire structs use snake_case JSON fields ----------------------
+tags="$(grep -n -o 'json:"[^"]*"' internal/core/search_v2.go | grep -v -E 'json:"(-|[a-z0-9_]+)(,omitempty)?"' || true)"
+if [ -n "$tags" ]; then
+	echo "api-check: /v2 JSON fields must be snake_case (internal/core/search_v2.go):" >&2
+	echo "$tags" >&2
+	fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
 	exit 1
 fi
 echo "api-check: ok"
